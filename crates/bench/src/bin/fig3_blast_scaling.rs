@@ -1,0 +1,60 @@
+//! Figure 3: MR-MPI BLAST scaling chart.
+//!
+//! "Process wall clock time at different total core counts in MPI job. Each
+//! data series corresponds to an indicated total number of query sequences
+//! split into blocks of 1000 sequences each, except for the series marked
+//! with blue rectangles that has 2000 sequences in each block."
+//!
+//! Series: 12K, 40K, 80K queries × 1000-query blocks, plus 80K × 2000-query
+//! blocks; 109 DB partitions of 1 GB; cores 32 → 1024 on the Ranger model.
+//! The in-text §IV.A efficiency claims (superlinear at 128 cores, ~95%
+//! relative efficiency at 1024) are printed below the table.
+
+use bench::{header, minutes, percent, row, PAPER_CORES};
+use perfmodel::{BlastScenario, ClusterModel};
+
+fn main() {
+    let cluster = ClusterModel::ranger();
+    let series: Vec<(&str, BlastScenario)> = vec![
+        ("12K/1000", BlastScenario::paper_nucleotide(12_000, 1000)),
+        ("40K/1000", BlastScenario::paper_nucleotide(40_000, 1000)),
+        ("80K/1000", BlastScenario::paper_nucleotide(80_000, 1000)),
+        ("80K/2000", BlastScenario::paper_nucleotide(80_000, 2000)),
+    ];
+
+    header(
+        "Fig. 3 — MR-MPI BLAST wall clock (minutes) vs cores (log-log in the paper)",
+        &["series", "cores", "wall_min", "cold_loads", "warm_loads", "mean_util"],
+    );
+    for (name, scenario) in &series {
+        for &cores in &PAPER_CORES {
+            let r = scenario.simulate(&cluster, cores);
+            row(&[
+                name.to_string(),
+                cores.to_string(),
+                minutes(r.makespan_s),
+                r.cold_loads.to_string(),
+                r.warm_loads.to_string(),
+                percent(r.mean_utilization()),
+            ]);
+        }
+    }
+
+    // §IV.A in-text claims for the 80K × 1000-block series.
+    let s80 = &series[2].1;
+    let t32 = s80.simulate(&cluster, 32).makespan_s;
+    let t128 = s80.simulate(&cluster, 128).makespan_s;
+    let t1024 = s80.simulate(&cluster, 1024).makespan_s;
+    let eff = |t: f64, cores: f64| (t32 / t) / (cores / 32.0);
+    println!();
+    println!(
+        "80K/1000 relative efficiency: 128 cores = {} (paper: 167%), 1024 cores = {} (paper: 95%)",
+        percent(eff(t128, 128.0)),
+        percent(eff(t1024, 1024.0)),
+    );
+    println!(
+        "80K/1000 work units = {} = {:.1}x cores at 1024 (paper: 8720 units, 8.5x)",
+        s80.n_tasks(),
+        s80.n_tasks() as f64 / 1024.0
+    );
+}

@@ -1,0 +1,49 @@
+//! Figure 4: "the average number of wall clock core minutes spent per a
+//! single query sequence at different total core counts" for the 80,000-
+//! query dataset split into 40 blocks (2000 queries each) vs 80 blocks
+//! (1000 queries each).
+//!
+//! The paper's reading: "for smaller core counts, the larger work units are
+//! more efficient … for larger core counts, smaller query blocks lead to
+//! better performance because they result in more work units which is
+//! essential for better load balancing", with the slowdown "more pronounced
+//! in the 40-blocks series".
+
+use bench::{header, row, PAPER_CORES};
+use perfmodel::{BlastScenario, ClusterModel};
+
+fn main() {
+    let cluster = ClusterModel::ranger();
+    let s80 = BlastScenario::paper_nucleotide(80_000, 1000); // 80 blocks
+    let s40 = BlastScenario::paper_nucleotide(80_000, 2000); // 40 blocks
+
+    header(
+        "Fig. 4 — core·minutes per query, 80K queries, 40 vs 80 blocks",
+        &["cores", "core_min_per_query_80blk", "core_min_per_query_40blk", "better"],
+    );
+    let mut crossover = None;
+    let mut prev_better_80 = false;
+    for &cores in &PAPER_CORES {
+        let c80 = s80.core_minutes_per_query(&cluster, cores);
+        let c40 = s40.core_minutes_per_query(&cluster, cores);
+        let better_80 = c80 < c40;
+        if better_80 && !prev_better_80 && crossover.is_none() && cores > PAPER_CORES[0] {
+            crossover = Some(cores);
+        }
+        prev_better_80 = better_80;
+        row(&[
+            cores.to_string(),
+            format!("{c80:.4}"),
+            format!("{c40:.4}"),
+            if better_80 { "80 blocks".into() } else { "40 blocks".to_string() },
+        ]);
+    }
+    println!();
+    match crossover {
+        Some(c) => println!(
+            "crossover: smaller blocks (80) win from {c} cores up — the paper's \
+             granularity-vs-balancing tradeoff"
+        ),
+        None => println!("no crossover within the simulated core range"),
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 5: "useful" CPU utilization per core over the course of the
+//! protein BLAST run at 1024 cores.
+//!
+//! "CPU user time used at any given moment within a BLAST call was divided
+//! by the corresponding wall clock time, summed over all concurrent calls,
+//! and divided by a total number of cores allocated to the MPI program."
+//! The paper's curve holds near 1.0 for most of the run and tapers off at
+//! the end as "cores idling without more workloads available to them".
+
+use bench::{header, percent, row, sparkline};
+use perfmodel::{BlastScenario, ClusterModel};
+
+fn main() {
+    let cluster = ClusterModel::ranger();
+    let scenario = BlastScenario::paper_protein();
+    let cores = 1024;
+    let r = scenario.simulate(&cluster, cores);
+
+    let buckets = 40;
+    let curve = r.utilization_curve(buckets);
+
+    header(
+        "Fig. 5 — useful CPU utilization over time, protein BLAST, 1024 cores",
+        &["time_frac", "utilization"],
+    );
+    for (b, &u) in curve.iter().enumerate() {
+        row(&[format!("{:.3}", (b as f64 + 0.5) / buckets as f64), format!("{u:.3}")]);
+    }
+    println!();
+    println!("curve: {}", sparkline(&curve));
+    println!(
+        "wall clock: {:.0} min at {cores} cores (paper: 294 min absolute)",
+        r.makespan_s / 60.0
+    );
+    println!("mean utilization: {}", percent(r.mean_utilization()));
+
+    // Shape checks the paper's narrative implies.
+    let plateau: f64 =
+        curve[..buckets * 3 / 4].iter().sum::<f64>() / (buckets * 3 / 4) as f64;
+    let tail = curve[buckets - 1];
+    println!(
+        "plateau (first 75%): {} — taper (last bucket): {} (paper: high plateau, tail decline)",
+        percent(plateau),
+        percent(tail)
+    );
+}

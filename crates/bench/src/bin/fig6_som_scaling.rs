@@ -1,0 +1,75 @@
+//! Figure 6: MR-MPI batch SOM scaling chart.
+//!
+//! "Scaling chart of MR-MPI Batch SOM algorithm with the input dataset of
+//! 81,920 random vectors of 256 dimensions. The work units for the
+//! MapReduce algorithm were blocks of 40 vectors. Work units of 80 vectors
+//! each produced the identical timings." The paper reports "excellent
+//! linear scaling across all core counts with 96% efficiency at 1024 cores
+//! relative to the 32 core run."
+//!
+//! The BSP model's per-vector compute constant is calibrated against the
+//! real `som` engine on this host (a 50×50×256 BMU + accumulation), then
+//! the closed-form epoch model produces the series; the model itself is
+//! validated bit-for-bit against real `mrbio::run_mrsom` executions by the
+//! integration tests.
+
+use bench::{header, percent, row, PAPER_CORES};
+use perfmodel::calibrate::time_once;
+use perfmodel::{ClusterModel, SomScenario};
+use som::batch::{rand_seeded, BatchAccumulator};
+use som::codebook::Codebook;
+
+fn main() {
+    let cluster = ClusterModel::ranger();
+    let epochs = 10;
+
+    // Calibrate the per-vector cost on this host with the real engine.
+    let mut rng = rand_seeded(7);
+    let cb = Codebook::random(50, 50, 256, &mut rng, 0.0, 1.0);
+    let inputs = bioseq::gen::random_vectors(8, 64, 256);
+    let mut acc = BatchAccumulator::zeros(&cb);
+    let t = time_once(|| acc.accumulate_block(&cb, &inputs, 12.0));
+    let measured_per_vector = t / inputs.len() as f64;
+
+    for (label, per_vector_s) in [
+        ("ranger-2011", SomScenario::paper_fig6(epochs).per_vector_s),
+        ("this-host", measured_per_vector),
+    ] {
+        let scenario = SomScenario { per_vector_s, ..SomScenario::paper_fig6(epochs) };
+        println!();
+        header(
+            &format!(
+                "Fig. 6 — batch SOM wall clock, 81,920×256-d vectors, 50×50 map, \
+                 blocks of 40, {epochs} epochs [{label}: {per_vector_s:.2e} s/vector]"
+            ),
+            &["cores", "wall_s", "rel_efficiency_vs_32"],
+        );
+        for &cores in &PAPER_CORES {
+            let t = scenario.makespan(&cluster, cores);
+            row(&[
+                cores.to_string(),
+                format!("{t:.1}"),
+                percent(scenario.relative_efficiency(&cluster, cores, 32)),
+            ]);
+        }
+        println!(
+            "block size 80 check: identical timings = {}",
+            {
+                let b80 = SomScenario { block_size: 80, ..scenario };
+                let d: f64 = PAPER_CORES
+                    .iter()
+                    .map(|&c| {
+                        (b80.makespan(&cluster, c) - scenario.makespan(&cluster, c)).abs()
+                            / scenario.makespan(&cluster, c)
+                    })
+                    .fold(0.0, f64::max);
+                format!("max deviation {:.2}% (paper: identical)", d * 100.0)
+            }
+        );
+    }
+    println!();
+    println!(
+        "paper: 96% efficiency at 1024 cores relative to 32; model: {}",
+        percent(SomScenario::paper_fig6(epochs).relative_efficiency(&cluster, 1024, 32))
+    );
+}

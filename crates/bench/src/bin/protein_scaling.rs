@@ -1,0 +1,34 @@
+//! §IV.A in-text protein scaling claim: "the 1024 core run used only 6%
+//! more core*min per query compared to the 512 core run (294 min absolute
+//! wall clock time using 1024 cores)" — protein search is CPU-bound enough
+//! to scale almost perfectly.
+
+use bench::{header, minutes, percent, row, PAPER_CORES};
+use perfmodel::{BlastScenario, ClusterModel};
+
+fn main() {
+    let cluster = ClusterModel::ranger();
+    let scenario = BlastScenario::paper_protein();
+
+    header(
+        "Protein BLAST scaling (env_nr 139,846 queries vs Uniref100, 58 partitions)",
+        &["cores", "wall_min", "core_min_per_query", "mean_util"],
+    );
+    for &cores in &PAPER_CORES {
+        let r = scenario.simulate(&cluster, cores);
+        row(&[
+            cores.to_string(),
+            minutes(r.makespan_s),
+            format!("{:.4}", r.core_seconds() / 60.0 / scenario.n_queries as f64),
+            percent(r.mean_utilization()),
+        ]);
+    }
+
+    let c512 = scenario.core_minutes_per_query(&cluster, 512);
+    let c1024 = scenario.core_minutes_per_query(&cluster, 1024);
+    println!();
+    println!(
+        "1024 vs 512 cores: {} more core·min per query (paper: ~6%)",
+        percent(c1024 / c512 - 1.0)
+    );
+}

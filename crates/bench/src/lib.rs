@@ -1,0 +1,76 @@
+//! Shared helpers for the figure-reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index) and prints the same rows/series
+//! the paper reports, plus a `paper:` reference line where the paper states
+//! a number. Output is plain TSV-ish text so results can be diffed and
+//! plotted.
+
+/// Print a table header (tab-separated).
+pub fn header(title: &str, cols: &[&str]) {
+    println!("# {title}");
+    println!("{}", cols.join("\t"));
+}
+
+/// Print one table row of formatted cells.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Format seconds as minutes with one decimal (the paper labels its scaling
+/// charts in minutes).
+pub fn minutes(seconds: f64) -> String {
+    format!("{:.1}", seconds / 60.0)
+}
+
+/// Format a ratio as a percentage.
+pub fn percent(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// The core counts of the paper's scaling charts.
+pub const PAPER_CORES: [usize; 6] = [32, 64, 128, 256, 512, 1024];
+
+/// Output directory for figure artifacts (images, TSVs).
+pub fn artifact_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("target/figures");
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    dir
+}
+
+/// Simple ASCII sparkline for a 0..1 series (used to show the Fig. 5
+/// utilization curve in the terminal).
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v.clamp(0.0, 1.0)) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minutes_formats() {
+        assert_eq!(minutes(90.0), "1.5");
+        assert_eq!(minutes(0.0), "0.0");
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.957), "95.7%");
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+}

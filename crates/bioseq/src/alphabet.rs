@@ -1,0 +1,177 @@
+//! Residue alphabets and coding.
+//!
+//! Sequences are stored as ASCII bytes in [`crate::seq::SeqRecord`]; the
+//! search engine works on *codes*: small integers suitable for direct lookup
+//! table indexing. DNA codes are 0..4 (`A C G T`), protein codes 0..25 in the
+//! NCBI `ARNDCQEGHILKMFPSTWYVBZX*` order extended with `U`/`J` folded to `X`.
+
+/// Which residue alphabet a sequence is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alphabet {
+    /// Nucleotides `A C G T` (+ ambiguity codes folded during encoding).
+    Dna,
+    /// The 20 amino acids plus `B Z X *`.
+    Protein,
+}
+
+/// Canonical protein residue ordering used for code values and score-matrix
+/// indexing (the classic NCBI ordering).
+pub const PROTEIN_LETTERS: &[u8; 24] = b"ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// Code assigned to residues that are not representable (ambiguity fallback).
+pub const PROTEIN_X: u8 = 22;
+
+impl Alphabet {
+    /// Number of distinct residue codes (table radix).
+    pub fn radix(self) -> usize {
+        match self {
+            Alphabet::Dna => 4,
+            Alphabet::Protein => 24,
+        }
+    }
+
+    /// Map an ASCII residue to its code. Lowercase accepted. Ambiguous or
+    /// unknown residues map to `None` for DNA (caller decides the policy) and
+    /// to `X`'s code for protein.
+    #[inline]
+    pub fn encode(self, c: u8) -> Option<u8> {
+        match self {
+            Alphabet::Dna => dna_code(c),
+            Alphabet::Protein => Some(protein_code(c)),
+        }
+    }
+
+    /// Map a code back to its canonical (uppercase) ASCII letter.
+    ///
+    /// # Panics
+    /// Panics if `code >= radix()`.
+    #[inline]
+    pub fn decode(self, code: u8) -> u8 {
+        match self {
+            Alphabet::Dna => b"ACGT"[code as usize],
+            Alphabet::Protein => PROTEIN_LETTERS[code as usize],
+        }
+    }
+
+    /// Encode a whole ASCII sequence, applying the ambiguity policy: DNA
+    /// ambiguity codes become `A` (deterministic, matching our planted-data
+    /// generators which never emit them in scoring-relevant positions);
+    /// protein unknowns become `X`.
+    pub fn encode_seq(self, seq: &[u8]) -> Vec<u8> {
+        match self {
+            Alphabet::Dna => seq.iter().map(|&c| dna_code(c).unwrap_or(0)).collect(),
+            Alphabet::Protein => seq.iter().map(|&c| protein_code(c)).collect(),
+        }
+    }
+}
+
+/// DNA residue → 2-bit code. `None` for anything outside `acgtACGT`.
+#[inline]
+pub fn dna_code(c: u8) -> Option<u8> {
+    match c {
+        b'A' | b'a' => Some(0),
+        b'C' | b'c' => Some(1),
+        b'G' | b'g' => Some(2),
+        b'T' | b't' | b'U' | b'u' => Some(3),
+        _ => None,
+    }
+}
+
+/// Complement of a 2-bit DNA code.
+#[inline]
+pub fn dna_complement_code(code: u8) -> u8 {
+    3 - code
+}
+
+/// Protein residue → code in [`PROTEIN_LETTERS`] order; unknowns → `X`.
+#[inline]
+pub fn protein_code(c: u8) -> u8 {
+    match c.to_ascii_uppercase() {
+        b'A' => 0,
+        b'R' => 1,
+        b'N' => 2,
+        b'D' => 3,
+        b'C' => 4,
+        b'Q' => 5,
+        b'E' => 6,
+        b'G' => 7,
+        b'H' => 8,
+        b'I' => 9,
+        b'L' => 10,
+        b'K' => 11,
+        b'M' => 12,
+        b'F' => 13,
+        b'P' => 14,
+        b'S' => 15,
+        b'T' => 16,
+        b'W' => 17,
+        b'Y' => 18,
+        b'V' => 19,
+        b'B' => 20,
+        b'Z' => 21,
+        b'X' => 22,
+        b'*' => 23,
+        _ => PROTEIN_X,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_codes_roundtrip() {
+        for (i, &c) in b"ACGT".iter().enumerate() {
+            assert_eq!(dna_code(c), Some(i as u8));
+            assert_eq!(dna_code(c.to_ascii_lowercase()), Some(i as u8));
+            assert_eq!(Alphabet::Dna.decode(i as u8), c);
+        }
+        assert_eq!(dna_code(b'N'), None);
+        assert_eq!(dna_code(b'-'), None);
+    }
+
+    #[test]
+    fn uracil_maps_to_t() {
+        assert_eq!(dna_code(b'U'), dna_code(b'T'));
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for code in 0..4 {
+            assert_eq!(dna_complement_code(dna_complement_code(code)), code);
+        }
+        // A<->T, C<->G
+        assert_eq!(dna_complement_code(0), 3);
+        assert_eq!(dna_complement_code(1), 2);
+    }
+
+    #[test]
+    fn protein_codes_match_canonical_order() {
+        for (i, &c) in PROTEIN_LETTERS.iter().enumerate() {
+            assert_eq!(protein_code(c), i as u8, "letter {}", c as char);
+            assert_eq!(Alphabet::Protein.decode(i as u8), c);
+        }
+    }
+
+    #[test]
+    fn unknown_protein_residues_become_x() {
+        assert_eq!(protein_code(b'O'), PROTEIN_X);
+        assert_eq!(protein_code(b'7'), PROTEIN_X);
+    }
+
+    #[test]
+    fn encode_seq_applies_policy() {
+        assert_eq!(Alphabet::Dna.encode_seq(b"ACGTN"), vec![0, 1, 2, 3, 0]);
+        assert_eq!(Alphabet::Protein.encode_seq(b"AR?"), vec![0, 1, PROTEIN_X]);
+    }
+
+    #[test]
+    fn radix_bounds_codes() {
+        for &c in b"ACGTacgt" {
+            assert!((dna_code(c).unwrap() as usize) < Alphabet::Dna.radix());
+        }
+        for c in 0u8..=255 {
+            assert!((protein_code(c) as usize) < Alphabet::Protein.radix());
+        }
+    }
+}

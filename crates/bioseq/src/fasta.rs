@@ -1,0 +1,161 @@
+//! FASTA reading and writing.
+//!
+//! The paper's pipeline exchanges everything as FASTA files: the query set is
+//! pre-split into FASTA "query blocks" and the database is formatted from one
+//! large FASTA. The parser here accepts the common dialect: `>`-headers,
+//! multi-line sequences, `;` comment lines, blank lines, and CRLF endings.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use crate::seq::SeqRecord;
+
+/// Read all records from a FASTA stream.
+///
+/// # Errors
+/// Returns IO errors from the underlying reader; malformed input (sequence
+/// data before the first header) yields `InvalidData`.
+pub fn read_fasta<R: BufRead>(mut reader: R) -> std::io::Result<Vec<SeqRecord>> {
+    let mut records = Vec::new();
+    let mut current: Option<SeqRecord> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            let desc = parts.next().unwrap_or("").trim().to_string();
+            current = Some(SeqRecord { id, desc, seq: Vec::new() });
+        } else {
+            match current.as_mut() {
+                Some(rec) => {
+                    rec.seq.extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace()))
+                }
+                None => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "sequence data before first FASTA header",
+                    ))
+                }
+            }
+        }
+    }
+    if let Some(rec) = current.take() {
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Read all records from a FASTA file on disk.
+///
+/// # Errors
+/// IO and format errors as in [`read_fasta`].
+pub fn read_fasta_file(path: impl AsRef<Path>) -> std::io::Result<Vec<SeqRecord>> {
+    read_fasta(BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Write records in FASTA format with 70-column wrapping.
+///
+/// # Errors
+/// Returns IO errors from the writer.
+pub fn write_fasta<W: Write>(mut w: W, records: &[SeqRecord]) -> std::io::Result<()> {
+    for rec in records {
+        if rec.desc.is_empty() {
+            writeln!(w, ">{}", rec.id)?;
+        } else {
+            writeln!(w, ">{} {}", rec.id, rec.desc)?;
+        }
+        for chunk in rec.seq.chunks(70) {
+            w.write_all(chunk)?;
+            w.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Write records to a FASTA file on disk.
+///
+/// # Errors
+/// Returns IO errors.
+pub fn write_fasta_file(path: impl AsRef<Path>, records: &[SeqRecord]) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_fasta(std::io::BufWriter::new(f), records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiline_records() {
+        let input = b">seq1 first record\nACGT\nacgt\n>seq2\nTTTT\n";
+        let recs = read_fasta(&input[..]).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "seq1");
+        assert_eq!(recs[0].desc, "first record");
+        assert_eq!(recs[0].seq, b"ACGTacgt");
+        assert_eq!(recs[1].id, "seq2");
+        assert_eq!(recs[1].desc, "");
+        assert_eq!(recs[1].seq, b"TTTT");
+    }
+
+    #[test]
+    fn tolerates_blank_comment_and_crlf_lines() {
+        let input = b";file comment\n\n>a desc here\r\nAC GT\r\n\n;x\nAA\n";
+        let recs = read_fasta(&input[..]).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].seq, b"ACGTAA");
+    }
+
+    #[test]
+    fn rejects_headerless_data() {
+        assert!(read_fasta(&b"ACGT\n"[..]).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(read_fasta(&b""[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_record_is_preserved() {
+        let recs = read_fasta(&b">only_header\n>second\nAC\n"[..]).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].seq.is_empty());
+    }
+
+    #[test]
+    fn write_read_roundtrip_with_wrapping() {
+        let recs = vec![
+            SeqRecord { id: "a".into(), desc: "long one".into(), seq: vec![b'A'; 150] },
+            SeqRecord::new("b", b"CGT".to_vec()),
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &recs).unwrap();
+        // Wrapped at 70 columns.
+        assert!(buf.split(|&b| b == b'\n').all(|l| l.len() <= 79));
+        let back = read_fasta(&buf[..]).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bioseq-fasta-test-{}.fa", std::process::id()));
+        let recs = vec![SeqRecord::new("r1", b"ACGTACGT".to_vec())];
+        write_fasta_file(&path, &recs).unwrap();
+        let back = read_fasta_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, recs);
+    }
+}

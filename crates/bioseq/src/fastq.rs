@@ -1,0 +1,202 @@
+//! FASTQ reading — the native format of the sequencing reads the paper's
+//! metagenomic use case starts from ("a single NextGen sequencing machine
+//! … will produce a stream of data", §I).
+//!
+//! Four-line records (`@id`, sequence, `+`, qualities); Phred+33 quality
+//! scores. Records can be converted to plain [`SeqRecord`]s (dropping
+//! qualities) or quality-trimmed first, which is what a real pipeline does
+//! before BLASTing reads.
+
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use crate::seq::SeqRecord;
+
+/// One FASTQ record: a sequence plus per-base Phred quality scores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Identifier (first whitespace-delimited token after `@`).
+    pub id: String,
+    /// Residues.
+    pub seq: Vec<u8>,
+    /// Phred quality scores (already decoded from +33 ASCII).
+    pub qual: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Drop the qualities.
+    pub fn into_seq_record(self) -> SeqRecord {
+        SeqRecord { id: self.id, desc: String::new(), seq: self.seq }
+    }
+
+    /// Mean Phred quality.
+    pub fn mean_quality(&self) -> f64 {
+        if self.qual.is_empty() {
+            return 0.0;
+        }
+        self.qual.iter().map(|&q| f64::from(q)).sum::<f64>() / self.qual.len() as f64
+    }
+
+    /// Trim the 3′ end at the first window where quality drops below
+    /// `min_q` (simple cutoff trimming). Returns the trimmed record.
+    pub fn quality_trimmed(mut self, min_q: u8) -> FastqRecord {
+        let keep = self.qual.iter().position(|&q| q < min_q).unwrap_or(self.qual.len());
+        self.seq.truncate(keep);
+        self.qual.truncate(keep);
+        self
+    }
+}
+
+fn bad(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Read all records from a FASTQ stream.
+///
+/// # Errors
+/// IO errors and `InvalidData` for malformed records (bad markers, length
+/// mismatch, quality characters below `!`).
+pub fn read_fastq<R: BufRead>(mut reader: R) -> std::io::Result<Vec<FastqRecord>> {
+    let mut records = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let header = line.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            continue;
+        }
+        let Some(rest) = header.strip_prefix('@') else {
+            return Err(bad(format!("expected '@' header, got '{header}'")));
+        };
+        let id = rest.split_whitespace().next().unwrap_or("").to_string();
+
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("truncated record: missing sequence line"));
+        }
+        let seq: Vec<u8> = line.trim_end_matches(['\r', '\n']).bytes().collect();
+
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("truncated record: missing '+' line"));
+        }
+        if !line.starts_with('+') {
+            return Err(bad("third line of a FASTQ record must start with '+'"));
+        }
+
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("truncated record: missing quality line"));
+        }
+        let qual_ascii: Vec<u8> = line.trim_end_matches(['\r', '\n']).bytes().collect();
+        if qual_ascii.len() != seq.len() {
+            return Err(bad(format!(
+                "quality length {} != sequence length {} for record {id}",
+                qual_ascii.len(),
+                seq.len()
+            )));
+        }
+        let mut qual = Vec::with_capacity(qual_ascii.len());
+        for &c in &qual_ascii {
+            if c < b'!' {
+                return Err(bad(format!("quality character {c:#04x} below '!' in {id}")));
+            }
+            qual.push(c - b'!');
+        }
+        records.push(FastqRecord { id, seq, qual });
+    }
+    Ok(records)
+}
+
+/// Read a FASTQ file from disk.
+///
+/// # Errors
+/// As [`read_fastq`].
+pub fn read_fastq_file(path: impl AsRef<Path>) -> std::io::Result<Vec<FastqRecord>> {
+    read_fastq(BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Load a FASTQ file as plain sequence records, dropping reads whose mean
+/// quality is below `min_mean_q` and quality-trimming the rest at `trim_q` —
+/// the standard preprocessing in front of a read-classification pipeline.
+///
+/// # Errors
+/// As [`read_fastq`].
+pub fn load_reads(
+    path: impl AsRef<Path>,
+    min_mean_q: f64,
+    trim_q: u8,
+) -> std::io::Result<Vec<SeqRecord>> {
+    Ok(read_fastq_file(path)?
+        .into_iter()
+        .filter(|r| r.mean_quality() >= min_mean_q)
+        .map(|r| r.quality_trimmed(trim_q).into_seq_record())
+        .filter(|r| !r.seq.is_empty())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &[u8] = b"@read1 desc\nACGT\n+\nIIII\n@read2\nTTGG\n+read2\n!!II\n";
+
+    #[test]
+    fn parses_records_and_decodes_quality() {
+        let recs = read_fastq(SAMPLE).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "read1");
+        assert_eq!(recs[0].seq, b"ACGT");
+        assert_eq!(recs[0].qual, vec![40; 4]); // 'I' = 73 - 33
+        assert_eq!(recs[1].qual, vec![0, 0, 40, 40]);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_fastq(&b"ACGT\n"[..]).is_err(), "missing @");
+        assert!(read_fastq(&b"@r\nACGT\nIIII\nIIII\n"[..]).is_err(), "missing +");
+        assert!(read_fastq(&b"@r\nACGT\n+\nIII\n"[..]).is_err(), "length mismatch");
+        assert!(read_fastq(&b"@r\nACGT\n+\n"[..]).is_err(), "truncated");
+    }
+
+    #[test]
+    fn mean_quality_and_trimming() {
+        let recs = read_fastq(SAMPLE).unwrap();
+        assert!((recs[0].mean_quality() - 40.0).abs() < 1e-12);
+        assert!((recs[1].mean_quality() - 20.0).abs() < 1e-12);
+        // read2 qualities 0,0,40,40: trimming at q>=20 cuts at position 0.
+        let trimmed = recs[1].clone().quality_trimmed(20);
+        assert!(trimmed.seq.is_empty());
+        // read1 survives untouched.
+        let trimmed = recs[0].clone().quality_trimmed(20);
+        assert_eq!(trimmed.seq, b"ACGT");
+    }
+
+    #[test]
+    fn trims_at_first_low_quality_base() {
+        let rec = FastqRecord { id: "r".into(), seq: b"ACGTACGT".to_vec(), qual: vec![40, 40, 40, 5, 40, 40, 40, 40] };
+        let t = rec.quality_trimmed(20);
+        assert_eq!(t.seq, b"ACG");
+        assert_eq!(t.qual.len(), 3);
+    }
+
+    #[test]
+    fn load_reads_filters_and_converts() {
+        let path = std::env::temp_dir().join(format!("fastq-test-{}.fq", std::process::id()));
+        std::fs::write(&path, SAMPLE).unwrap();
+        // Mean-quality floor 30 keeps only read1.
+        let reads = load_reads(&path, 30.0, 20).unwrap();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].id, "read1");
+        assert_eq!(reads[0].seq, b"ACGT");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(read_fastq(&b""[..]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! Synthetic sequence and vector generators.
+//!
+//! The paper benchmarks against NCBI's RefSeq/NT/WGS/HTGS nucleotide
+//! databases, env_nr protein queries and Uniref100 — hundreds of gigabases we
+//! neither have nor need: every measured phenomenon depends on workload
+//! *shape* (sizes, counts, homology structure, runtime skew), which these
+//! generators reproduce at configurable scale. Planted homologies guarantee
+//! that searches find statistically significant alignments, exercising every
+//! stage of the engine exactly as real data would.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::seq::SeqRecord;
+
+/// Residue letters for sampling.
+const DNA: &[u8; 4] = b"ACGT";
+
+/// Amino-acid letters with Robinson–Robinson-like background weights
+/// (per-mille), so synthetic proteins have realistic composition for
+/// Karlin–Altschul statistics.
+const AA_WEIGHTED: &[(u8, u32)] = &[
+    (b'A', 78),
+    (b'R', 51),
+    (b'N', 45),
+    (b'D', 54),
+    (b'C', 19),
+    (b'Q', 43),
+    (b'E', 63),
+    (b'G', 74),
+    (b'H', 22),
+    (b'I', 51),
+    (b'L', 90),
+    (b'K', 57),
+    (b'M', 22),
+    (b'F', 39),
+    (b'P', 52),
+    (b'S', 71),
+    (b'T', 58),
+    (b'W', 13),
+    (b'Y', 32),
+    (b'V', 66),
+];
+
+/// A deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Random DNA of length `len` with the given GC fraction.
+pub fn random_dna(rng: &mut impl Rng, len: usize, gc: f64) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            if rng.random::<f64>() < gc {
+                if rng.random::<bool>() {
+                    b'G'
+                } else {
+                    b'C'
+                }
+            } else if rng.random::<bool>() {
+                b'A'
+            } else {
+                b'T'
+            }
+        })
+        .collect()
+}
+
+/// Random protein of length `len` sampled from the background composition.
+pub fn random_protein(rng: &mut impl Rng, len: usize) -> Vec<u8> {
+    let total: u32 = AA_WEIGHTED.iter().map(|&(_, w)| w).sum();
+    (0..len)
+        .map(|_| {
+            let mut t = rng.random_range(0..total);
+            for &(aa, w) in AA_WEIGHTED {
+                if t < w {
+                    return aa;
+                }
+                t -= w;
+            }
+            b'A'
+        })
+        .collect()
+}
+
+/// Point-mutate and lightly indel a sequence: each residue substituted with
+/// probability `sub_rate`; insertions/deletions each occur with probability
+/// `indel_rate` per position (single-residue events). Used to plant
+/// homologies of tunable identity.
+pub fn mutate_dna(rng: &mut impl Rng, seq: &[u8], sub_rate: f64, indel_rate: f64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(seq.len() + 8);
+    for &c in seq {
+        let r = rng.random::<f64>();
+        if r < indel_rate {
+            // deletion: skip this residue
+            continue;
+        } else if r < 2.0 * indel_rate {
+            // insertion before this residue
+            out.push(DNA[rng.random_range(0..4)]);
+            out.push(c);
+        } else if r < 2.0 * indel_rate + sub_rate {
+            // substitution with a different residue
+            let cur = crate::alphabet::dna_code(c).unwrap_or(0);
+            let sub = (cur + rng.random_range(1..4)) % 4;
+            out.push(DNA[sub as usize]);
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Configuration of a planted-homology search workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of database sequences.
+    pub db_seqs: usize,
+    /// Length of each database sequence.
+    pub db_seq_len: usize,
+    /// Number of query sequences.
+    pub queries: usize,
+    /// Length of each query.
+    pub query_len: usize,
+    /// Fraction of queries that are mutated copies of database regions (the
+    /// rest are random decoys with no planted homolog).
+    pub homolog_fraction: f64,
+    /// Substitution rate applied to planted homologs.
+    pub sub_rate: f64,
+    /// Indel rate applied to planted homologs.
+    pub indel_rate: f64,
+    /// GC content of the random background.
+    pub gc: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            db_seqs: 50,
+            db_seq_len: 2000,
+            queries: 100,
+            query_len: 400, // the paper's read length
+            homolog_fraction: 0.5,
+            sub_rate: 0.05,
+            indel_rate: 0.005,
+            gc: 0.5,
+        }
+    }
+}
+
+/// A generated workload: database records, query records, and for each query
+/// the id of its planted source (`None` for decoys).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Database side.
+    pub db: Vec<SeqRecord>,
+    /// Query side.
+    pub queries: Vec<SeqRecord>,
+    /// `planted[i]` is the DB sequence id query `i` was derived from.
+    pub planted: Vec<Option<String>>,
+}
+
+/// Generate a nucleotide search workload with planted homologies.
+pub fn dna_workload(seed: u64, cfg: &WorkloadConfig) -> Workload {
+    let mut r = rng(seed);
+    let db: Vec<SeqRecord> = (0..cfg.db_seqs)
+        .map(|i| SeqRecord::new(format!("db{i}"), random_dna(&mut r, cfg.db_seq_len, cfg.gc)))
+        .collect();
+
+    let mut queries = Vec::with_capacity(cfg.queries);
+    let mut planted = Vec::with_capacity(cfg.queries);
+    for q in 0..cfg.queries {
+        if r.random::<f64>() < cfg.homolog_fraction && !db.is_empty() {
+            let src = r.random_range(0..db.len());
+            let max_start = db[src].seq.len().saturating_sub(cfg.query_len);
+            let start = if max_start == 0 { 0 } else { r.random_range(0..max_start) };
+            let end = (start + cfg.query_len).min(db[src].seq.len());
+            let fragment = &db[src].seq[start..end];
+            let mutated = mutate_dna(&mut r, fragment, cfg.sub_rate, cfg.indel_rate);
+            queries.push(SeqRecord::new(format!("q{q}"), mutated));
+            planted.push(Some(db[src].id.clone()));
+        } else {
+            queries.push(SeqRecord::new(
+                format!("q{q}"),
+                random_dna(&mut r, cfg.query_len, cfg.gc),
+            ));
+            planted.push(None);
+        }
+    }
+    Workload { db, queries, planted }
+}
+
+/// Generate a protein search workload with planted homologies (mutations
+/// are substitutions to random residues; protein BLAST finds remote homologs
+/// through the substitution matrix, no indels needed for coverage).
+pub fn protein_workload(seed: u64, cfg: &WorkloadConfig) -> Workload {
+    let mut r = rng(seed);
+    let db: Vec<SeqRecord> = (0..cfg.db_seqs)
+        .map(|i| SeqRecord::new(format!("pdb{i}"), random_protein(&mut r, cfg.db_seq_len)))
+        .collect();
+    let mut queries = Vec::with_capacity(cfg.queries);
+    let mut planted = Vec::with_capacity(cfg.queries);
+    for q in 0..cfg.queries {
+        if r.random::<f64>() < cfg.homolog_fraction && !db.is_empty() {
+            let src = r.random_range(0..db.len());
+            let max_start = db[src].seq.len().saturating_sub(cfg.query_len);
+            let start = if max_start == 0 { 0 } else { r.random_range(0..max_start) };
+            let end = (start + cfg.query_len).min(db[src].seq.len());
+            let mut seq = db[src].seq[start..end].to_vec();
+            for c in seq.iter_mut() {
+                if r.random::<f64>() < cfg.sub_rate {
+                    *c = random_protein(&mut r, 1)[0];
+                }
+            }
+            queries.push(SeqRecord::new(format!("pq{q}"), seq));
+            planted.push(Some(db[src].id.clone()));
+        } else {
+            queries.push(SeqRecord::new(
+                format!("pq{q}"),
+                random_protein(&mut r, cfg.query_len),
+            ));
+            planted.push(None);
+        }
+    }
+    Workload { db, queries, planted }
+}
+
+/// Uniform random vectors in `[0, 1)^dims` — the paper's SOM benchmark input
+/// ("81,920 random vectors of 256 dimensions", "10,000 random feature
+/// vectors with 500 dimensions").
+pub fn random_vectors(seed: u64, n: usize, dims: usize) -> Vec<Vec<f64>> {
+    let mut r = rng(seed);
+    (0..n).map(|_| (0..dims).map(|_| r.random::<f64>()).collect()).collect()
+}
+
+/// Random RGB vectors (3 dimensions) for the classic SOM color-clustering
+/// visual test (Fig. 7).
+pub fn rgb_vectors(seed: u64, n: usize) -> Vec<Vec<f64>> {
+    random_vectors(seed, n, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_dna_has_requested_gc() {
+        let mut r = rng(1);
+        let s = random_dna(&mut r, 100_000, 0.7);
+        let gc = s.iter().filter(|&&c| c == b'G' || c == b'C').count() as f64 / s.len() as f64;
+        assert!((gc - 0.7).abs() < 0.02, "gc was {gc}");
+    }
+
+    #[test]
+    fn random_protein_composition_is_plausible() {
+        let mut r = rng(2);
+        let s = random_protein(&mut r, 100_000);
+        let leu = s.iter().filter(|&&c| c == b'L').count() as f64 / s.len() as f64;
+        let trp = s.iter().filter(|&&c| c == b'W').count() as f64 / s.len() as f64;
+        assert!(leu > 0.07 && leu < 0.11, "L fraction {leu}");
+        assert!(trp > 0.005 && trp < 0.025, "W fraction {trp}");
+    }
+
+    #[test]
+    fn mutation_rate_is_respected() {
+        let mut r = rng(3);
+        let orig = random_dna(&mut r, 50_000, 0.5);
+        let m = mutate_dna(&mut r, &orig, 0.1, 0.0);
+        assert_eq!(m.len(), orig.len());
+        let diffs = orig.iter().zip(&m).filter(|(a, b)| a != b).count();
+        let rate = diffs as f64 / orig.len() as f64;
+        assert!((rate - 0.1).abs() < 0.01, "sub rate {rate}");
+    }
+
+    #[test]
+    fn indels_change_length_but_not_wildly() {
+        let mut r = rng(4);
+        let orig = random_dna(&mut r, 10_000, 0.5);
+        let m = mutate_dna(&mut r, &orig, 0.0, 0.01);
+        let delta = (m.len() as i64 - orig.len() as i64).unsigned_abs() as usize;
+        assert!(delta < 200, "length delta {delta}");
+        assert_ne!(m, orig);
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let cfg = WorkloadConfig { db_seqs: 5, queries: 10, ..WorkloadConfig::default() };
+        let a = dna_workload(42, &cfg);
+        let b = dna_workload(42, &cfg);
+        assert_eq!(a.db, b.db);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.planted, b.planted);
+        let c = dna_workload(43, &cfg);
+        assert_ne!(a.db, c.db);
+    }
+
+    #[test]
+    fn workload_has_planted_and_decoy_queries() {
+        let cfg = WorkloadConfig { queries: 200, homolog_fraction: 0.5, ..Default::default() };
+        let w = dna_workload(7, &cfg);
+        let planted = w.planted.iter().filter(|p| p.is_some()).count();
+        assert!(planted > 60 && planted < 140, "planted {planted}");
+        assert_eq!(w.queries.len(), 200);
+    }
+
+    #[test]
+    fn protein_workload_shapes() {
+        let cfg = WorkloadConfig {
+            db_seqs: 4,
+            db_seq_len: 300,
+            queries: 8,
+            query_len: 100,
+            ..Default::default()
+        };
+        let w = protein_workload(9, &cfg);
+        assert_eq!(w.db.len(), 4);
+        assert_eq!(w.queries.len(), 8);
+        assert!(w.queries.iter().all(|q| q.len() == 100));
+    }
+
+    #[test]
+    fn vectors_in_unit_cube() {
+        let vs = random_vectors(5, 100, 16);
+        assert_eq!(vs.len(), 100);
+        for v in &vs {
+            assert_eq!(v.len(), 16);
+            assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+    }
+}

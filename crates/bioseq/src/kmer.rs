@@ -1,0 +1,122 @@
+//! K-mer composition vectors.
+//!
+//! The paper's SOM application clusters metagenomic sequences "in a
+//! multi-dimensional sequence composition space"; its concluding section
+//! names the tetranucleotide composition space explicitly. A k-mer frequency
+//! vector of a DNA sequence has 4^k dimensions — 256 for k = 4, which is
+//! exactly the dimensionality of the paper's SOM scaling benchmark (Fig. 6).
+
+use crate::alphabet::dna_code;
+
+/// Number of dimensions of a k-mer composition vector.
+pub fn kmer_dims(k: usize) -> usize {
+    4usize.pow(k as u32)
+}
+
+/// Count k-mer occurrences over the sequence (both cases accepted);
+/// windows containing ambiguous residues are skipped.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > 16`.
+pub fn kmer_counts(seq: &[u8], k: usize) -> Vec<u32> {
+    assert!(k >= 1 && k <= 16, "k must be in 1..=16");
+    let dims = kmer_dims(k);
+    let mut counts = vec![0u32; dims];
+    if seq.len() < k {
+        return counts;
+    }
+    let mask = dims - 1;
+    let mut word = 0usize;
+    let mut valid = 0usize; // residues accumulated since last ambiguity
+    for &c in seq {
+        match dna_code(c) {
+            Some(code) => {
+                word = ((word << 2) | code as usize) & mask;
+                valid += 1;
+                if valid >= k {
+                    counts[word] += 1;
+                }
+            }
+            None => valid = 0,
+        }
+    }
+    counts
+}
+
+/// Normalized k-mer frequency vector (counts divided by total windows).
+/// Returns all zeros when no valid window exists.
+pub fn kmer_frequencies(seq: &[u8], k: usize) -> Vec<f64> {
+    let counts = kmer_counts(seq, k);
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+/// Tetranucleotide (k = 4, 256-dim) frequency vector — the paper's SOM input
+/// space.
+pub fn tetra_frequencies(seq: &[u8]) -> Vec<f64> {
+    kmer_frequencies(seq, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims() {
+        assert_eq!(kmer_dims(1), 4);
+        assert_eq!(kmer_dims(4), 256);
+    }
+
+    #[test]
+    fn mononucleotide_counts() {
+        let c = kmer_counts(b"AACGT", 1);
+        assert_eq!(c, vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn dinucleotide_counts_with_rolling_window() {
+        // AA, AC, CG, GT
+        let c = kmer_counts(b"AACGT", 2);
+        let idx = |a: u8, b: u8| {
+            (dna_code(a).unwrap() as usize) << 2 | dna_code(b).unwrap() as usize
+        };
+        assert_eq!(c[idx(b'A', b'A')], 1);
+        assert_eq!(c[idx(b'A', b'C')], 1);
+        assert_eq!(c[idx(b'C', b'G')], 1);
+        assert_eq!(c[idx(b'G', b'T')], 1);
+        assert_eq!(c.iter().sum::<u32>(), 4);
+    }
+
+    #[test]
+    fn ambiguity_breaks_windows() {
+        // Windows containing N are skipped: only "AC" (before) and "GT" (after).
+        let c = kmer_counts(b"ACNGT", 2);
+        assert_eq!(c.iter().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn short_sequence_yields_zero_vector() {
+        assert_eq!(kmer_counts(b"AC", 4).iter().sum::<u32>(), 0);
+        assert!(kmer_frequencies(b"AC", 4).iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let f = tetra_frequencies(b"ACGTACGTTGCAACGTGGCCTTAA");
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(f.len(), 256);
+    }
+
+    #[test]
+    fn composition_distinguishes_sequences() {
+        // Poly-A vs poly-G must have disjoint support.
+        let a = tetra_frequencies(&vec![b'A'; 100]);
+        let g = tetra_frequencies(&vec![b'G'; 100]);
+        let dot: f64 = a.iter().zip(&g).map(|(x, y)| x * y).sum();
+        assert_eq!(dot, 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Sequence records.
+
+use crate::alphabet::{dna_code, dna_complement_code};
+
+/// One named sequence (FASTA record): identifier, optional description, and
+/// raw ASCII residues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqRecord {
+    /// Identifier (first whitespace-delimited token of the FASTA header).
+    pub id: String,
+    /// Remainder of the header line (may be empty).
+    pub desc: String,
+    /// Residues as ASCII bytes (case preserved from input).
+    pub seq: Vec<u8>,
+}
+
+impl SeqRecord {
+    /// Construct a record with no description.
+    pub fn new(id: impl Into<String>, seq: impl Into<Vec<u8>>) -> Self {
+        SeqRecord { id: id.into(), desc: String::new(), seq: seq.into() }
+    }
+
+    /// Length in residues.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True when the record holds no residues.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Reverse complement of a DNA record. Ambiguous residues are preserved
+    /// as `N`.
+    pub fn reverse_complement(&self) -> SeqRecord {
+        let seq = self
+            .seq
+            .iter()
+            .rev()
+            .map(|&c| match dna_code(c) {
+                Some(code) => b"ACGT"[dna_complement_code(code) as usize],
+                None => b'N',
+            })
+            .collect();
+        SeqRecord { id: self.id.clone(), desc: self.desc.clone(), seq }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_len() {
+        let r = SeqRecord::new("read1", b"ACGT".to_vec());
+        assert_eq!(r.id, "read1");
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert!(SeqRecord::new("e", Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn reverse_complement_basics() {
+        let r = SeqRecord::new("x", b"AACGT".to_vec());
+        assert_eq!(r.reverse_complement().seq, b"ACGTT");
+    }
+
+    #[test]
+    fn reverse_complement_is_involution() {
+        let r = SeqRecord::new("x", b"ATCGGCTAAT".to_vec());
+        assert_eq!(r.reverse_complement().reverse_complement().seq, r.seq);
+    }
+
+    #[test]
+    fn ambiguity_becomes_n() {
+        let r = SeqRecord::new("x", b"ANT".to_vec());
+        assert_eq!(r.reverse_complement().seq, b"ANT");
+    }
+}

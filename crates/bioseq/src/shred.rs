@@ -1,0 +1,158 @@
+//! Read shredding — the paper's metagenomic read simulator.
+//!
+//! "We have built the query dataset from those RefSeq sequences … and
+//! shredded them into 400 bp fragments overlapping by 200 bp. This procedure
+//! simulated sequencing reads per our primary BLAST use case of the
+//! metagenomic taxonomic classification." (§IV.A)
+
+use crate::seq::SeqRecord;
+
+/// Shredding parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ShredConfig {
+    /// Fragment length in residues (paper: 400).
+    pub fragment_len: usize,
+    /// Overlap between consecutive fragments in residues (paper: 200).
+    pub overlap: usize,
+    /// Drop a trailing fragment shorter than this many residues.
+    pub min_len: usize,
+}
+
+impl Default for ShredConfig {
+    fn default() -> Self {
+        // The paper's 400 bp / 200 bp overlap setup.
+        ShredConfig { fragment_len: 400, overlap: 200, min_len: 100 }
+    }
+}
+
+impl ShredConfig {
+    /// Distance between consecutive fragment starts.
+    ///
+    /// # Panics
+    /// Panics if `overlap >= fragment_len`.
+    pub fn step(&self) -> usize {
+        assert!(self.overlap < self.fragment_len, "overlap must be smaller than fragment length");
+        self.fragment_len - self.overlap
+    }
+}
+
+/// Shred one record into overlapping fragments named
+/// `<id>/<start>-<end>` (0-based, end exclusive).
+pub fn shred_record(rec: &SeqRecord, config: &ShredConfig) -> Vec<SeqRecord> {
+    let step = config.step();
+    let mut out = Vec::new();
+    if rec.seq.is_empty() {
+        return out;
+    }
+    let mut start = 0usize;
+    loop {
+        let end = (start + config.fragment_len).min(rec.seq.len());
+        if end - start >= config.min_len || start == 0 {
+            out.push(SeqRecord {
+                id: format!("{}/{}-{}", rec.id, start, end),
+                desc: String::new(),
+                seq: rec.seq[start..end].to_vec(),
+            });
+        }
+        if end == rec.seq.len() {
+            break;
+        }
+        start += step;
+    }
+    out
+}
+
+/// Shred many records, concatenating the fragments in input order.
+pub fn shred_records(records: &[SeqRecord], config: &ShredConfig) -> Vec<SeqRecord> {
+    records.iter().flat_map(|r| shred_record(r, config)).collect()
+}
+
+/// Split a flat list of query records into blocks of `block_size` records —
+/// the "query blocks" that combine with DB partitions into work units. The
+/// last block may be short.
+pub fn query_blocks(records: Vec<SeqRecord>, block_size: usize) -> Vec<Vec<SeqRecord>> {
+    assert!(block_size > 0, "block size must be positive");
+    let mut blocks = Vec::with_capacity(records.len().div_ceil(block_size));
+    let mut it = records.into_iter();
+    loop {
+        let block: Vec<SeqRecord> = it.by_ref().take(block_size).collect();
+        if block.is_empty() {
+            break;
+        }
+        blocks.push(block);
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(len: usize) -> SeqRecord {
+        SeqRecord::new("chr1", (0..len).map(|i| b"ACGT"[i % 4]).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn paper_parameters_produce_expected_tiling() {
+        let r = rec(1000);
+        let frags = shred_record(&r, &ShredConfig::default());
+        // starts 0,200,400,600 → ends 400,600,800,1000; tiling stops once a
+        // fragment reaches the end of the source.
+        assert_eq!(frags.len(), 4);
+        assert_eq!(frags[0].id, "chr1/0-400");
+        assert_eq!(frags[0].len(), 400);
+        assert_eq!(frags[3].id, "chr1/600-1000");
+        assert_eq!(frags[3].len(), 400);
+    }
+
+    #[test]
+    fn fragments_reconstruct_source() {
+        let r = rec(950);
+        let frags = shred_record(&r, &ShredConfig::default());
+        for f in &frags {
+            let (_, range) = f.id.split_once('/').unwrap();
+            let (s, e) = range.split_once('-').unwrap();
+            let (s, e): (usize, usize) = (s.parse().unwrap(), e.parse().unwrap());
+            assert_eq!(f.seq, r.seq[s..e]);
+        }
+    }
+
+    #[test]
+    fn short_source_yields_single_fragment() {
+        let r = rec(50);
+        let frags = shred_record(&r, &ShredConfig::default());
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].len(), 50);
+    }
+
+    #[test]
+    fn tiny_trailing_fragment_dropped() {
+        // len 430, step 200: starts 0,200,400 → last fragment 30 < min 100.
+        let r = rec(430);
+        let frags = shred_record(&r, &ShredConfig::default());
+        assert_eq!(frags.len(), 2);
+    }
+
+    #[test]
+    fn empty_record_yields_nothing() {
+        assert!(shred_record(&SeqRecord::new("e", Vec::new()), &ShredConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn query_blocks_partition_exactly() {
+        let frags: Vec<SeqRecord> =
+            (0..23).map(|i| SeqRecord::new(format!("q{i}"), b"AC".to_vec())).collect();
+        let blocks = query_blocks(frags, 10);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].len(), 10);
+        assert_eq!(blocks[2].len(), 3);
+        assert_eq!(blocks[2][2].id, "q22");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlap_must_be_less_than_fragment() {
+        let cfg = ShredConfig { fragment_len: 100, overlap: 100, min_len: 1 };
+        let _ = shred_record(&rec(300), &cfg);
+    }
+}

@@ -1,0 +1,207 @@
+//! Codon translation (the standard genetic code) and six-frame translation
+//! — the substrate for translated searches (`blastx`), the BLAST-family
+//! mode the paper's metagenomic use case ("predicted on such reads protein
+//! fragments", §I) relies on upstream.
+
+use crate::alphabet::dna_code;
+use crate::seq::SeqRecord;
+
+/// The standard genetic code, indexed by `16·b1 + 4·b2 + b3` over the 2-bit
+/// base codes (A=0, C=1, G=2, T=3). Stops are `*`.
+#[rustfmt::skip]
+const CODE: [u8; 64] = [
+    // AA- AC- AG- AT-
+    b'K', b'N', b'K', b'N',  // AAA AAC AAG AAT
+    b'T', b'T', b'T', b'T',  // ACA ACC ACG ACT
+    b'R', b'S', b'R', b'S',  // AGA AGC AGG AGT
+    b'I', b'I', b'M', b'I',  // ATA ATC ATG ATT
+    b'Q', b'H', b'Q', b'H',  // CAA CAC CAG CAT
+    b'P', b'P', b'P', b'P',  // CCA CCC CCG CCT
+    b'R', b'R', b'R', b'R',  // CGA CGC CGG CGT
+    b'L', b'L', b'L', b'L',  // CTA CTC CTG CTT
+    b'E', b'D', b'E', b'D',  // GAA GAC GAG GAT
+    b'A', b'A', b'A', b'A',  // GCA GCC GCG GCT
+    b'G', b'G', b'G', b'G',  // GGA GGC GGG GGT
+    b'V', b'V', b'V', b'V',  // GTA GTC GTG GTT
+    b'*', b'Y', b'*', b'Y',  // TAA TAC TAG TAT
+    b'S', b'S', b'S', b'S',  // TCA TCC TCG TCT
+    b'*', b'C', b'W', b'C',  // TGA TGC TGG TGT
+    b'L', b'F', b'L', b'F',  // TTA TTC TTG TTT
+];
+
+/// Translate one codon of ASCII bases; `X` for codons containing ambiguous
+/// bases.
+#[inline]
+pub fn translate_codon(c1: u8, c2: u8, c3: u8) -> u8 {
+    match (dna_code(c1), dna_code(c2), dna_code(c3)) {
+        (Some(a), Some(b), Some(c)) => {
+            CODE[(a as usize) * 16 + (b as usize) * 4 + c as usize]
+        }
+        _ => b'X',
+    }
+}
+
+/// Translate a DNA sequence starting at `offset` (0, 1 or 2), reading
+/// non-overlapping codons to the end; trailing partial codons are dropped.
+/// Returns an ASCII protein sequence (with `*` at stops).
+pub fn translate_frame(seq: &[u8], offset: usize) -> Vec<u8> {
+    assert!(offset < 3, "frame offset must be 0, 1 or 2");
+    if seq.len() < offset {
+        return Vec::new();
+    }
+    seq[offset..]
+        .chunks_exact(3)
+        .map(|c| translate_codon(c[0], c[1], c[2]))
+        .collect()
+}
+
+/// One of the six reading frames of a translated query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Offset within the strand (0, 1, 2).
+    pub offset: u8,
+    /// True when the frame reads the reverse complement.
+    pub reverse: bool,
+}
+
+impl Frame {
+    /// All six frames in BLAST's conventional order (+1 +2 +3 −1 −2 −3).
+    pub fn all() -> [Frame; 6] {
+        [
+            Frame { offset: 0, reverse: false },
+            Frame { offset: 1, reverse: false },
+            Frame { offset: 2, reverse: false },
+            Frame { offset: 0, reverse: true },
+            Frame { offset: 1, reverse: true },
+            Frame { offset: 2, reverse: true },
+        ]
+    }
+
+    /// BLAST-style frame label: +1..+3 / −1..−3.
+    pub fn label(&self) -> i8 {
+        let f = self.offset as i8 + 1;
+        if self.reverse {
+            -f
+        } else {
+            f
+        }
+    }
+
+    /// Map a protein-coordinate range `[aa_start, aa_end)` in this frame
+    /// back to nucleotide coordinates on the *forward* strand of a query of
+    /// `nt_len` bases. Returns `(nt_start, nt_end)` with `start < end`.
+    pub fn to_nucleotide(&self, aa_start: usize, aa_end: usize, nt_len: usize) -> (usize, usize) {
+        let s = self.offset as usize + 3 * aa_start;
+        let e = self.offset as usize + 3 * aa_end;
+        if self.reverse {
+            // Positions counted on the reverse complement map back mirrored.
+            (nt_len - e, nt_len - s)
+        } else {
+            (s, e)
+        }
+    }
+}
+
+/// Six-frame translation of a record: `(frame, protein ASCII)` for each
+/// frame long enough to hold at least one codon.
+pub fn six_frame(rec: &SeqRecord) -> Vec<(Frame, Vec<u8>)> {
+    let rc = rec.reverse_complement();
+    Frame::all()
+        .into_iter()
+        .filter_map(|frame| {
+            let strand = if frame.reverse { &rc.seq } else { &rec.seq };
+            if strand.len() < frame.offset as usize + 3 {
+                return None;
+            }
+            Some((frame, translate_frame(strand, frame.offset as usize)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_codons() {
+        assert_eq!(translate_codon(b'A', b'T', b'G'), b'M'); // start
+        assert_eq!(translate_codon(b'T', b'A', b'A'), b'*');
+        assert_eq!(translate_codon(b'T', b'A', b'G'), b'*');
+        assert_eq!(translate_codon(b'T', b'G', b'A'), b'*');
+        assert_eq!(translate_codon(b'T', b'G', b'G'), b'W');
+        assert_eq!(translate_codon(b'G', b'C', b'T'), b'A');
+        assert_eq!(translate_codon(b'A', b'A', b'A'), b'K');
+        assert_eq!(translate_codon(b'T', b'T', b'T'), b'F');
+        assert_eq!(translate_codon(b'C', b'G', b'C'), b'R');
+        assert_eq!(translate_codon(b'G', b'G', b'G'), b'G');
+    }
+
+    #[test]
+    fn ambiguity_translates_to_x() {
+        assert_eq!(translate_codon(b'A', b'N', b'G'), b'X');
+    }
+
+    #[test]
+    fn frame_translation_drops_partial_codons() {
+        // ATG GCT AA → frame 0: MA (trailing AA dropped)
+        assert_eq!(translate_frame(b"ATGGCTAA", 0), b"MA".to_vec());
+        // frame 1: TGG CTA A → WL
+        assert_eq!(translate_frame(b"ATGGCTAA", 1), b"WL".to_vec());
+        // frame 2: GGC TAA → G*
+        assert_eq!(translate_frame(b"ATGGCTAA", 2), b"G*".to_vec());
+    }
+
+    #[test]
+    fn six_frames_have_correct_labels() {
+        let rec = SeqRecord::new("x", b"ATGGCTAAATTT".to_vec());
+        let frames = six_frame(&rec);
+        assert_eq!(frames.len(), 6);
+        let labels: Vec<i8> = frames.iter().map(|(f, _)| f.label()).collect();
+        assert_eq!(labels, vec![1, 2, 3, -1, -2, -3]);
+    }
+
+    #[test]
+    fn reverse_frame_translates_reverse_complement() {
+        // Forward: ATG AAA (MK). Reverse complement: TTT CAT → FH in frame -1.
+        let rec = SeqRecord::new("x", b"ATGAAA".to_vec());
+        let frames = six_frame(&rec);
+        let minus1 = frames.iter().find(|(f, _)| f.label() == -1).unwrap();
+        assert_eq!(minus1.1, b"FH".to_vec());
+    }
+
+    #[test]
+    fn coordinate_mapping_roundtrip_forward() {
+        let f = Frame { offset: 1, reverse: false };
+        // aa [2, 5) in frame +2 of a 20 nt query: nt [1+6, 1+15) = [7, 16).
+        assert_eq!(f.to_nucleotide(2, 5, 20), (7, 16));
+    }
+
+    #[test]
+    fn coordinate_mapping_roundtrip_reverse() {
+        let f = Frame { offset: 0, reverse: true };
+        // aa [0, 2) on the RC of a 12 nt query occupies RC nt [0, 6), which
+        // is forward nt [6, 12).
+        assert_eq!(f.to_nucleotide(0, 2, 12), (6, 12));
+    }
+
+    #[test]
+    fn translated_fragment_is_findable_in_protein() {
+        // A coding sequence translated in frame 0 reproduces the protein.
+        let protein = b"MKVLAWGHIRE";
+        // Reverse-translate with arbitrary codon choices.
+        let codons: Vec<&[u8]> = vec![
+            b"ATG", b"AAA", b"GTT", b"CTG", b"GCT", b"TGG", b"GGT", b"CAT", b"ATT", b"CGT",
+            b"GAA",
+        ];
+        let dna: Vec<u8> = codons.concat();
+        assert_eq!(translate_frame(&dna, 0), protein.to_vec());
+    }
+
+    #[test]
+    fn short_sequences_skip_impossible_frames() {
+        let rec = SeqRecord::new("s", b"ATGC".to_vec());
+        let frames = six_frame(&rec);
+        // Offsets 0 and 1 hold a codon (4-0 ≥ 3, 4-1 ≥ 3); offset 2 does not.
+        assert_eq!(frames.len(), 4);
+    }
+}

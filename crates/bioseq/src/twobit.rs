@@ -1,0 +1,129 @@
+//! 2-bit packed nucleotide encoding.
+//!
+//! BLAST database volumes store nucleotides at four bases per byte — the
+//! paper notes `formatdb` "creates the DB partitions in a two-bit encoded
+//! format that is optimized for scanning". Ambiguous bases are recorded in a
+//! side list of `(position, original letter)` so decoding is lossless while
+//! the packed stream stays scannable (ambiguous positions pack as `A` and are
+//! masked out of seeding by the engine via the side list).
+
+use crate::alphabet::dna_code;
+
+/// A losslessly packed DNA sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoBitSeq {
+    /// Packed residues, 4 per byte, first residue in the low 2 bits.
+    pub packed: Vec<u8>,
+    /// Residue count (the packed vector may have padding in its last byte).
+    pub len: usize,
+    /// Ambiguous positions and their original ASCII letters.
+    pub ambiguities: Vec<(u32, u8)>,
+}
+
+impl TwoBitSeq {
+    /// Pack an ASCII DNA sequence.
+    pub fn encode(seq: &[u8]) -> Self {
+        let mut packed = vec![0u8; seq.len().div_ceil(4)];
+        let mut ambiguities = Vec::new();
+        for (i, &c) in seq.iter().enumerate() {
+            let code = match dna_code(c) {
+                Some(code) => code,
+                None => {
+                    ambiguities.push((i as u32, c.to_ascii_uppercase()));
+                    0
+                }
+            };
+            packed[i / 4] |= code << ((i % 4) * 2);
+        }
+        TwoBitSeq { packed, len: seq.len(), ambiguities }
+    }
+
+    /// Residue code (0..4) at position `i`. Ambiguous positions return the
+    /// packed placeholder code (0); use [`TwoBitSeq::is_ambiguous`] to mask.
+    ///
+    /// # Panics
+    /// Panics (in debug) if `i >= len`.
+    #[inline]
+    pub fn code_at(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        (self.packed[i / 4] >> ((i % 4) * 2)) & 3
+    }
+
+    /// True when position `i` held a non-ACGT letter in the original input.
+    pub fn is_ambiguous(&self, i: usize) -> bool {
+        self.ambiguities.binary_search_by_key(&(i as u32), |&(p, _)| p).is_ok()
+    }
+
+    /// Unpack to codes (0..4) without ambiguity restoration.
+    pub fn to_codes(&self) -> Vec<u8> {
+        (0..self.len).map(|i| self.code_at(i)).collect()
+    }
+
+    /// Unpack to the original ASCII sequence (uppercased).
+    pub fn decode(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = (0..self.len).map(|i| b"ACGT"[self.code_at(i) as usize]).collect();
+        for &(pos, letter) in &self.ambiguities {
+            out[pos as usize] = letter;
+        }
+        out
+    }
+
+    /// Bytes used by the packed representation (for partition sizing).
+    pub fn packed_size(&self) -> usize {
+        self.packed.len() + self.ambiguities.len() * 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_clean() {
+        let s = b"ACGTACGTGGTTAACC";
+        let t = TwoBitSeq::encode(s);
+        assert_eq!(t.decode(), s.to_vec());
+        assert!(t.ambiguities.is_empty());
+    }
+
+    #[test]
+    fn lowercase_uppercased_on_decode() {
+        let t = TwoBitSeq::encode(b"acgt");
+        assert_eq!(t.decode(), b"ACGT".to_vec());
+    }
+
+    #[test]
+    fn ambiguities_roundtrip() {
+        let s = b"ACNGT-RA";
+        let t = TwoBitSeq::encode(s);
+        assert_eq!(t.decode(), b"ACNGT-RA".to_vec());
+        assert!(t.is_ambiguous(2));
+        assert!(t.is_ambiguous(5));
+        assert!(t.is_ambiguous(6));
+        assert!(!t.is_ambiguous(0));
+    }
+
+    #[test]
+    fn code_at_matches_unpacked() {
+        let s = b"TGCATGCA";
+        let t = TwoBitSeq::encode(s);
+        assert_eq!(t.to_codes(), vec![3, 2, 1, 0, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn non_multiple_of_four_lengths() {
+        for n in 0..9 {
+            let s: Vec<u8> = (0..n).map(|i| b"ACGT"[i % 4]).collect();
+            let t = TwoBitSeq::encode(&s);
+            assert_eq!(t.len, n);
+            assert_eq!(t.decode(), s);
+            assert_eq!(t.packed.len(), n.div_ceil(4));
+        }
+    }
+
+    #[test]
+    fn packing_is_four_to_one() {
+        let t = TwoBitSeq::encode(&vec![b'A'; 4000]);
+        assert_eq!(t.packed.len(), 1000);
+    }
+}

@@ -1,0 +1,166 @@
+//! Low-complexity masking: a DUST-style filter for DNA and a SEG-like
+//! entropy filter for proteins.
+//!
+//! "Additionally, the low-complexity filtering is usually requested"
+//! (§III.A) — production BLAST masks query regions like poly-A runs and
+//! tandem repeats, which otherwise seed enormous numbers of meaningless hits
+//! (and, in the paper's complexity argument, blow up the top-K pass-through
+//! overhead). Masked positions are excluded from seeding but still available
+//! to extensions, which is NCBI's "soft masking" behaviour.
+
+/// DUST-like score of a DNA window given triplet counts: Σ cₜ(cₜ−1)/2
+/// normalized by (#triplets − 1). Uniform sequence → score ≫ threshold.
+fn dust_window_score(counts: &[u32; 64], triplets: usize) -> f64 {
+    if triplets <= 1 {
+        return 0.0;
+    }
+    let sum: u64 = counts.iter().map(|&c| u64::from(c) * u64::from(c.saturating_sub(1)) / 2).sum();
+    sum as f64 / (triplets - 1) as f64
+}
+
+/// Mask low-complexity DNA regions. Input is residue *codes* (0..4);
+/// returns a mask vector where `true` marks a low-complexity position.
+///
+/// Windows of `window` codes are scored on triplet composition and masked
+/// when the DUST score exceeds `threshold` (2.0 corresponds to NCBI's
+/// default level 20).
+pub fn dust_mask(codes: &[u8], window: usize, threshold: f64) -> Vec<bool> {
+    let mut mask = vec![false; codes.len()];
+    if codes.len() < 3 {
+        return mask;
+    }
+    let window = window.max(8);
+    let step = window / 2;
+    let mut start = 0;
+    loop {
+        let end = (start + window).min(codes.len());
+        let triplets = end.saturating_sub(start).saturating_sub(2);
+        if triplets > 0 {
+            let mut counts = [0u32; 64];
+            for i in start..end - 2 {
+                let t = ((codes[i] as usize) << 4)
+                    | ((codes[i + 1] as usize) << 2)
+                    | codes[i + 2] as usize;
+                counts[t] += 1;
+            }
+            if dust_window_score(&counts, triplets) > threshold {
+                for m in &mut mask[start..end] {
+                    *m = true;
+                }
+            }
+        }
+        if end == codes.len() {
+            break;
+        }
+        start += step;
+    }
+    mask
+}
+
+/// Mask low-complexity protein regions by windowed Shannon entropy (a
+/// simplified SEG). Input is residue codes (0..24); positions inside any
+/// window whose composition entropy falls below `min_entropy_bits` are
+/// masked.
+pub fn seg_mask(codes: &[u8], window: usize, min_entropy_bits: f64) -> Vec<bool> {
+    let mut mask = vec![false; codes.len()];
+    if codes.len() < window || window == 0 {
+        return mask;
+    }
+    for start in 0..=codes.len() - window {
+        let mut counts = [0u32; 24];
+        for &c in &codes[start..start + window] {
+            counts[(c as usize).min(23)] += 1;
+        }
+        let mut entropy = 0.0;
+        for &c in &counts {
+            if c > 0 {
+                let p = f64::from(c) / window as f64;
+                entropy -= p * p.log2();
+            }
+        }
+        if entropy < min_entropy_bits {
+            for m in &mut mask[start..start + window] {
+                *m = true;
+            }
+        }
+    }
+    mask
+}
+
+/// Default DNA masking as used by the search driver.
+pub fn default_dust(codes: &[u8]) -> Vec<bool> {
+    dust_mask(codes, 64, 2.0)
+}
+
+/// Default protein masking as used by the search driver.
+pub fn default_seg(codes: &[u8]) -> Vec<bool> {
+    seg_mask(codes, 12, 2.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::alphabet::Alphabet;
+
+    fn dna_codes(s: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode_seq(s)
+    }
+
+    fn prot_codes(s: &[u8]) -> Vec<u8> {
+        Alphabet::Protein.encode_seq(s)
+    }
+
+    #[test]
+    fn poly_a_is_masked() {
+        let mask = default_dust(&dna_codes(&vec![b'A'; 200]));
+        assert!(mask.iter().all(|&m| m), "homopolymer must mask fully");
+    }
+
+    #[test]
+    fn random_dna_is_not_masked() {
+        let mut r = bioseq::gen::rng(11);
+        let seq = bioseq::gen::random_dna(&mut r, 500, 0.5);
+        let mask = default_dust(&dna_codes(&seq));
+        let frac = mask.iter().filter(|&&m| m).count() as f64 / mask.len() as f64;
+        assert!(frac < 0.1, "random sequence should be mostly unmasked ({frac})");
+    }
+
+    #[test]
+    fn dinucleotide_repeat_is_masked() {
+        let seq: Vec<u8> = std::iter::repeat(*b"AT").take(100).flatten().collect();
+        let mask = default_dust(&dna_codes(&seq));
+        let frac = mask.iter().filter(|&&m| m).count() as f64 / mask.len() as f64;
+        assert!(frac > 0.9, "AT repeat should mask ({frac})");
+    }
+
+    #[test]
+    fn masked_region_is_local() {
+        // Random flank + poly-A core + random flank: core masked, flanks mostly not.
+        let mut r = bioseq::gen::rng(12);
+        let mut seq = bioseq::gen::random_dna(&mut r, 200, 0.5);
+        seq.extend(std::iter::repeat(b'A').take(150));
+        seq.extend(bioseq::gen::random_dna(&mut r, 200, 0.5));
+        let mask = default_dust(&dna_codes(&seq));
+        let core_masked = mask[232..318].iter().filter(|&&m| m).count();
+        assert!(core_masked > 60, "core should be masked: {core_masked}/86");
+        let flank_masked = mask[..150].iter().filter(|&&m| m).count();
+        assert!(flank_masked < 80, "leading flank mostly unmasked: {flank_masked}");
+    }
+
+    #[test]
+    fn short_input_unmasked() {
+        assert_eq!(default_dust(&dna_codes(b"AC")), vec![false, false]);
+        assert!(default_seg(&prot_codes(b"MKV")).iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn poly_q_protein_masked_random_not() {
+        let mask = default_seg(&prot_codes(&vec![b'Q'; 50]));
+        assert!(mask.iter().all(|&m| m));
+        let mut r = bioseq::gen::rng(13);
+        let seq = bioseq::gen::random_protein(&mut r, 300);
+        let mask = default_seg(&prot_codes(&seq));
+        let frac = mask.iter().filter(|&&m| m).count() as f64 / mask.len() as f64;
+        assert!(frac < 0.15, "random protein mostly unmasked ({frac})");
+    }
+}

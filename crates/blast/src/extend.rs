@@ -1,0 +1,297 @@
+//! Ungapped X-drop extension and two-hit seeding — BLAST stage two.
+//!
+//! "The second stage extends each matching word as an ungapped alignment on
+//! the condition that there is another word match nearby" (§II.B). A seed
+//! (word match) is extended left and right along its diagonal, keeping the
+//! best running score; extension stops once the running score drops more
+//! than X below the best. The two-hit heuristic (protein mode) only extends
+//! a seed if a second non-overlapping seed was seen on the same diagonal
+//! within a window of A residues.
+
+use std::collections::HashMap;
+
+use crate::matrix::Scoring;
+
+/// An ungapped high-scoring segment on one diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UngappedHsp {
+    /// Query start (0-based, inclusive).
+    pub q_start: usize,
+    /// Query end (exclusive).
+    pub q_end: usize,
+    /// Subject start (inclusive).
+    pub s_start: usize,
+    /// Subject end (exclusive).
+    pub s_end: usize,
+    /// Segment score.
+    pub score: i32,
+}
+
+impl UngappedHsp {
+    /// Diagonal of the segment (subject − query offset).
+    pub fn diagonal(&self) -> i64 {
+        self.s_start as i64 - self.q_start as i64
+    }
+}
+
+/// Extend a word match at `(qpos, spos)` of length `word` into the maximal
+/// ungapped segment under an X-drop of `xdrop` (raw score units).
+///
+/// # Panics
+/// Panics (debug) on out-of-range seeds.
+pub fn ungapped_extend(
+    q: &[u8],
+    s: &[u8],
+    qpos: usize,
+    spos: usize,
+    word: usize,
+    scoring: &Scoring,
+    xdrop: i32,
+) -> UngappedHsp {
+    debug_assert!(qpos + word <= q.len() && spos + word <= s.len());
+    // Seed score.
+    let mut score: i32 = (0..word).map(|i| scoring.score(q[qpos + i], s[spos + i])).sum();
+    let mut best = score;
+    let (mut q_start, mut q_end) = (qpos, qpos + word);
+    let (mut s_start, mut s_end) = (spos, spos + word);
+
+    // Extend right.
+    {
+        let mut run = score;
+        let (mut qi, mut si) = (qpos + word, spos + word);
+        while qi < q.len() && si < s.len() {
+            run += scoring.score(q[qi], s[si]);
+            qi += 1;
+            si += 1;
+            if run > best {
+                best = run;
+                q_end = qi;
+                s_end = si;
+            } else if best - run > xdrop {
+                break;
+            }
+        }
+        score = best;
+    }
+
+    // Extend left.
+    {
+        let mut run = score;
+        let (mut qi, mut si) = (qpos, spos);
+        while qi > 0 && si > 0 {
+            qi -= 1;
+            si -= 1;
+            run += scoring.score(q[qi], s[si]);
+            if run > best {
+                best = run;
+                q_start = qi;
+                s_start = si;
+            } else if best - run > xdrop {
+                break;
+            }
+        }
+    }
+
+    UngappedHsp { q_start, q_end, s_start, s_end, score: best }
+}
+
+/// Per-(context, diagonal) seeding state for one subject sequence: implements
+/// both the one-hit mode (DNA) and the two-hit mode (protein), plus
+/// suppression of seeds falling inside an already-extended segment.
+pub struct DiagTracker {
+    /// `two_hit_window == 0` selects one-hit seeding.
+    two_hit_window: usize,
+    /// Last seed end (subject coordinate) per (ctx, diagonal).
+    last_seed: HashMap<(u32, i64), usize>,
+    /// Subject coordinate up to which the diagonal is already covered by an
+    /// extension.
+    extended_to: HashMap<(u32, i64), usize>,
+}
+
+impl DiagTracker {
+    /// Fresh tracker for one subject sequence.
+    pub fn new(two_hit_window: usize) -> Self {
+        DiagTracker {
+            two_hit_window,
+            last_seed: HashMap::new(),
+            extended_to: HashMap::new(),
+        }
+    }
+
+    /// Report a seed for `ctx` at `(qpos, spos)` with word length `word`.
+    /// Returns `true` when the seed should be extended now.
+    pub fn offer(&mut self, ctx: u32, qpos: usize, spos: usize, word: usize) -> bool {
+        let diag = spos as i64 - qpos as i64;
+        let key = (ctx, diag);
+        if let Some(&covered) = self.extended_to.get(&key) {
+            if spos < covered {
+                return false; // inside an already-extended segment
+            }
+        }
+        if self.two_hit_window == 0 {
+            return true;
+        }
+        let seed_end = spos + word;
+        match self.last_seed.get(&key).copied() {
+            None => {
+                self.last_seed.insert(key, seed_end);
+                false
+            }
+            Some(prev_end) if spos < prev_end => {
+                // Overlapping follow-up hit: keep the stored anchor (NCBI
+                // behaviour) so a later non-overlapping hit can still pair
+                // with it — replacing it here would make contiguous
+                // identities never fire.
+                false
+            }
+            Some(prev_end) if spos - prev_end <= self.two_hit_window => {
+                // Non-overlapping second hit within the window: trigger, and
+                // clear the anchor (the extension coverage map takes over).
+                self.last_seed.remove(&key);
+                true
+            }
+            Some(_) => {
+                // Too far: treat as a fresh first hit.
+                self.last_seed.insert(key, seed_end);
+                false
+            }
+        }
+    }
+
+    /// Record that the diagonal of `ctx` is covered up to subject coordinate
+    /// `s_end` by an extension.
+    pub fn mark_extended(&mut self, ctx: u32, q_start: usize, s_start: usize, s_end: usize) {
+        let diag = s_start as i64 - q_start as i64;
+        let e = self.extended_to.entry((ctx, diag)).or_insert(0);
+        *e = (*e).max(s_end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::alphabet::Alphabet;
+
+    fn dna(s: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode_seq(s)
+    }
+
+    #[test]
+    fn perfect_match_extends_fully() {
+        let q = dna(b"ACGTACGTACGT");
+        let s = dna(b"ACGTACGTACGT");
+        let h = ungapped_extend(&q, &s, 4, 4, 4, &Scoring::blastn_default(), 20);
+        assert_eq!((h.q_start, h.q_end), (0, 12));
+        assert_eq!((h.s_start, h.s_end), (0, 12));
+        assert_eq!(h.score, 24); // 12 matches × 2
+    }
+
+    #[test]
+    fn extension_stops_at_xdrop() {
+        // Match region then garbage: extension must stop near the boundary.
+        let q = dna(b"AAAAAAAAAACCCCCCCCCCCC");
+        let s = dna(b"AAAAAAAAAAGGGGGGGGGGGG");
+        let h = ungapped_extend(&q, &s, 0, 0, 4, &Scoring::blastn_default(), 6);
+        assert_eq!(h.q_start, 0);
+        assert_eq!(h.q_end, 10, "should stop at the match/mismatch boundary");
+        assert_eq!(h.score, 20);
+    }
+
+    #[test]
+    fn extension_tolerates_isolated_mismatch() {
+        // 8 match, 1 mismatch, 8 match: worth crossing (2·8 − 3 + 2·8 = 29).
+        let q = dna(b"ACGTACGTTACGTACGT");
+        let mut sv = q.clone();
+        sv[8] = (sv[8] + 1) % 4;
+        let h = ungapped_extend(&q, &sv, 0, 0, 4, &Scoring::blastn_default(), 20);
+        assert_eq!(h.q_end, 17);
+        assert_eq!(h.score, 2 * 16 - 3);
+    }
+
+    #[test]
+    fn left_extension_works() {
+        let q = dna(b"ACGTACGTACGT");
+        let s = dna(b"ACGTACGTACGT");
+        let h = ungapped_extend(&q, &s, 8, 8, 4, &Scoring::blastn_default(), 20);
+        assert_eq!(h.q_start, 0);
+        assert_eq!(h.score, 24);
+    }
+
+    #[test]
+    fn seed_at_sequence_edges() {
+        let q = dna(b"ACGT");
+        let s = dna(b"ACGT");
+        let h = ungapped_extend(&q, &s, 0, 0, 4, &Scoring::blastn_default(), 10);
+        assert_eq!(h.score, 8);
+        assert_eq!((h.q_start, h.q_end, h.s_start, h.s_end), (0, 4, 0, 4));
+    }
+
+    #[test]
+    fn diagonal_value() {
+        let h = UngappedHsp { q_start: 3, q_end: 10, s_start: 8, s_end: 15, score: 1 };
+        assert_eq!(h.diagonal(), 5);
+    }
+
+    #[test]
+    fn one_hit_tracker_always_fires_then_suppresses_covered() {
+        let mut t = DiagTracker::new(0);
+        assert!(t.offer(0, 0, 10, 4));
+        t.mark_extended(0, 0, 10, 30);
+        assert!(!t.offer(0, 5, 15, 4), "seed inside extended region suppressed");
+        assert!(t.offer(0, 25, 35, 4), "seed past extended region fires");
+    }
+
+    #[test]
+    fn two_hit_requires_second_nearby_seed() {
+        let mut t = DiagTracker::new(40);
+        // First seed on a diagonal never fires.
+        assert!(!t.offer(0, 0, 0, 3));
+        // Second seed within window fires.
+        assert!(t.offer(0, 10, 10, 3));
+        // After firing, the anchor resets: next seed is a fresh first hit.
+        assert!(!t.offer(0, 100, 100, 3));
+        // Overlapping seeds don't count as a pair.
+        let mut t2 = DiagTracker::new(40);
+        assert!(!t2.offer(1, 0, 0, 3));
+        assert!(!t2.offer(1, 1, 1, 3), "overlapping second seed must not fire");
+    }
+
+    #[test]
+    fn two_hit_fires_on_contiguous_identity_runs() {
+        // Word hits at every position (a perfect identity segment): the
+        // anchor must survive overlapping follow-ups so the first
+        // non-overlapping hit (3 positions later) fires — NCBI's behaviour.
+        let mut t = DiagTracker::new(40);
+        assert!(!t.offer(0, 100, 100, 3));
+        assert!(!t.offer(0, 101, 101, 3));
+        assert!(!t.offer(0, 102, 102, 3));
+        assert!(t.offer(0, 103, 103, 3), "first non-overlapping hit must fire");
+    }
+
+    #[test]
+    fn two_hit_far_seed_resets_anchor() {
+        let mut t = DiagTracker::new(40);
+        assert!(!t.offer(0, 0, 0, 3));
+        // 100 − 3 > 40: out of window, becomes the new anchor.
+        assert!(!t.offer(0, 100, 100, 3));
+        // …which a nearby hit can then pair with.
+        assert!(t.offer(0, 110, 110, 3));
+    }
+
+    #[test]
+    fn two_hit_tracks_diagonals_independently() {
+        let mut t = DiagTracker::new(40);
+        assert!(!t.offer(0, 0, 0, 3)); // diag 0
+        assert!(!t.offer(0, 0, 5, 3)); // diag 5
+        assert!(t.offer(0, 10, 10, 3)); // diag 0, second hit
+        assert!(t.offer(0, 10, 15, 3)); // diag 5, second hit
+    }
+
+    #[test]
+    fn contexts_are_independent() {
+        let mut t = DiagTracker::new(40);
+        assert!(!t.offer(0, 0, 0, 3));
+        assert!(!t.offer(1, 4, 4, 3), "other context starts fresh");
+        assert!(t.offer(0, 8, 8, 3));
+    }
+}

@@ -1,0 +1,397 @@
+//! Tabular output formatting (BLAST `-outfmt 6` style).
+//!
+//! The paper's reduce() "appends hits to the file that is owned by each
+//! rank" — this module renders one hit per line in the classic 12-column
+//! tabular layout so those per-rank files are directly comparable to
+//! standard BLAST output.
+
+use crate::gapped::banded_global_alignment;
+use crate::hsp::{Hit, Strand};
+use crate::matrix::Scoring;
+use bioseq::seq::SeqRecord;
+
+/// Render one hit as a tab-separated line (no trailing newline):
+/// `query subject %identity alnlen mismatches gaps qstart qend sstart send
+/// evalue bitscore`. Coordinates are 1-based inclusive as in BLAST tabular
+/// output; minus-strand hits have subject coordinates swapped, per
+/// convention.
+pub fn tabular_line(hit: &Hit) -> String {
+    let mismatches = hit
+        .align_len
+        .saturating_sub(hit.identity)
+        .saturating_sub(hit.gaps);
+    let (s_first, s_last) = match hit.strand {
+        Strand::Plus => (hit.s_start + 1, hit.s_end),
+        Strand::Minus => (hit.s_end, hit.s_start + 1),
+    };
+    format!(
+        "{}\t{}\t{:.2}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.1}",
+        hit.query_id,
+        hit.subject_id,
+        hit.percent_identity(),
+        hit.align_len,
+        mismatches,
+        hit.gaps,
+        hit.q_start + 1,
+        hit.q_end,
+        s_first,
+        s_last,
+        format_evalue(hit.evalue),
+        hit.bit_score,
+    )
+}
+
+/// BLAST-style E-value formatting: scientific notation below 1e-2, plain
+/// decimal otherwise, `0.0` for exact zero.
+pub fn format_evalue(e: f64) -> String {
+    if e == 0.0 {
+        "0.0".to_string()
+    } else if e < 1e-2 {
+        format!("{e:.0e}")
+    } else {
+        format!("{e:.2}")
+    }
+}
+
+/// Render many hits, one line each, with trailing newlines.
+pub fn tabular_report(hits: &[Hit]) -> String {
+    let mut out = String::new();
+    for h in hits {
+        out.push_str(&tabular_line(h));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a BLAST-style pairwise alignment view of `hit` (60-column blocks
+/// with `Query`/`Sbjct` coordinate margins and a match line: `|` identity,
+/// `+` positive substitution score, space otherwise). The alignment is
+/// recomputed over the hit's coordinate ranges with a banded traceback.
+///
+/// Supports plain nucleotide (both strands) and protein hits; translated
+/// (blastx) hits would need codon-aware rendering and are not supported
+/// here.
+///
+/// # Panics
+/// Panics if the hit's coordinates do not fit the provided records.
+pub fn pairwise_alignment_text(
+    hit: &Hit,
+    query: &SeqRecord,
+    subject: &SeqRecord,
+    scoring: &Scoring,
+) -> String {
+    let alphabet = scoring.alphabet();
+    // Query segment in the orientation that aligned.
+    let q_ascii: Vec<u8> = match hit.strand {
+        Strand::Plus => query.seq[hit.q_start as usize..hit.q_end as usize].to_vec(),
+        Strand::Minus => {
+            query
+                .reverse_complement()
+                .seq
+                [query.len() - hit.q_end as usize..query.len() - hit.q_start as usize]
+                .to_vec()
+        }
+    };
+    let s_ascii = &subject.seq[hit.s_start as usize..hit.s_end as usize];
+    let q_codes = alphabet.encode_seq(&q_ascii);
+    let s_codes = alphabet.encode_seq(s_ascii);
+    let aln = banded_global_alignment(&q_codes, &s_codes, scoring, 16);
+
+    // Build the three display rows from the op path.
+    let mut qrow = Vec::new();
+    let mut mrow = Vec::new();
+    let mut srow = Vec::new();
+    let (mut qi, mut si) = (0usize, 0usize);
+    for &op in &aln.ops {
+        match op {
+            b'M' => {
+                let (qa, sa) = (q_ascii[qi], s_ascii[si]);
+                qrow.push(qa.to_ascii_uppercase());
+                srow.push(sa.to_ascii_uppercase());
+                mrow.push(if qa.eq_ignore_ascii_case(&sa) {
+                    b'|'
+                } else if scoring.score(q_codes[qi], s_codes[si]) > 0 {
+                    b'+'
+                } else {
+                    b' '
+                });
+                qi += 1;
+                si += 1;
+            }
+            b'I' => {
+                qrow.push(b'-');
+                mrow.push(b' ');
+                srow.push(s_ascii[si].to_ascii_uppercase());
+                si += 1;
+            }
+            _ => {
+                qrow.push(q_ascii[qi].to_ascii_uppercase());
+                mrow.push(b' ');
+                srow.push(b'-');
+                qi += 1;
+            }
+        }
+    }
+
+    // Coordinate bookkeeping: 1-based positions in the original sequences.
+    // For minus-strand hits the query coordinates run backwards, as BLAST
+    // prints them.
+    let mut out = String::new();
+    out.push_str(&format!(
+        " Score = {:.1} bits ({}), Expect = {}
+ Identities = {}/{} ({:.0}%), Gaps = {}/{}
+
+",
+        hit.bit_score,
+        hit.raw_score,
+        format_evalue(hit.evalue),
+        hit.identity,
+        hit.align_len,
+        hit.percent_identity(),
+        hit.gaps,
+        hit.align_len,
+    ));
+
+    let width = 60usize;
+    let mut q_pos: i64 = match hit.strand {
+        Strand::Plus => hit.q_start as i64 + 1,
+        Strand::Minus => hit.q_end as i64,
+    };
+    let q_step: i64 = match hit.strand {
+        Strand::Plus => 1,
+        Strand::Minus => -1,
+    };
+    let mut s_pos: i64 = hit.s_start as i64 + 1;
+
+    let mut offset = 0usize;
+    while offset < qrow.len() {
+        let end = (offset + width).min(qrow.len());
+        let q_chunk = &qrow[offset..end];
+        let m_chunk = &mrow[offset..end];
+        let s_chunk = &srow[offset..end];
+        let q_consumed = q_chunk.iter().filter(|&&c| c != b'-').count() as i64;
+        let s_consumed = s_chunk.iter().filter(|&&c| c != b'-').count() as i64;
+        let q_end_pos = q_pos + q_step * (q_consumed - 1).max(0);
+        let s_end_pos = s_pos + (s_consumed - 1).max(0);
+        out.push_str(&format!(
+            "Query  {:<6} {}  {}
+       {:<6} {}
+Sbjct  {:<6} {}  {}
+
+",
+            q_pos,
+            String::from_utf8_lossy(q_chunk),
+            q_end_pos,
+            "",
+            String::from_utf8_lossy(m_chunk),
+            s_pos,
+            String::from_utf8_lossy(s_chunk),
+            s_end_pos,
+        ));
+        q_pos = q_end_pos + q_step;
+        s_pos = s_end_pos + 1;
+        offset = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit() -> Hit {
+        Hit {
+            query_id: "q1".into(),
+            subject_id: "s1".into(),
+            raw_score: 100,
+            bit_score: 95.6,
+            evalue: 3e-20,
+            q_start: 0,
+            q_end: 100,
+            s_start: 49,
+            s_end: 149,
+            strand: Strand::Plus,
+            identity: 98,
+            align_len: 100,
+            gaps: 0,
+        }
+    }
+
+    #[test]
+    fn twelve_columns() {
+        let line = tabular_line(&hit());
+        assert_eq!(line.split('\t').count(), 12);
+    }
+
+    #[test]
+    fn one_based_inclusive_coordinates() {
+        let line = tabular_line(&hit());
+        let cols: Vec<&str> = line.split('\t').collect();
+        assert_eq!(cols[6], "1");
+        assert_eq!(cols[7], "100");
+        assert_eq!(cols[8], "50");
+        assert_eq!(cols[9], "149");
+    }
+
+    #[test]
+    fn minus_strand_swaps_subject_coords() {
+        let mut h = hit();
+        h.strand = Strand::Minus;
+        let cols_line = tabular_line(&h);
+        let cols: Vec<&str> = cols_line.split('\t').collect();
+        assert_eq!(cols[8], "149");
+        assert_eq!(cols[9], "50");
+    }
+
+    #[test]
+    fn mismatch_column_consistent() {
+        let mut h = hit();
+        h.identity = 90;
+        h.gaps = 4;
+        let line = tabular_line(&h);
+        let cols: Vec<&str> = line.split('\t').collect();
+        assert_eq!(cols[4], "6"); // 100 - 90 - 4
+    }
+
+    #[test]
+    fn evalue_formats() {
+        assert_eq!(format_evalue(0.0), "0.0");
+        assert_eq!(format_evalue(3e-20), "3e-20");
+        assert_eq!(format_evalue(0.5), "0.50");
+        assert_eq!(format_evalue(7.0), "7.00");
+    }
+
+    #[test]
+    fn report_is_line_per_hit() {
+        let hits = vec![hit(), hit(), hit()];
+        let rep = tabular_report(&hits);
+        assert_eq!(rep.lines().count(), 3);
+    }
+
+    fn pairwise_fixture() -> (Hit, SeqRecord, SeqRecord) {
+        // query[2..10] == subject[4..12] with one mismatch at offset 3.
+        let query = SeqRecord::new("q", b"TTACGTACGTTT".to_vec());
+        let mut sseq = b"GGGG".to_vec();
+        sseq.extend_from_slice(b"ACGAACGT");
+        sseq.extend_from_slice(b"CCCC");
+        let subject = SeqRecord::new("s", sseq);
+        let hit = Hit {
+            query_id: "q".into(),
+            subject_id: "s".into(),
+            raw_score: 2 * 7 - 3,
+            bit_score: 12.0,
+            evalue: 1e-3,
+            q_start: 2,
+            q_end: 10,
+            s_start: 4,
+            s_end: 12,
+            strand: Strand::Plus,
+            identity: 7,
+            align_len: 8,
+            gaps: 0,
+        };
+        (hit, query, subject)
+    }
+
+    #[test]
+    fn pairwise_text_shows_match_line_and_coords() {
+        let (hit, query, subject) = pairwise_fixture();
+        let text =
+            pairwise_alignment_text(&hit, &query, &subject, &Scoring::blastn_default());
+        assert!(text.contains("Query  3      ACGTACGT  10"), "text:
+{text}");
+        assert!(text.contains("Sbjct  5      ACGAACGT  12"), "text:
+{text}");
+        // Match line: mismatch at the 4th column.
+        assert!(text.contains("||| ||||"), "text:
+{text}");
+        assert!(text.contains("Identities = 7/8"));
+    }
+
+    #[test]
+    fn pairwise_text_minus_strand_runs_backwards() {
+        // Subject holds the reverse complement of query[0..8].
+        let query = SeqRecord::new("q", b"ACGTTGCA".to_vec());
+        let subject = query.reverse_complement();
+        let subject = SeqRecord::new("s", subject.seq);
+        let hit = Hit {
+            query_id: "q".into(),
+            subject_id: "s".into(),
+            raw_score: 16,
+            bit_score: 10.0,
+            evalue: 1e-2,
+            q_start: 0,
+            q_end: 8,
+            s_start: 0,
+            s_end: 8,
+            strand: Strand::Minus,
+            identity: 8,
+            align_len: 8,
+            gaps: 0,
+        };
+        let text =
+            pairwise_alignment_text(&hit, &query, &subject, &Scoring::blastn_default());
+        // Query coordinates printed descending (8 → 1).
+        assert!(text.contains("Query  8"), "text:
+{text}");
+        assert!(text.contains("  1
+"), "text:
+{text}");
+        assert!(text.contains("||||||||"));
+    }
+
+    #[test]
+    fn pairwise_text_protein_plus_marks_positive_substitutions() {
+        use bioseq::seq::SeqRecord;
+        let query = SeqRecord::new("q", b"MKVL".to_vec());
+        let subject = SeqRecord::new("s", b"MKIL".to_vec()); // V→I scores +3
+        let hit = Hit {
+            query_id: "q".into(),
+            subject_id: "s".into(),
+            raw_score: 10,
+            bit_score: 8.0,
+            evalue: 0.5,
+            q_start: 0,
+            q_end: 4,
+            s_start: 0,
+            s_end: 4,
+            strand: Strand::Plus,
+            identity: 3,
+            align_len: 4,
+            gaps: 0,
+        };
+        let text =
+            pairwise_alignment_text(&hit, &query, &subject, &Scoring::blastp_default());
+        assert!(text.contains("||+|"), "positives marked with +:
+{text}");
+    }
+
+    #[test]
+    fn pairwise_text_wraps_long_alignments() {
+        let seq: Vec<u8> = (0..150).map(|i| b"ACGT"[i % 4]).collect();
+        let query = SeqRecord::new("q", seq.clone());
+        let subject = SeqRecord::new("s", seq);
+        let hit = Hit {
+            query_id: "q".into(),
+            subject_id: "s".into(),
+            raw_score: 300,
+            bit_score: 200.0,
+            evalue: 0.0,
+            q_start: 0,
+            q_end: 150,
+            s_start: 0,
+            s_end: 150,
+            strand: Strand::Plus,
+            identity: 150,
+            align_len: 150,
+            gaps: 0,
+        };
+        let text =
+            pairwise_alignment_text(&hit, &query, &subject, &Scoring::blastn_default());
+        let blocks = text.matches("Query  ").count();
+        assert_eq!(blocks, 3, "150 columns wrap into 3 blocks:
+{text}");
+        assert!(text.contains("Query  61"), "second block starts at 61");
+        assert!(text.contains("Query  121"));
+    }
+}

@@ -1,0 +1,484 @@
+//! Gapped X-drop extension and banded traceback alignment — BLAST stage
+//! three.
+//!
+//! "The third stage performs gapped alignment for those matches that passed
+//! the second stage" (§II.B). From an anchor pair inside the ungapped HSP,
+//! an affine-gap dynamic program extends forward and backward, pruning any
+//! cell whose score falls more than X below the best seen so far (the
+//! adaptive band of Zhang et al., as in NCBI's `ALIGN_EX`). A final banded
+//! global alignment over the discovered range recovers identities and gap
+//! counts for reporting.
+
+use crate::matrix::Scoring;
+
+const NEG_INF: i32 = i32::MIN / 4;
+
+/// Result of one directional X-drop extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtensionResult {
+    /// Best score found (0 when extending nowhere beats the empty
+    /// extension).
+    pub score: i32,
+    /// Residues of `a` consumed by the best extension.
+    pub a_len: usize,
+    /// Residues of `b` consumed by the best extension.
+    pub b_len: usize,
+}
+
+/// Default band half-width for [`xdrop_extend`]: the maximum net gap excess
+/// (gaps in one sequence minus gaps in the other) an extension can
+/// accumulate.
+pub const DEFAULT_BAND: usize = 48;
+
+#[inline]
+fn guarded(v: i32) -> bool {
+    v > NEG_INF / 2
+}
+
+/// Affine-gap X-drop extension of prefixes of `a` against `b` starting at
+/// the implicit aligned cell (0,0) with score 0, inside a band of half-width
+/// `band` around the main diagonal. Returns the best-scoring endpoint;
+/// the score is never negative (the empty extension always exists).
+///
+/// The band window shifts with the row, so cell `(i, j)` lives at offset
+/// `j - i + band`, which keeps the diagonal predecessor at the *same* offset
+/// across rows, the vertical predecessor one offset up, and the horizontal
+/// predecessor one offset down — a standard anti-drift layout.
+pub fn xdrop_extend_banded(
+    a: &[u8],
+    b: &[u8],
+    scoring: &Scoring,
+    xdrop: i32,
+    band: usize,
+) -> ExtensionResult {
+    if a.is_empty() || b.is_empty() {
+        return ExtensionResult { score: 0, a_len: 0, b_len: 0 };
+    }
+    let go = scoring.gap_open();
+    let ge = scoring.gap_extend();
+    let band = band.max(1);
+    let width = 2 * band + 1;
+
+    let mut best = 0i32;
+    let (mut best_i, mut best_j) = (0usize, 0usize);
+
+    // Row i window covers j in [i-band, i+band] ∩ [0, b.len()].
+    // h[k], f[k] hold H(i-1, ·) and F(i-1, ·) at offset k = j - (i-1) + band.
+    let mut h = vec![NEG_INF; width];
+    let mut f = vec![NEG_INF; width];
+
+    // Row 0: leading gaps in `a` (E-runs along the top edge).
+    // Offsets for row 0: k = j + band.
+    h[band] = 0;
+    for j in 1..=band.min(b.len()) {
+        let sc = -go - ge * j as i32;
+        if -sc > xdrop {
+            break;
+        }
+        h[band + j] = sc;
+    }
+
+    let mut h_new = vec![NEG_INF; width];
+    let mut f_new = vec![NEG_INF; width];
+
+    for i in 1..=a.len() {
+        let j_lo = i.saturating_sub(band);
+        let j_hi = (i + band).min(b.len());
+        if j_lo > b.len() {
+            break;
+        }
+        h_new.fill(NEG_INF);
+        f_new.fill(NEG_INF);
+        let mut e = NEG_INF; // horizontal gap run within this row
+        let mut alive = false;
+
+        for j in j_lo..=j_hi {
+            // Offset of (i, j) in the current row's window.
+            let k = j + band - i;
+            // Diagonal predecessor (i-1, j-1): same offset k in the previous
+            // row's window.
+            let d = if j >= 1 && guarded(h[k]) {
+                h[k] + scoring.score(a[i - 1], b[j - 1])
+            } else if j == 0 {
+                NEG_INF
+            } else {
+                NEG_INF
+            };
+            // Vertical predecessor (i-1, j): offset k+1 in previous window.
+            let fv = if k + 1 < width {
+                let open = if guarded(h[k + 1]) { h[k + 1] - go - ge } else { NEG_INF };
+                let ext = if guarded(f[k + 1]) { f[k + 1] - ge } else { NEG_INF };
+                open.max(ext)
+            } else {
+                NEG_INF
+            };
+            // Horizontal predecessor (i, j-1): offset k-1 in current window.
+            let ev = {
+                let open = if k >= 1 && guarded(h_new[k - 1]) {
+                    h_new[k - 1] - go - ge
+                } else {
+                    NEG_INF
+                };
+                let ext = if guarded(e) { e - ge } else { NEG_INF };
+                open.max(ext)
+            };
+
+            let mut cell = d.max(fv).max(ev);
+            if guarded(cell) && best - cell > xdrop {
+                cell = NEG_INF;
+            }
+            h_new[k] = cell;
+            f_new[k] = fv;
+            e = ev;
+
+            if guarded(cell) {
+                alive = true;
+                if cell > best {
+                    best = cell;
+                    best_i = i;
+                    best_j = j;
+                }
+            }
+        }
+        if !alive {
+            break;
+        }
+        std::mem::swap(&mut h, &mut h_new);
+        std::mem::swap(&mut f, &mut f_new);
+    }
+
+    ExtensionResult { score: best, a_len: best_i, b_len: best_j }
+}
+
+/// [`xdrop_extend_banded`] with the default band.
+pub fn xdrop_extend(a: &[u8], b: &[u8], scoring: &Scoring, xdrop: i32) -> ExtensionResult {
+    xdrop_extend_banded(a, b, scoring, xdrop, DEFAULT_BAND)
+}
+
+/// Alignment statistics recovered by traceback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignmentStats {
+    /// Alignment score.
+    pub score: i32,
+    /// Identical aligned pairs.
+    pub identity: u32,
+    /// Total alignment columns (matches + mismatches + gaps).
+    pub align_len: u32,
+    /// Gap columns.
+    pub gaps: u32,
+}
+
+/// A full banded alignment: the score plus the operation path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandedAlignment {
+    /// Alignment score.
+    pub score: i32,
+    /// Operations from the start of the range: `M` (aligned pair, match or
+    /// mismatch), `I` (gap in `a`, consumes a `b` residue), `D` (gap in
+    /// `b`, consumes an `a` residue).
+    pub ops: Vec<u8>,
+}
+
+impl BandedAlignment {
+    /// Derive the reporting statistics from the path.
+    pub fn stats(&self, a: &[u8], b: &[u8]) -> AlignmentStats {
+        let mut identity = 0u32;
+        let mut gaps = 0u32;
+        let (mut i, mut j) = (0usize, 0usize);
+        for &op in &self.ops {
+            match op {
+                b'M' => {
+                    if a[i] == b[j] {
+                        identity += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                b'I' => {
+                    gaps += 1;
+                    j += 1;
+                }
+                _ => {
+                    gaps += 1;
+                    i += 1;
+                }
+            }
+        }
+        AlignmentStats { score: self.score, identity, align_len: self.ops.len() as u32, gaps }
+    }
+}
+
+/// Banded global (Needleman–Wunsch, affine gaps) alignment of `a` against
+/// `b` with traceback, used to recover identity/gap statistics over the
+/// range found by X-drop extension. The band is centered on the main
+/// diagonal adjusted for the length difference and widened by `extra`.
+pub fn banded_global_stats(
+    a: &[u8],
+    b: &[u8],
+    scoring: &Scoring,
+    extra: usize,
+) -> AlignmentStats {
+    banded_global_alignment(a, b, scoring, extra).stats(a, b)
+}
+
+/// As [`banded_global_stats`] but returning the full operation path, for
+/// pairwise report rendering.
+pub fn banded_global_alignment(
+    a: &[u8],
+    b: &[u8],
+    scoring: &Scoring,
+    extra: usize,
+) -> BandedAlignment {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        let gaps = n + m;
+        let open = if gaps > 0 { scoring.gap_open() } else { 0 };
+        let mut ops = vec![b'I'; m];
+        ops.extend(std::iter::repeat(b'D').take(n));
+        return BandedAlignment {
+            score: -open - scoring.gap_extend() * gaps as i32,
+            ops,
+        };
+    }
+    let go = scoring.gap_open();
+    let ge = scoring.gap_extend();
+    let band = (n as i64 - m as i64).unsigned_abs() as usize + extra.max(8);
+
+    // Full DP tables over the band; (n+1) x (2*band+1) window around the
+    // diagonal j ≈ i * m / n. For the modest ranges BLAST extensions produce
+    // this is cheap and simple.
+    let width = 2 * band + 1;
+    let idx = |i: usize, j: usize| -> Option<usize> {
+        let center = (i as i64 * m as i64 / n as i64).clamp(0, m as i64);
+        let off = j as i64 - center + band as i64;
+        if off < 0 || off >= width as i64 {
+            None
+        } else {
+            Some(i * width + off as usize)
+        }
+    };
+
+    let cells = (n + 1) * width;
+    let mut hmat = vec![NEG_INF; cells];
+    let mut emat = vec![NEG_INF; cells];
+    let mut fmat = vec![NEG_INF; cells];
+
+    let set = |mat: &mut Vec<i32>, slot: Option<usize>, v: i32| {
+        if let Some(s) = slot {
+            mat[s] = v;
+        }
+    };
+    let get = |mat: &[i32], slot: Option<usize>| slot.map_or(NEG_INF, |s| mat[s]);
+
+    set(&mut hmat, idx(0, 0), 0);
+    for j in 1..=m {
+        let slot = idx(0, j);
+        if slot.is_none() {
+            break;
+        }
+        set(&mut emat, slot, -go - ge * j as i32);
+        set(&mut hmat, slot, -go - ge * j as i32);
+    }
+    for i in 1..=n {
+        if let Some(slot) = idx(i, 0) {
+            fmat[slot] = -go - ge * i as i32;
+            hmat[slot] = -go - ge * i as i32;
+        }
+        for j in 1..=m {
+            let slot = match idx(i, j) {
+                Some(s) => s,
+                None => continue,
+            };
+            let h_diag = get(&hmat, idx(i - 1, j - 1));
+            let h_up = get(&hmat, idx(i - 1, j));
+            let f_up = get(&fmat, idx(i - 1, j));
+            let h_left = get(&hmat, idx(i, j - 1));
+            let e_left = get(&emat, idx(i, j - 1));
+
+            let e = (h_left - go - ge).max(e_left - ge).max(NEG_INF);
+            let f = (h_up - go - ge).max(f_up - ge).max(NEG_INF);
+            let d = if h_diag <= NEG_INF / 2 {
+                NEG_INF
+            } else {
+                h_diag + scoring.score(a[i - 1], b[j - 1])
+            };
+            emat[slot] = e;
+            fmat[slot] = f;
+            hmat[slot] = d.max(e).max(f);
+        }
+    }
+
+    // Traceback from (n, m), recording the operation path in reverse.
+    let (mut i, mut j) = (n, m);
+    let mut ops: Vec<u8> = Vec::with_capacity(n + m);
+    let score = get(&hmat, idx(n, m));
+    let mut state = 0u8; // 0 = H, 1 = E (gap in a), 2 = F (gap in b)
+    while i > 0 || j > 0 {
+        match state {
+            0 => {
+                let cur = get(&hmat, idx(i, j));
+                if i > 0 && j > 0 {
+                    let d = get(&hmat, idx(i - 1, j - 1));
+                    if d > NEG_INF / 2 && d + scoring.score(a[i - 1], b[j - 1]) == cur {
+                        ops.push(b'M');
+                        i -= 1;
+                        j -= 1;
+                        continue;
+                    }
+                }
+                if j > 0 && get(&emat, idx(i, j)) == cur {
+                    state = 1;
+                    continue;
+                }
+                if i > 0 && get(&fmat, idx(i, j)) == cur {
+                    state = 2;
+                    continue;
+                }
+                // Degenerate: band edge; fall back to consuming remaining.
+                if j > 0 {
+                    ops.push(b'I');
+                    j -= 1;
+                } else {
+                    ops.push(b'D');
+                    i -= 1;
+                }
+            }
+            1 => {
+                // Gap in `a`: consumed b[j-1].
+                ops.push(b'I');
+                let cur = get(&emat, idx(i, j));
+                let from_open = get(&hmat, idx(i, j - 1)) - go - ge;
+                j -= 1;
+                if cur == from_open {
+                    state = 0;
+                }
+            }
+            _ => {
+                ops.push(b'D');
+                let cur = get(&fmat, idx(i, j));
+                let from_open = get(&hmat, idx(i - 1, j)) - go - ge;
+                i -= 1;
+                if cur == from_open {
+                    state = 0;
+                }
+            }
+        }
+    }
+    ops.reverse();
+    BandedAlignment { score, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::alphabet::Alphabet;
+
+    fn dna(s: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode_seq(s)
+    }
+
+    #[test]
+    fn xdrop_identity_extension() {
+        let a = dna(b"ACGTACGTACGT");
+        let r = xdrop_extend(&a, &a, &Scoring::blastn_default(), 20);
+        assert_eq!(r.score, 24);
+        assert_eq!(r.a_len, 12);
+        assert_eq!(r.b_len, 12);
+    }
+
+    #[test]
+    fn xdrop_empty_inputs() {
+        let a = dna(b"ACGT");
+        let r = xdrop_extend(&a, &[], &Scoring::blastn_default(), 20);
+        assert_eq!(r, ExtensionResult { score: 0, a_len: 0, b_len: 0 });
+        let r = xdrop_extend(&[], &a, &Scoring::blastn_default(), 20);
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn xdrop_stops_in_garbage() {
+        let a = dna(b"ACGTACGTCCCCCCCCCCCC");
+        let b = dna(b"ACGTACGTGGGGGGGGGGGG");
+        let r = xdrop_extend(&a, &b, &Scoring::blastn_default(), 10);
+        assert_eq!(r.score, 16, "8 matching residues");
+        assert_eq!(r.a_len, 8);
+        assert_eq!(r.b_len, 8);
+    }
+
+    #[test]
+    fn xdrop_crosses_gap_when_profitable() {
+        // a has 12 matching, then b has 2 extra residues, then 12 matching:
+        // crossing the gap costs open 5 + 2·2 = 9 < 24 gained.
+        let left = b"ACGTACGTACGT";
+        let right = b"TTGCAATTGCAA";
+        let a: Vec<u8> = dna(&[&left[..], &right[..]].concat());
+        let b_seq: Vec<u8> = dna(&[&left[..], b"GG", &right[..]].concat());
+        let r = xdrop_extend(&a, &b_seq, &Scoring::blastn_default(), 30);
+        assert_eq!(r.a_len, 24);
+        assert_eq!(r.b_len, 26);
+        assert_eq!(r.score, 2 * 24 - 5 - 2 * 2);
+    }
+
+    #[test]
+    fn xdrop_score_never_negative() {
+        let a = dna(b"AAAA");
+        let b = dna(b"TTTT");
+        let r = xdrop_extend(&a, &b, &Scoring::blastn_default(), 5);
+        assert_eq!(r.score, 0, "empty extension is always available");
+    }
+
+    #[test]
+    fn banded_stats_perfect_match() {
+        let a = dna(b"ACGTACGT");
+        let st = banded_global_stats(&a, &a, &Scoring::blastn_default(), 8);
+        assert_eq!(st.score, 16);
+        assert_eq!(st.identity, 8);
+        assert_eq!(st.align_len, 8);
+        assert_eq!(st.gaps, 0);
+    }
+
+    #[test]
+    fn banded_stats_with_mismatch() {
+        let a = dna(b"ACGTACGT");
+        let mut b = a.clone();
+        b[3] = (b[3] + 1) % 4;
+        let st = banded_global_stats(&a, &b, &Scoring::blastn_default(), 8);
+        assert_eq!(st.identity, 7);
+        assert_eq!(st.align_len, 8);
+        assert_eq!(st.score, 7 * 2 - 3);
+    }
+
+    #[test]
+    fn banded_stats_with_gap() {
+        // b is a with a 2-residue deletion.
+        let a = dna(b"ACGTACGTACGTACGT");
+        let b: Vec<u8> = dna(b"ACGTACGTACGT");
+        let b_del: Vec<u8> = [&a[..6], &a[10..]].concat();
+        let _ = b;
+        let st = banded_global_stats(&a, &b_del, &Scoring::blastn_default(), 8);
+        assert_eq!(st.gaps, 4);
+        assert_eq!(st.identity, 12);
+        assert_eq!(st.align_len, 16);
+        assert_eq!(st.score, 12 * 2 - 5 - 2 * 4);
+    }
+
+    #[test]
+    fn banded_stats_empty_sides() {
+        let a = dna(b"ACG");
+        let st = banded_global_stats(&a, &[], &Scoring::blastn_default(), 4);
+        assert_eq!(st.align_len, 3);
+        assert_eq!(st.gaps, 3);
+        assert_eq!(st.identity, 0);
+        let st = banded_global_stats(&[], &[], &Scoring::blastn_default(), 4);
+        assert_eq!(st.align_len, 0);
+        assert_eq!(st.score, 0);
+    }
+
+    #[test]
+    fn banded_protein_alignment() {
+        let a = Alphabet::Protein.encode_seq(b"MKVLAW");
+        let st = banded_global_stats(&a, &a, &Scoring::blastp_default(), 4);
+        assert_eq!(st.identity, 6);
+        assert!(st.score > 20);
+    }
+}

@@ -1,0 +1,249 @@
+//! High-scoring pairs (HSPs): the unit of BLAST output.
+//!
+//! In the paper's MapReduce formulation, `map()` "emits key-value pairs
+//! where keys are the query IDs, and values are High-Scoring Pairs (HSPs, or
+//! 'hits')" — so hits need a stable byte encoding to travel through the KV
+//! machinery, and a deterministic ordering for the reduce-side E-value sort.
+
+use std::cmp::Ordering;
+
+/// Which query strand aligned (DNA searches scan both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strand {
+    /// Query as given.
+    Plus,
+    /// Reverse complement of the query.
+    Minus,
+}
+
+/// One alignment between a query and a database sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Query identifier.
+    pub query_id: String,
+    /// Database sequence identifier.
+    pub subject_id: String,
+    /// Raw alignment score.
+    pub raw_score: i32,
+    /// Bit score under the gapped Karlin–Altschul parameters.
+    pub bit_score: f64,
+    /// Expect value against the (possibly overridden) search space.
+    pub evalue: f64,
+    /// Query start, 0-based, plus-strand coordinates.
+    pub q_start: u32,
+    /// Query end, exclusive.
+    pub q_end: u32,
+    /// Subject start, 0-based.
+    pub s_start: u32,
+    /// Subject end, exclusive.
+    pub s_end: u32,
+    /// Strand of the query that aligned.
+    pub strand: Strand,
+    /// Number of identical aligned positions.
+    pub identity: u32,
+    /// Alignment length including gaps.
+    pub align_len: u32,
+    /// Number of gap positions.
+    pub gaps: u32,
+}
+
+impl Hit {
+    /// Percent identity over the alignment length.
+    pub fn percent_identity(&self) -> f64 {
+        if self.align_len == 0 {
+            0.0
+        } else {
+            100.0 * f64::from(self.identity) / f64::from(self.align_len)
+        }
+    }
+
+    /// Deterministic ranking: ascending E-value, then descending bit score,
+    /// then subject id, then coordinates — the order the reduce stage sorts
+    /// each query's hits into.
+    pub fn rank_cmp(&self, other: &Hit) -> Ordering {
+        self.evalue
+            .partial_cmp(&other.evalue)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.bit_score.partial_cmp(&self.bit_score).unwrap_or(Ordering::Equal))
+            .then_with(|| self.subject_id.cmp(&other.subject_id))
+            .then_with(|| (self.q_start, self.s_start).cmp(&(other.q_start, other.s_start)))
+    }
+
+    /// Serialize to bytes (the MR value payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.query_id.len() + self.subject_id.len());
+        put_str(&mut out, &self.query_id);
+        put_str(&mut out, &self.subject_id);
+        out.extend_from_slice(&self.raw_score.to_le_bytes());
+        out.extend_from_slice(&self.bit_score.to_le_bytes());
+        out.extend_from_slice(&self.evalue.to_le_bytes());
+        for v in [self.q_start, self.q_end, self.s_start, self.s_end] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.push(match self.strand {
+            Strand::Plus => 0,
+            Strand::Minus => 1,
+        });
+        for v in [self.identity, self.align_len, self.gaps] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from bytes produced by [`Hit::encode`].
+    ///
+    /// # Panics
+    /// Panics on malformed input (these payloads never cross a trust
+    /// boundary; corruption is a bug).
+    pub fn decode(buf: &[u8]) -> Hit {
+        let mut pos = 0usize;
+        let query_id = get_str(buf, &mut pos);
+        let subject_id = get_str(buf, &mut pos);
+        let raw_score = i32::from_le_bytes(buf[pos..pos + 4].try_into().expect("raw"));
+        pos += 4;
+        let bit_score = f64::from_le_bytes(buf[pos..pos + 8].try_into().expect("bits"));
+        pos += 8;
+        let evalue = f64::from_le_bytes(buf[pos..pos + 8].try_into().expect("evalue"));
+        pos += 8;
+        let get_u32 = |pos: &mut usize| {
+            let v = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("u32"));
+            *pos += 4;
+            v
+        };
+        let q_start = get_u32(&mut pos);
+        let q_end = get_u32(&mut pos);
+        let s_start = get_u32(&mut pos);
+        let s_end = get_u32(&mut pos);
+        let strand = match buf[pos] {
+            0 => Strand::Plus,
+            1 => Strand::Minus,
+            other => panic!("bad strand tag {other}"),
+        };
+        pos += 1;
+        let identity = get_u32(&mut pos);
+        let align_len = get_u32(&mut pos);
+        let gaps = get_u32(&mut pos);
+        assert_eq!(pos, buf.len(), "trailing bytes in hit encoding");
+        Hit {
+            query_id,
+            subject_id,
+            raw_score,
+            bit_score,
+            evalue,
+            q_start,
+            q_end,
+            s_start,
+            s_end,
+            strand,
+            identity,
+            align_len,
+            gaps,
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> String {
+    let len = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("len")) as usize;
+    *pos += 4;
+    let s = String::from_utf8(buf[*pos..*pos + len].to_vec()).expect("utf8 id");
+    *pos += len;
+    s
+}
+
+/// Sort hits into rank order and truncate to `k` (`0` = keep all) — the
+/// reduce-side post-processing of the paper's BLAST (§III.A: "sorts each
+/// query hits by the E-value, selects the requested number of top hits").
+pub fn sort_and_truncate(hits: &mut Vec<Hit>, k: usize) {
+    hits.sort_by(Hit::rank_cmp);
+    if k > 0 && hits.len() > k {
+        hits.truncate(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_hit() -> Hit {
+        Hit {
+            query_id: "q/0-400".into(),
+            subject_id: "db42".into(),
+            raw_score: 310,
+            bit_score: 123.4,
+            evalue: 1.7e-30,
+            q_start: 3,
+            q_end: 390,
+            s_start: 1000,
+            s_end: 1388,
+            strand: Strand::Minus,
+            identity: 350,
+            align_len: 391,
+            gaps: 4,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let h = sample_hit();
+        assert_eq!(Hit::decode(&h.encode()), h);
+    }
+
+    #[test]
+    fn roundtrip_preserves_extreme_values() {
+        let mut h = sample_hit();
+        h.evalue = 0.0;
+        h.raw_score = i32::MIN;
+        h.query_id = String::new();
+        assert_eq!(Hit::decode(&h.encode()), h);
+    }
+
+    #[test]
+    fn percent_identity() {
+        let h = sample_hit();
+        assert!((h.percent_identity() - 100.0 * 350.0 / 391.0).abs() < 1e-12);
+        let mut z = sample_hit();
+        z.align_len = 0;
+        assert_eq!(z.percent_identity(), 0.0);
+    }
+
+    #[test]
+    fn rank_orders_by_evalue_then_bits() {
+        let mut a = sample_hit();
+        let mut b = sample_hit();
+        a.evalue = 1e-10;
+        b.evalue = 1e-20;
+        assert_eq!(a.rank_cmp(&b), Ordering::Greater);
+        a.evalue = b.evalue;
+        a.bit_score = 200.0;
+        b.bit_score = 100.0;
+        assert_eq!(a.rank_cmp(&b), Ordering::Less);
+    }
+
+    #[test]
+    fn sort_and_truncate_keeps_best() {
+        let mut hits: Vec<Hit> = (0..10)
+            .map(|i| {
+                let mut h = sample_hit();
+                h.evalue = 10f64.powi(-i);
+                h.subject_id = format!("s{i}");
+                h
+            })
+            .collect();
+        sort_and_truncate(&mut hits, 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].subject_id, "s9");
+        assert!(hits[0].evalue <= hits[1].evalue && hits[1].evalue <= hits[2].evalue);
+    }
+
+    #[test]
+    fn truncate_zero_keeps_all() {
+        let mut hits = vec![sample_hit(); 5];
+        sort_and_truncate(&mut hits, 0);
+        assert_eq!(hits.len(), 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Scoring systems: nucleotide reward/penalty and the BLOSUM62 matrix.
+
+use bioseq::alphabet::Alphabet;
+
+/// BLOSUM62 in the canonical `ARNDCQEGHILKMFPSTWYVBZX*` order.
+#[rustfmt::skip]
+pub const BLOSUM62: [[i8; 24]; 24] = [
+    // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V   B   Z   X   *
+    [  4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0, -2, -1,  0, -4], // A
+    [ -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3, -1,  0, -1, -4], // R
+    [ -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3,  3,  0, -1, -4], // N
+    [ -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3,  4,  1, -1, -4], // D
+    [  0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -3, -3, -2, -4], // C
+    [ -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2,  0,  3, -1, -4], // Q
+    [ -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2,  1,  4, -1, -4], // E
+    [  0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3, -1, -2, -1, -4], // G
+    [ -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3,  0,  0, -1, -4], // H
+    [ -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3, -3, -3, -1, -4], // I
+    [ -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1, -4, -3, -1, -4], // L
+    [ -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2,  0,  1, -1, -4], // K
+    [ -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1, -3, -1, -1, -4], // M
+    [ -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1, -3, -3, -1, -4], // F
+    [ -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2, -2, -1, -2, -4], // P
+    [  1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2,  0,  0,  0, -4], // S
+    [  0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0, -1, -1,  0, -4], // T
+    [ -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3, -4, -3, -2, -4], // W
+    [ -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1, -3, -2, -1, -4], // Y
+    [  0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4, -3, -2, -1, -4], // V
+    [ -2, -1,  3,  4, -3,  0,  1, -1,  0, -3, -4,  0, -3, -3, -2,  0, -1, -4, -3, -3,  4,  1, -1, -4], // B
+    [ -1,  0,  0,  1, -3,  3,  4, -2,  0, -3, -3,  1, -1, -3, -1,  0, -1, -3, -2, -2,  1,  4, -1, -4], // Z
+    [  0, -1, -1, -1, -2, -1, -1, -1, -1, -1, -1, -1, -1, -1, -2,  0,  0, -2, -1, -1, -1, -1, -1, -4], // X
+    [ -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4,  1], // *
+];
+
+/// A complete scoring system: substitution scores plus affine gap costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scoring {
+    /// Nucleotide match/mismatch scoring.
+    Dna {
+        /// Score for a matching base (positive).
+        reward: i32,
+        /// Score for a mismatching base (negative).
+        penalty: i32,
+        /// Cost to open a gap (positive).
+        gap_open: i32,
+        /// Cost to extend a gap by one residue (positive).
+        gap_extend: i32,
+    },
+    /// BLOSUM62 protein scoring.
+    Blosum62 {
+        /// Cost to open a gap (positive).
+        gap_open: i32,
+        /// Cost to extend a gap by one residue (positive).
+        gap_extend: i32,
+    },
+}
+
+impl Scoring {
+    /// NCBI `blastn` defaults: reward 2, penalty −3, gaps 5/2.
+    pub fn blastn_default() -> Self {
+        Scoring::Dna { reward: 2, penalty: -3, gap_open: 5, gap_extend: 2 }
+    }
+
+    /// NCBI `blastp` defaults: BLOSUM62, gaps 11/1.
+    pub fn blastp_default() -> Self {
+        Scoring::Blosum62 { gap_open: 11, gap_extend: 1 }
+    }
+
+    /// The alphabet this scoring applies to.
+    pub fn alphabet(&self) -> Alphabet {
+        match self {
+            Scoring::Dna { .. } => Alphabet::Dna,
+            Scoring::Blosum62 { .. } => Alphabet::Protein,
+        }
+    }
+
+    /// Substitution score of two residue *codes*.
+    #[inline]
+    pub fn score(&self, a: u8, b: u8) -> i32 {
+        match self {
+            Scoring::Dna { reward, penalty, .. } => {
+                if a == b {
+                    *reward
+                } else {
+                    *penalty
+                }
+            }
+            Scoring::Blosum62 { .. } => BLOSUM62[a as usize][b as usize] as i32,
+        }
+    }
+
+    /// Gap open cost (positive).
+    pub fn gap_open(&self) -> i32 {
+        match self {
+            Scoring::Dna { gap_open, .. } | Scoring::Blosum62 { gap_open, .. } => *gap_open,
+        }
+    }
+
+    /// Gap extension cost (positive).
+    pub fn gap_extend(&self) -> i32 {
+        match self {
+            Scoring::Dna { gap_extend, .. } | Scoring::Blosum62 { gap_extend, .. } => *gap_extend,
+        }
+    }
+
+    /// Maximum substitution score in the system.
+    pub fn max_score(&self) -> i32 {
+        match self {
+            Scoring::Dna { reward, .. } => *reward,
+            Scoring::Blosum62 { .. } => 11, // W–W
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::alphabet::protein_code;
+
+    #[test]
+    fn blosum62_is_symmetric() {
+        for i in 0..24 {
+            for j in 0..24 {
+                assert_eq!(BLOSUM62[i][j], BLOSUM62[j][i], "asymmetry at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn blosum62_spot_values() {
+        let s = Scoring::blastp_default();
+        let c = |x: u8| protein_code(x);
+        assert_eq!(s.score(c(b'W'), c(b'W')), 11);
+        assert_eq!(s.score(c(b'A'), c(b'A')), 4);
+        assert_eq!(s.score(c(b'A'), c(b'R')), -1);
+        assert_eq!(s.score(c(b'C'), c(b'C')), 9);
+        assert_eq!(s.score(c(b'L'), c(b'I')), 2);
+        assert_eq!(s.score(c(b'W'), c(b'P')), -4);
+    }
+
+    #[test]
+    fn blosum62_diagonal_dominates_in_expectation() {
+        // Every residue scores itself at least as well as any substitution.
+        for i in 0..20 {
+            for j in 0..20 {
+                if i != j {
+                    assert!(BLOSUM62[i][i] as i32 > BLOSUM62[i][j] as i32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dna_scoring() {
+        let s = Scoring::blastn_default();
+        assert_eq!(s.score(0, 0), 2);
+        assert_eq!(s.score(0, 3), -3);
+        assert_eq!(s.gap_open(), 5);
+        assert_eq!(s.gap_extend(), 2);
+        assert_eq!(s.alphabet(), Alphabet::Dna);
+    }
+
+    #[test]
+    fn max_scores() {
+        assert_eq!(Scoring::blastn_default().max_score(), 2);
+        assert_eq!(Scoring::blastp_default().max_score(), 11);
+    }
+}

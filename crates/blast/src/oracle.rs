@@ -1,0 +1,197 @@
+//! A reference Smith–Waterman implementation used as a validation oracle.
+//!
+//! BLAST is a *heuristic* approximation of local alignment; its correctness
+//! contract is "finds the same high-scoring local alignments full dynamic
+//! programming would, for alignments strong enough to seed". This module
+//! implements the exact quadratic Smith–Waterman with affine gaps (Gotoh),
+//! against which the engine's tests check:
+//!
+//! * the engine's reported raw score never exceeds the optimal local score
+//!   (it is an alignment score, hence a lower bound witness);
+//! * for planted homologies above the seeding threshold, the engine's score
+//!   reaches a large fraction of the optimum.
+//!
+//! Quadratic time and memory — test-sized inputs only.
+
+use crate::matrix::Scoring;
+
+/// Optimal local alignment (Smith–Waterman, affine gaps) of residue-code
+/// sequences `a` and `b`. Returns the optimal score and the end coordinates
+/// (exclusive) of one optimal alignment.
+pub fn smith_waterman(a: &[u8], b: &[u8], scoring: &Scoring) -> (i32, usize, usize) {
+    let go = scoring.gap_open();
+    let ge = scoring.gap_extend();
+    let m = b.len();
+    const NEG: i32 = i32::MIN / 4;
+
+    let mut h_prev = vec![0i32; m + 1];
+    let mut h_cur = vec![0i32; m + 1];
+    let mut e = vec![NEG; m + 1]; // gap in a, per column (carried within row)
+    let mut f = vec![NEG; m + 1]; // gap in b, carried across rows
+    let mut best = 0i32;
+    let (mut bi, mut bj) = (0usize, 0usize);
+
+    for (i, &ac) in a.iter().enumerate() {
+        let mut e_run = NEG;
+        h_cur[0] = 0;
+        for j in 1..=m {
+            e_run = (h_cur[j - 1] - go - ge).max(e_run - ge);
+            f[j] = (h_prev[j] - go - ge).max(f[j] - ge);
+            let diag = h_prev[j - 1] + scoring.score(ac, b[j - 1]);
+            let cell = diag.max(e_run).max(f[j]).max(0);
+            h_cur[j] = cell;
+            if cell > best {
+                best = cell;
+                bi = i + 1;
+                bj = j;
+            }
+        }
+        e[0] = NEG; // silence unused warning path; e kept for clarity
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+    let _ = e;
+    (best, bi, bj)
+}
+
+/// Optimal *global* alignment score (Needleman–Wunsch, affine gaps) — the
+/// oracle for [`crate::gapped::banded_global_stats`] when the band is wide
+/// enough.
+pub fn needleman_wunsch(a: &[u8], b: &[u8], scoring: &Scoring) -> i32 {
+    let go = scoring.gap_open();
+    let ge = scoring.gap_extend();
+    let m = b.len();
+    const NEG: i32 = i32::MIN / 4;
+
+    let mut h_prev: Vec<i32> = (0..=m)
+        .map(|j| if j == 0 { 0 } else { -go - ge * j as i32 })
+        .collect();
+    let mut e_prev: Vec<i32> = (0..=m)
+        .map(|j| if j == 0 { NEG } else { -go - ge * j as i32 })
+        .collect();
+    let mut f_prev = vec![NEG; m + 1];
+    let mut h_cur = vec![NEG; m + 1];
+    let mut e_cur = vec![NEG; m + 1];
+    let mut f_cur = vec![NEG; m + 1];
+
+    for (i, &ac) in a.iter().enumerate() {
+        h_cur[0] = -go - ge * (i as i32 + 1);
+        f_cur[0] = h_cur[0];
+        e_cur[0] = NEG;
+        for j in 1..=m {
+            e_cur[j] = (h_cur[j - 1] - go - ge).max(e_cur[j - 1] - ge);
+            f_cur[j] = (h_prev[j] - go - ge).max(f_prev[j] - ge);
+            let diag = h_prev[j - 1] + scoring.score(ac, b[j - 1]);
+            h_cur[j] = diag.max(e_cur[j]).max(f_cur[j]);
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(&mut e_prev, &mut e_cur);
+        std::mem::swap(&mut f_prev, &mut f_cur);
+    }
+    h_prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gapped::{banded_global_stats, xdrop_extend};
+    use bioseq::alphabet::Alphabet;
+    use bioseq::gen;
+
+    fn dna(s: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode_seq(s)
+    }
+
+    #[test]
+    fn sw_finds_exact_repeat() {
+        let a = dna(b"TTTTACGTACGTTTTT");
+        let b = dna(b"GGGGACGTACGTGGGG");
+        let (score, ai, bj) = smith_waterman(&a, &b, &Scoring::blastn_default());
+        assert_eq!(score, 16, "8 matching bases x2");
+        assert_eq!(ai, 12);
+        assert_eq!(bj, 12);
+    }
+
+    #[test]
+    fn sw_zero_for_disjoint_alphabets() {
+        let a = dna(b"AAAAAAA");
+        let b = dna(b"TTTTTTT");
+        let (score, _, _) = smith_waterman(&a, &b, &Scoring::blastn_default());
+        assert_eq!(score, 0);
+    }
+
+    #[test]
+    fn sw_handles_gapped_optimum() {
+        // Align ACGTACGT vs ACGT--GT... deletion worth crossing.
+        let a = dna(b"ACGTAAACGT");
+        let b = dna(b"ACGTACGT");
+        let (score, _, _) = smith_waterman(&a, &b, &Scoring::blastn_default());
+        // match 8 ×2 = 16 minus gap (open 5 + 2×2=4) = 7? The optimum may
+        // also be the ungapped prefix ACGTA (10 - penalty...). Just compare
+        // against exhaustive expectations: score must be at least the
+        // ungapped prefix ACGTA=8 and the gapped 16-9=7 → ≥ 8.
+        assert!(score >= 8, "score {score}");
+    }
+
+    #[test]
+    fn nw_equals_banded_stats_with_wide_band() {
+        let mut r = gen::rng(9);
+        for _ in 0..10 {
+            let src = gen::random_dna(&mut r, 60, 0.5);
+            let a = dna(&gen::random_dna(&mut r, 60, 0.5));
+            let b = dna(&gen::mutate_dna(&mut r, &src, 0.2, 0.02));
+            let exact = needleman_wunsch(&a, &b, &Scoring::blastn_default());
+            let banded = banded_global_stats(&a, &b, &Scoring::blastn_default(), 80);
+            assert_eq!(banded.score, exact, "wide band must be exact");
+        }
+    }
+
+    #[test]
+    fn nw_on_homologs_matches_banded_default_band() {
+        // For realistic homologies the default band must already be exact.
+        let mut r = gen::rng(10);
+        for _ in 0..10 {
+            let src = gen::random_dna(&mut r, 120, 0.5);
+            let mutated = gen::mutate_dna(&mut r, &src, 0.05, 0.01);
+            let a = dna(&src);
+            let b = dna(&mutated);
+            let exact = needleman_wunsch(&a, &b, &Scoring::blastn_default());
+            let banded = banded_global_stats(&a, &b, &Scoring::blastn_default(), 16);
+            assert_eq!(banded.score, exact);
+        }
+    }
+
+    #[test]
+    fn xdrop_score_bounded_by_sw_optimum() {
+        // The X-drop extension score from any anchor can never exceed the
+        // optimal local alignment score.
+        let mut r = gen::rng(11);
+        for trial in 0..10 {
+            let src = gen::random_dna(&mut r, 100, 0.5);
+            let hom = gen::mutate_dna(&mut r, &src, 0.08, 0.01);
+            let a = dna(&src);
+            let b = dna(&hom);
+            let (opt, _, _) = smith_waterman(&a, &b, &Scoring::blastn_default());
+            let ext = xdrop_extend(&a, &b, &Scoring::blastn_default(), 40);
+            assert!(
+                ext.score <= opt,
+                "trial {trial}: xdrop {} exceeded SW optimum {opt}",
+                ext.score
+            );
+            // And for an anchored homolog it should be close.
+            assert!(
+                ext.score * 10 >= opt * 8,
+                "trial {trial}: xdrop {} too far below optimum {opt}",
+                ext.score
+            );
+        }
+    }
+
+    #[test]
+    fn protein_sw_spot_check() {
+        let a = Alphabet::Protein.encode_seq(b"MKVLAW");
+        let b = Alphabet::Protein.encode_seq(b"GGMKVLAWGG");
+        let (score, _, _) = smith_waterman(&a, &b, &Scoring::blastp_default());
+        // Self-score of MKVLAW: 5+5+4+4+4+11 = 33.
+        assert_eq!(score, 33);
+    }
+}

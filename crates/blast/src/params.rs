@@ -1,0 +1,164 @@
+//! Search parameters: the knobs of the pipeline.
+
+use crate::matrix::Scoring;
+
+/// Tunable parameters of one BLAST search, mirroring the NCBI option set the
+/// paper's wrapper passes through unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchParams {
+    /// Scoring system (also fixes the alphabet).
+    pub scoring: Scoring,
+    /// Seed word size (blastn default 11, blastp default 3).
+    pub word_size: usize,
+    /// Protein neighborhood threshold T: a database word seeds a hit when its
+    /// BLOSUM score against a query word is ≥ T. Ignored for DNA (exact
+    /// word match seeding).
+    pub threshold: i32,
+    /// Two-hit window A in residues (protein). `0` selects one-hit seeding.
+    pub two_hit_window: usize,
+    /// X-drop for ungapped extension, in bits.
+    pub xdrop_ungapped_bits: f64,
+    /// X-drop for gapped extension, in bits.
+    pub xdrop_gapped_bits: f64,
+    /// Ungapped score (in bits) that triggers gapped extension.
+    pub gap_trigger_bits: f64,
+    /// E-value cutoff: hits above this are discarded.
+    pub evalue_cutoff: f64,
+    /// Keep at most this many hits per query per searched unit
+    /// (`0` = unlimited). The paper's discussion of top-K pass-through
+    /// overhead (§III.A complexity analysis) is about exactly this knob.
+    pub max_hits_per_query: usize,
+    /// Apply low-complexity masking to queries (DUST for DNA, SEG-like
+    /// entropy masking for protein).
+    pub mask_low_complexity: bool,
+    /// Search both strands (DNA only).
+    pub both_strands: bool,
+    /// Translated-query mode (`blastx`): DNA queries are translated in all
+    /// six reading frames and searched against a protein database.
+    pub translated_query: bool,
+}
+
+impl SearchParams {
+    /// Defaults for nucleotide search (`blastn`-like).
+    pub fn blastn() -> Self {
+        SearchParams {
+            scoring: Scoring::blastn_default(),
+            word_size: 11,
+            threshold: 0,
+            two_hit_window: 0,
+            xdrop_ungapped_bits: 20.0,
+            xdrop_gapped_bits: 30.0,
+            gap_trigger_bits: 22.0,
+            evalue_cutoff: 10.0,
+            max_hits_per_query: 500,
+            mask_low_complexity: true,
+            both_strands: true,
+            translated_query: false,
+        }
+    }
+
+    /// Defaults for protein search (`blastp`-like).
+    pub fn blastp() -> Self {
+        SearchParams {
+            scoring: Scoring::blastp_default(),
+            word_size: 3,
+            threshold: 11,
+            two_hit_window: 40,
+            xdrop_ungapped_bits: 7.0,
+            xdrop_gapped_bits: 15.0,
+            gap_trigger_bits: 22.0,
+            evalue_cutoff: 10.0,
+            max_hits_per_query: 500,
+            mask_low_complexity: true,
+            both_strands: false,
+            translated_query: false,
+        }
+    }
+
+    /// Megablast-like defaults: long exact words (28) with cheap 1/−2
+    /// scoring — the mode NCBI uses for highly similar nucleotide matches
+    /// (the paper's metagenomic classification of near-identical reads is
+    /// exactly that regime).
+    pub fn megablast() -> Self {
+        SearchParams {
+            scoring: crate::Scoring::Dna { reward: 1, penalty: -2, gap_open: 2, gap_extend: 1 },
+            word_size: 28,
+            ..Self::blastn()
+        }
+    }
+
+    /// Defaults for translated nucleotide-vs-protein search (`blastx`-like):
+    /// protein parameters applied to six-frame translations of DNA queries.
+    pub fn blastx() -> Self {
+        SearchParams { translated_query: true, ..Self::blastp() }
+    }
+
+    /// Builder-style E-value cutoff override.
+    pub fn with_evalue(mut self, e: f64) -> Self {
+        self.evalue_cutoff = e;
+        self
+    }
+
+    /// Builder-style top-K override (`0` = unlimited).
+    pub fn with_max_hits(mut self, k: usize) -> Self {
+        self.max_hits_per_query = k;
+        self
+    }
+
+    /// Builder-style word size override.
+    pub fn with_word_size(mut self, w: usize) -> Self {
+        self.word_size = w;
+        self
+    }
+
+    /// Builder-style low-complexity masking toggle.
+    pub fn with_masking(mut self, on: bool) -> Self {
+        self.mask_low_complexity = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blastn_defaults_are_one_hit_exact_word() {
+        let p = SearchParams::blastn();
+        assert_eq!(p.word_size, 11);
+        assert_eq!(p.two_hit_window, 0);
+        assert!(p.both_strands);
+    }
+
+    #[test]
+    fn blastp_defaults_are_two_hit_neighborhood() {
+        let p = SearchParams::blastp();
+        assert_eq!(p.word_size, 3);
+        assert_eq!(p.threshold, 11);
+        assert_eq!(p.two_hit_window, 40);
+        assert!(!p.both_strands);
+    }
+
+    #[test]
+    fn megablast_uses_long_words() {
+        let p = SearchParams::megablast();
+        assert_eq!(p.word_size, 28);
+        assert!(matches!(p.scoring, crate::Scoring::Dna { reward: 1, penalty: -2, .. }));
+    }
+
+    #[test]
+    fn blastx_is_translated_protein_search() {
+        let p = SearchParams::blastx();
+        assert!(p.translated_query);
+        assert_eq!(p.word_size, 3);
+        assert!(matches!(p.scoring, crate::Scoring::Blosum62 { .. }));
+    }
+
+    #[test]
+    fn builders_override() {
+        let p = SearchParams::blastn().with_evalue(1e-4).with_max_hits(10).with_word_size(7);
+        assert_eq!(p.evalue_cutoff, 1e-4);
+        assert_eq!(p.max_hits_per_query, 10);
+        assert_eq!(p.word_size, 7);
+    }
+}

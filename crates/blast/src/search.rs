@@ -1,0 +1,695 @@
+//! The search driver: one (query block, database partition) work unit.
+//!
+//! This is the role the NCBI C++ Toolkit plays in the paper: given a block
+//! of queries and one DB partition, run the full pipeline and return hits
+//! whose E-values are computed against the *whole database* (the DB-length
+//! override), so results are mergeable across partitions by a simple sort.
+
+use bioseq::alphabet::Alphabet;
+use bioseq::db::{BlastDb, DbPartition};
+use bioseq::seq::SeqRecord;
+use bioseq::translate::{six_frame, Frame};
+
+use crate::dust::{default_dust, default_seg};
+use crate::extend::{ungapped_extend, DiagTracker};
+use crate::gapped::{banded_global_stats, xdrop_extend_banded, DEFAULT_BAND};
+use crate::hsp::{sort_and_truncate, Hit, Strand};
+use crate::lookup::{scan_words, Lookup};
+use crate::params::SearchParams;
+use crate::stats::KarlinParams;
+
+/// Convenience selector for the two search flavours the paper benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Nucleotide–nucleotide (`blastn`).
+    Blastn,
+    /// Protein–protein (`blastp`).
+    Blastp,
+    /// Translated nucleotide vs protein (`blastx`): six-frame query
+    /// translation.
+    Blastx,
+}
+
+impl SearchMode {
+    /// Default parameters for this mode.
+    pub fn params(self) -> SearchParams {
+        match self {
+            SearchMode::Blastn => SearchParams::blastn(),
+            SearchMode::Blastp => SearchParams::blastp(),
+            SearchMode::Blastx => SearchParams::blastx(),
+        }
+    }
+}
+
+/// One query context: a query in one orientation (and, for translated
+/// searches, one reading frame), encoded and masked.
+struct QueryCtx {
+    query_idx: u32,
+    strand: Strand,
+    /// Reading frame for translated (blastx) contexts.
+    frame: Option<Frame>,
+    codes: Vec<u8>,
+    /// Plus-strand *input* length of the original query in its own alphabet
+    /// (nucleotides for DNA and translated searches).
+    query_len: usize,
+}
+
+/// A query block preprocessed for searching: encoded contexts plus the word
+/// lookup table ("builds a word lookup table out of them", §II.B).
+pub struct PreparedQueries {
+    contexts: Vec<QueryCtx>,
+    ids: Vec<String>,
+    lookup: Lookup,
+    word_radix: u64,
+}
+
+/// The search engine: parameters plus derived statistics.
+pub struct BlastSearcher {
+    /// Search parameters in effect.
+    pub params: SearchParams,
+    gapped: KarlinParams,
+    ungapped: KarlinParams,
+}
+
+impl BlastSearcher {
+    /// Build a searcher from parameters.
+    pub fn new(params: SearchParams) -> Self {
+        BlastSearcher {
+            params,
+            gapped: KarlinParams::gapped(&params.scoring),
+            ungapped: KarlinParams::ungapped(&params.scoring),
+        }
+    }
+
+    /// Searcher with the default parameters of `mode`.
+    pub fn with_mode(mode: SearchMode) -> Self {
+        Self::new(mode.params())
+    }
+
+    /// The gapped Karlin–Altschul parameters in effect.
+    pub fn karlin_gapped(&self) -> KarlinParams {
+        self.gapped
+    }
+
+    /// Encode, mask and index a query block. This is the per-block setup the
+    /// paper's map() caches alongside the DB object.
+    pub fn prepare_queries(&self, queries: &[SeqRecord]) -> PreparedQueries {
+        let alphabet = self.params.scoring.alphabet();
+        let mut contexts = Vec::new();
+        let mut ids = Vec::with_capacity(queries.len());
+        for (qi, rec) in queries.iter().enumerate() {
+            ids.push(rec.id.clone());
+            if self.params.translated_query {
+                // blastx: six protein contexts per DNA query.
+                for (frame, protein) in six_frame(rec) {
+                    contexts.push(QueryCtx {
+                        query_idx: qi as u32,
+                        strand: if frame.reverse { Strand::Minus } else { Strand::Plus },
+                        frame: Some(frame),
+                        codes: Alphabet::Protein.encode_seq(&protein),
+                        query_len: rec.seq.len(),
+                    });
+                }
+                continue;
+            }
+            match alphabet {
+                Alphabet::Dna => {
+                    let codes = Alphabet::Dna.encode_seq(&rec.seq);
+                    contexts.push(QueryCtx {
+                        query_idx: qi as u32,
+                        strand: Strand::Plus,
+                        frame: None,
+                        codes,
+                        query_len: rec.seq.len(),
+                    });
+                    if self.params.both_strands {
+                        let rc = rec.reverse_complement();
+                        contexts.push(QueryCtx {
+                            query_idx: qi as u32,
+                            strand: Strand::Minus,
+                            frame: None,
+                            codes: Alphabet::Dna.encode_seq(&rc.seq),
+                            query_len: rec.seq.len(),
+                        });
+                    }
+                }
+                Alphabet::Protein => {
+                    contexts.push(QueryCtx {
+                        query_idx: qi as u32,
+                        strand: Strand::Plus,
+                        frame: None,
+                        codes: Alphabet::Protein.encode_seq(&rec.seq),
+                        query_len: rec.seq.len(),
+                    });
+                }
+            }
+        }
+
+        let masks: Vec<Vec<u8>> = contexts
+            .iter()
+            .map(|ctx| {
+                if !self.params.mask_low_complexity {
+                    return vec![0u8; ctx.codes.len()];
+                }
+                let bools = match alphabet {
+                    Alphabet::Dna => default_dust(&ctx.codes),
+                    Alphabet::Protein => default_seg(&ctx.codes),
+                };
+                bools.into_iter().map(u8::from).collect()
+            })
+            .collect();
+
+        let refs: Vec<(&[u8], &[u8])> = contexts
+            .iter()
+            .zip(&masks)
+            .map(|(c, m)| (c.codes.as_slice(), m.as_slice()))
+            .collect();
+        let (lookup, word_radix) = match alphabet {
+            Alphabet::Dna => (Lookup::build_dna(&refs, self.params.word_size), 4u64),
+            Alphabet::Protein => (
+                Lookup::build_protein(
+                    &refs,
+                    self.params.word_size,
+                    self.params.threshold,
+                    &self.params.scoring,
+                ),
+                24u64,
+            ),
+        };
+        PreparedQueries { contexts, ids, lookup, word_radix }
+    }
+
+    /// Search a query block against one partition, computing E-values
+    /// against `db_len` residues in `db_seqs` sequences (pass the *global*
+    /// totals to get the paper's DB-length override; pass the partition's own
+    /// numbers to get stand-alone statistics).
+    pub fn search_partition(
+        &self,
+        prepared: &PreparedQueries,
+        partition: &DbPartition,
+        db_len: u64,
+        db_seqs: u64,
+    ) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = Vec::new();
+        let xdrop_ungapped = self.ungapped_xdrop_raw();
+        let xdrop_gapped = self.gapped_xdrop_raw();
+        let gap_trigger_raw = self.ungapped.raw_for_bits(self.params.gap_trigger_bits);
+
+        for subject in &partition.sequences {
+            let s_codes = subject.data.to_codes();
+            if s_codes.len() < self.params.word_size {
+                continue;
+            }
+            let mut tracker = DiagTracker::new(self.params.two_hit_window);
+            let mut subject_hits: Vec<(u32, Hit)> = Vec::new();
+
+            scan_words(&s_codes, self.params.word_size, self.word_radix(prepared), |spos, word| {
+                for &(ctx_id, qpos) in prepared.lookup.seeds(word) {
+                    if !tracker.offer(ctx_id, qpos as usize, spos, self.params.word_size) {
+                        continue;
+                    }
+                    let ctx = &prepared.contexts[ctx_id as usize];
+                    let hsp = ungapped_extend(
+                        &ctx.codes,
+                        &s_codes,
+                        qpos as usize,
+                        spos,
+                        self.params.word_size,
+                        &self.params.scoring,
+                        xdrop_ungapped,
+                    );
+                    tracker.mark_extended(ctx_id, hsp.q_start, hsp.s_start, hsp.s_end);
+                    if hsp.score < gap_trigger_raw {
+                        continue;
+                    }
+                    // Gapped extension from the midpoint anchor.
+                    let anchor_q = (hsp.q_start + hsp.q_end) / 2;
+                    let anchor_s = hsp.s_start + (anchor_q - hsp.q_start);
+                    let fwd = xdrop_extend_banded(
+                        &ctx.codes[anchor_q..],
+                        &s_codes[anchor_s..],
+                        &self.params.scoring,
+                        xdrop_gapped,
+                        DEFAULT_BAND,
+                    );
+                    let q_rev: Vec<u8> = ctx.codes[..anchor_q].iter().rev().copied().collect();
+                    let s_rev: Vec<u8> = s_codes[..anchor_s].iter().rev().copied().collect();
+                    let bwd = xdrop_extend_banded(
+                        &q_rev,
+                        &s_rev,
+                        &self.params.scoring,
+                        xdrop_gapped,
+                        DEFAULT_BAND,
+                    );
+                    let q_beg = anchor_q - bwd.a_len;
+                    let q_end = anchor_q + fwd.a_len;
+                    let s_beg = anchor_s - bwd.b_len;
+                    let s_end = anchor_s + fwd.b_len;
+                    if q_end <= q_beg || s_end <= s_beg {
+                        continue;
+                    }
+                    tracker.mark_extended(ctx_id, q_beg, s_beg, s_end);
+
+                    // Identity/gap statistics over the final range.
+                    let stats = banded_global_stats(
+                        &ctx.codes[q_beg..q_end],
+                        &s_codes[s_beg..s_end],
+                        &self.params.scoring,
+                        16,
+                    );
+                    let raw = stats.score.max(fwd.score + bwd.score);
+                    // Statistics use the searched sequence's own length (the
+                    // translated length for blastx).
+                    let space = self.gapped.search_space(ctx.codes.len() as u64, db_len, db_seqs);
+                    let evalue = self.gapped.evalue(raw, space);
+                    if evalue > self.params.evalue_cutoff {
+                        continue;
+                    }
+                    // Map coordinates back to the plus strand of the input
+                    // (via the reading frame for translated searches).
+                    let (q_start_p, q_end_p) = match ctx.frame {
+                        Some(frame) => frame.to_nucleotide(q_beg, q_end, ctx.query_len),
+                        None => match ctx.strand {
+                            Strand::Plus => (q_beg, q_end),
+                            Strand::Minus => (ctx.query_len - q_end, ctx.query_len - q_beg),
+                        },
+                    };
+                    subject_hits.push((
+                        ctx_id,
+                        Hit {
+                            query_id: prepared.ids[ctx.query_idx as usize].clone(),
+                            subject_id: subject.id.clone(),
+                            raw_score: raw,
+                            bit_score: self.gapped.bit_score(raw),
+                            evalue,
+                            q_start: q_start_p as u32,
+                            q_end: q_end_p as u32,
+                            s_start: s_beg as u32,
+                            s_end: s_end as u32,
+                            strand: ctx.strand,
+                            identity: stats.identity,
+                            align_len: stats.align_len,
+                            gaps: stats.gaps,
+                        },
+                    ));
+                }
+            });
+
+            cull_subject_hits(&mut subject_hits);
+            hits.extend(subject_hits.into_iter().map(|(_, h)| h));
+        }
+
+        // Per-query top-K within this work unit (the paper's "we need to
+        // pass K hits from each DB partition").
+        if self.params.max_hits_per_query > 0 {
+            let mut by_query: std::collections::HashMap<String, Vec<Hit>> =
+                std::collections::HashMap::new();
+            for h in hits {
+                by_query.entry(h.query_id.clone()).or_default().push(h);
+            }
+            let mut out = Vec::new();
+            let mut keys: Vec<String> = by_query.keys().cloned().collect();
+            keys.sort();
+            for k in keys {
+                let mut v = by_query.remove(&k).expect("key exists");
+                sort_and_truncate(&mut v, self.params.max_hits_per_query);
+                out.extend(v);
+            }
+            out
+        } else {
+            hits
+        }
+    }
+
+    /// Serial whole-database search: loads every partition in turn and
+    /// merges per-query hits — the baseline the parallel results are
+    /// compared against bit-for-bit.
+    ///
+    /// # Errors
+    /// IO errors from partition loading.
+    pub fn search_db_serial(
+        &self,
+        queries: &[SeqRecord],
+        db: &BlastDb,
+    ) -> std::io::Result<Vec<Hit>> {
+        let prepared = self.prepare_queries(queries);
+        let mut all = Vec::new();
+        for p in 0..db.num_partitions() {
+            let part = db.load_partition(p)?;
+            all.extend(self.search_partition(
+                &prepared,
+                &part,
+                db.total_residues,
+                db.total_sequences,
+            ));
+        }
+        Ok(merge_hits(all, self.params.max_hits_per_query))
+    }
+
+    fn word_radix(&self, prepared: &PreparedQueries) -> u64 {
+        prepared.word_radix
+    }
+
+    fn ungapped_xdrop_raw(&self) -> i32 {
+        (self.params.xdrop_ungapped_bits * std::f64::consts::LN_2 / self.ungapped.lambda).ceil()
+            as i32
+    }
+
+    fn gapped_xdrop_raw(&self) -> i32 {
+        (self.params.xdrop_gapped_bits * std::f64::consts::LN_2 / self.gapped.lambda).ceil() as i32
+    }
+}
+
+/// Merge hits from several work units: group per query, sort by rank, apply
+/// the global top-K — exactly what the paper's reduce() does after
+/// collate().
+pub fn merge_hits(hits: Vec<Hit>, max_per_query: usize) -> Vec<Hit> {
+    let mut by_query: std::collections::HashMap<String, Vec<Hit>> =
+        std::collections::HashMap::new();
+    for h in hits {
+        by_query.entry(h.query_id.clone()).or_default().push(h);
+    }
+    let mut keys: Vec<String> = by_query.keys().cloned().collect();
+    keys.sort();
+    let mut out = Vec::new();
+    for k in keys {
+        let mut v = by_query.remove(&k).expect("key exists");
+        sort_and_truncate(&mut v, max_per_query);
+        out.extend(v);
+    }
+    out
+}
+
+/// Drop HSPs whose query interval overlaps a better same-(context, subject)
+/// HSP by more than half — removes the redundant alignments that multiple
+/// seeds of one homology produce.
+fn cull_subject_hits(hits: &mut Vec<(u32, Hit)>) {
+    hits.sort_by(|a, b| a.1.rank_cmp(&b.1));
+    let mut kept: Vec<(u32, u32, u32)> = Vec::new(); // (ctx, q_start, q_end)
+    hits.retain(|(ctx, h)| {
+        for &(kctx, ks, ke) in &kept {
+            if kctx == *ctx {
+                let ov_start = h.q_start.max(ks);
+                let ov_end = h.q_end.min(ke);
+                if ov_end > ov_start {
+                    let ov = ov_end - ov_start;
+                    if 2 * ov > h.q_end - h.q_start {
+                        return false;
+                    }
+                }
+            }
+        }
+        kept.push((*ctx, h.q_start, h.q_end));
+        true
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::db::{partition_records, FormatDbConfig};
+    use bioseq::gen;
+    use rand::Rng;
+
+    fn partition_of(records: &[SeqRecord], alphabet: Alphabet) -> DbPartition {
+        let cfg = match alphabet {
+            Alphabet::Dna => FormatDbConfig::dna(usize::MAX),
+            Alphabet::Protein => FormatDbConfig::protein(usize::MAX),
+        };
+        partition_records(records, &cfg).into_iter().next().expect("one partition")
+    }
+
+    #[test]
+    fn finds_planted_exact_match() {
+        let mut r = gen::rng(100);
+        let genome = gen::random_dna(&mut r, 5000, 0.5);
+        let db = vec![SeqRecord::new("subject", genome.clone())];
+        let query = vec![SeqRecord::new("q0", genome[1000..1400].to_vec())];
+        let searcher = BlastSearcher::with_mode(SearchMode::Blastn);
+        let prepared = searcher.prepare_queries(&query);
+        let part = partition_of(&db, Alphabet::Dna);
+        let hits = searcher.search_partition(&prepared, &part, 5000, 1);
+        assert!(!hits.is_empty(), "exact 400bp match must be found");
+        let best = &hits[0];
+        assert_eq!(best.subject_id, "subject");
+        assert_eq!(best.strand, Strand::Plus);
+        assert!(best.evalue < 1e-50, "evalue {}", best.evalue);
+        assert!(best.s_start >= 990 && best.s_end <= 1410, "range {}..{}", best.s_start, best.s_end);
+        assert!(best.percent_identity() > 99.0);
+    }
+
+    #[test]
+    fn finds_mutated_homolog() {
+        let mut r = gen::rng(101);
+        let genome = gen::random_dna(&mut r, 5000, 0.5);
+        let db = vec![SeqRecord::new("subject", genome.clone())];
+        let mutated = gen::mutate_dna(&mut r, &genome[2000..2400], 0.05, 0.005);
+        let query = vec![SeqRecord::new("q0", mutated)];
+        let searcher = BlastSearcher::with_mode(SearchMode::Blastn);
+        let prepared = searcher.prepare_queries(&query);
+        let part = partition_of(&db, Alphabet::Dna);
+        let hits = searcher.search_partition(&prepared, &part, 5000, 1);
+        assert!(!hits.is_empty(), "5%-mutated homolog must be found");
+        assert!(hits[0].percent_identity() > 85.0);
+        assert!(hits[0].evalue < 1e-20);
+    }
+
+    #[test]
+    fn finds_reverse_complement_hit() {
+        let mut r = gen::rng(102);
+        let genome = gen::random_dna(&mut r, 3000, 0.5);
+        let db = vec![SeqRecord::new("subject", genome.clone())];
+        let fragment = SeqRecord::new("frag", genome[500..900].to_vec());
+        let query = vec![fragment.reverse_complement()];
+        let searcher = BlastSearcher::with_mode(SearchMode::Blastn);
+        let prepared = searcher.prepare_queries(&query);
+        let part = partition_of(&db, Alphabet::Dna);
+        let hits = searcher.search_partition(&prepared, &part, 3000, 1);
+        assert!(!hits.is_empty(), "minus-strand hit must be found");
+        assert_eq!(hits[0].strand, Strand::Minus);
+        assert!(hits[0].s_start >= 490 && hits[0].s_end <= 910);
+    }
+
+    #[test]
+    fn random_decoy_produces_no_strong_hits() {
+        let mut r = gen::rng(103);
+        let db = vec![SeqRecord::new("subject", gen::random_dna(&mut r, 5000, 0.5))];
+        let query = vec![SeqRecord::new("decoy", gen::random_dna(&mut r, 400, 0.5))];
+        let searcher =
+            BlastSearcher::new(SearchParams::blastn().with_evalue(1e-6));
+        let prepared = searcher.prepare_queries(&query);
+        let part = partition_of(&db, Alphabet::Dna);
+        let hits = searcher.search_partition(&prepared, &part, 5000, 1);
+        assert!(hits.is_empty(), "decoy should have no hits at E<1e-6, got {hits:?}");
+    }
+
+    #[test]
+    fn db_length_override_changes_evalue_not_hits_order() {
+        let mut r = gen::rng(104);
+        let genome = gen::random_dna(&mut r, 4000, 0.5);
+        let db = vec![SeqRecord::new("subject", genome.clone())];
+        let query = vec![SeqRecord::new("q0", genome[100..500].to_vec())];
+        let searcher = BlastSearcher::with_mode(SearchMode::Blastn);
+        let prepared = searcher.prepare_queries(&query);
+        let part = partition_of(&db, Alphabet::Dna);
+        let local = searcher.search_partition(&prepared, &part, 4000, 1);
+        let global = searcher.search_partition(&prepared, &part, 400_000_000, 100_000);
+        assert_eq!(local.len(), global.len());
+        assert!(global[0].evalue > local[0].evalue, "bigger space, bigger E");
+        assert_eq!(local[0].raw_score, global[0].raw_score);
+    }
+
+    #[test]
+    fn protein_search_finds_homolog() {
+        let mut r = gen::rng(105);
+        let prot = gen::random_protein(&mut r, 1000);
+        let db = vec![SeqRecord::new("psubject", prot.clone())];
+        // 20% substituted homolog: detectable through BLOSUM62.
+        let mut frag = prot[300..500].to_vec();
+        for c in frag.iter_mut() {
+            if r.random::<f64>() < 0.2 {
+                *c = gen::random_protein(&mut r, 1)[0];
+            }
+        }
+        let query = vec![SeqRecord::new("pq", frag)];
+        let searcher = BlastSearcher::with_mode(SearchMode::Blastp);
+        let prepared = searcher.prepare_queries(&query);
+        let part = partition_of(&db, Alphabet::Protein);
+        let hits = searcher.search_partition(&prepared, &part, 1000, 1);
+        assert!(!hits.is_empty(), "protein homolog must be found");
+        assert!(hits[0].evalue < 1e-10);
+        assert!(hits[0].s_start >= 290 && hits[0].s_end <= 510);
+    }
+
+    #[test]
+    fn top_k_limits_per_query_hits() {
+        let mut r = gen::rng(106);
+        // One query matching many subjects (copies).
+        let fragment = gen::random_dna(&mut r, 400, 0.5);
+        let db: Vec<SeqRecord> = (0..10)
+            .map(|i| {
+                let mut g = gen::random_dna(&mut r, 200, 0.5);
+                g.extend_from_slice(&fragment);
+                g.extend(gen::random_dna(&mut r, 200, 0.5));
+                SeqRecord::new(format!("s{i}"), g)
+            })
+            .collect();
+        let query = vec![SeqRecord::new("q", fragment)];
+        let searcher = BlastSearcher::new(SearchParams::blastn().with_max_hits(3));
+        let prepared = searcher.prepare_queries(&query);
+        let part = partition_of(&db, Alphabet::Dna);
+        let hits = searcher.search_partition(&prepared, &part, 8000, 10);
+        assert_eq!(hits.len(), 3, "top-K must cap hits");
+    }
+
+    #[test]
+    fn serial_db_search_equals_partitioned_merge() {
+        let cfg = gen::WorkloadConfig {
+            db_seqs: 12,
+            db_seq_len: 1500,
+            queries: 15,
+            homolog_fraction: 0.8,
+            ..Default::default()
+        };
+        let w = gen::dna_workload(107, &cfg);
+        let dir = std::env::temp_dir().join(format!("blast-serialcmp-{}", std::process::id()));
+        // Several small partitions.
+        let db = bioseq::db::format_db(&w.db, &FormatDbConfig::dna(2000), &dir, "wl").unwrap();
+        assert!(db.num_partitions() > 2);
+        let searcher = BlastSearcher::with_mode(SearchMode::Blastn);
+
+        let serial = searcher.search_db_serial(&w.queries, &db).unwrap();
+
+        // Manual per-partition search + merge (what the MR pipeline does).
+        let prepared = searcher.prepare_queries(&w.queries);
+        let mut partitioned = Vec::new();
+        for p in 0..db.num_partitions() {
+            let part = db.load_partition(p).unwrap();
+            partitioned.extend(searcher.search_partition(
+                &part_prepared(&searcher, &w.queries, &prepared),
+                &part,
+                db.total_residues,
+                db.total_sequences,
+            ));
+        }
+        let merged = merge_hits(partitioned, searcher.params.max_hits_per_query);
+        assert_eq!(serial.len(), merged.len());
+        for (a, b) in serial.iter().zip(&merged) {
+            assert_eq!(a, b, "partitioned merge must equal serial output");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Identity helper so the test reads naturally; prepared queries are
+    // reusable across partitions (the paper caches them per rank).
+    fn part_prepared<'a>(
+        _searcher: &BlastSearcher,
+        _queries: &[SeqRecord],
+        prepared: &'a PreparedQueries,
+    ) -> &'a PreparedQueries {
+        prepared
+    }
+
+    /// Reverse-translate a protein with fixed codons (first codon per AA).
+    fn reverse_translate(protein: &[u8]) -> Vec<u8> {
+        let codon = |aa: u8| -> &'static [u8] {
+            match aa {
+                b'A' => b"GCT", b'R' => b"CGT", b'N' => b"AAT", b'D' => b"GAT",
+                b'C' => b"TGT", b'Q' => b"CAA", b'E' => b"GAA", b'G' => b"GGT",
+                b'H' => b"CAT", b'I' => b"ATT", b'L' => b"CTT", b'K' => b"AAA",
+                b'M' => b"ATG", b'F' => b"TTT", b'P' => b"CCT", b'S' => b"TCT",
+                b'T' => b"ACT", b'W' => b"TGG", b'Y' => b"TAT", b'V' => b"GTT",
+                _ => b"GCT",
+            }
+        };
+        protein.iter().flat_map(|&aa| codon(aa).iter().copied()).collect()
+    }
+
+    #[test]
+    fn blastx_finds_coding_region_in_forward_frame() {
+        let mut r = gen::rng(200);
+        let protein_db = vec![SeqRecord::new("prot", gen::random_protein(&mut r, 300))];
+        // DNA query: random flank + coding region for prot[100..180] + flank.
+        let coding = reverse_translate(&protein_db[0].seq[100..180]);
+        let mut dna = gen::random_dna(&mut r, 50, 0.5);
+        let cds_start = dna.len();
+        dna.extend_from_slice(&coding);
+        let cds_end = dna.len();
+        dna.extend(gen::random_dna(&mut r, 50, 0.5));
+        let query = vec![SeqRecord::new("dnaq", dna)];
+
+        let searcher = BlastSearcher::with_mode(SearchMode::Blastx);
+        let prepared = searcher.prepare_queries(&query);
+        let part = partition_of(&protein_db, Alphabet::Protein);
+        let hits = searcher.search_partition(&prepared, &part, 300, 1);
+        assert!(!hits.is_empty(), "blastx must find the coding region");
+        let best = &hits[0];
+        assert_eq!(best.subject_id, "prot");
+        assert!(best.evalue < 1e-20, "evalue {}", best.evalue);
+        // Nucleotide coordinates cover the planted CDS (allow fuzzy edges).
+        assert!(
+            (best.q_start as i64 - cds_start as i64).abs() <= 9,
+            "q_start {} vs cds {}",
+            best.q_start,
+            cds_start
+        );
+        assert!((best.q_end as i64 - cds_end as i64).abs() <= 9);
+        // Subject coordinates near the planted protein range.
+        assert!(best.s_start >= 95 && best.s_end <= 185);
+        assert_eq!(best.strand, Strand::Plus);
+    }
+
+    #[test]
+    fn blastx_finds_reverse_frame_hit() {
+        let mut r = gen::rng(201);
+        let protein_db = vec![SeqRecord::new("prot", gen::random_protein(&mut r, 200))];
+        let coding = reverse_translate(&protein_db[0].seq[50..120]);
+        let mut dna = gen::random_dna(&mut r, 30, 0.5);
+        dna.extend_from_slice(&coding);
+        dna.extend(gen::random_dna(&mut r, 30, 0.5));
+        // Search the reverse complement: the hit must appear on Minus.
+        let rc = SeqRecord::new("rcq", dna).reverse_complement();
+        let query = vec![SeqRecord { id: "rcq".into(), desc: String::new(), seq: rc.seq }];
+
+        let searcher = BlastSearcher::with_mode(SearchMode::Blastx);
+        let prepared = searcher.prepare_queries(&query);
+        let part = partition_of(&protein_db, Alphabet::Protein);
+        let hits = searcher.search_partition(&prepared, &part, 200, 1);
+        assert!(!hits.is_empty(), "reverse-frame coding region must be found");
+        assert_eq!(hits[0].strand, Strand::Minus);
+        assert!(hits[0].evalue < 1e-15);
+    }
+
+    #[test]
+    fn blastx_decoy_dna_has_no_strong_hits() {
+        let mut r = gen::rng(202);
+        let protein_db = vec![SeqRecord::new("prot", gen::random_protein(&mut r, 400))];
+        let query = vec![SeqRecord::new("noise", gen::random_dna(&mut r, 300, 0.5))];
+        let searcher = BlastSearcher::new(SearchParams::blastx().with_evalue(1e-6));
+        let prepared = searcher.prepare_queries(&query);
+        let part = partition_of(&protein_db, Alphabet::Protein);
+        let hits = searcher.search_partition(&prepared, &part, 400, 1);
+        assert!(hits.is_empty(), "random DNA should not hit at E<1e-6: {hits:?}");
+    }
+
+    #[test]
+    fn masking_suppresses_low_complexity_explosion() {
+        let mut r = gen::rng(108);
+        // Poly-A query against a DB with poly-A stretches.
+        let mut dbseq = gen::random_dna(&mut r, 2000, 0.5);
+        dbseq.extend(std::iter::repeat(b'A').take(500));
+        let db = vec![SeqRecord::new("s", dbseq)];
+        let query = vec![SeqRecord::new("polyA", vec![b'A'; 400])];
+        let part = partition_of(&db, Alphabet::Dna);
+
+        let masked = BlastSearcher::new(SearchParams::blastn().with_masking(true));
+        let prepared = masked.prepare_queries(&query);
+        let hits_masked = masked.search_partition(&prepared, &part, 2500, 1);
+        assert!(hits_masked.is_empty(), "masked poly-A query must not seed");
+
+        let unmasked = BlastSearcher::new(SearchParams::blastn().with_masking(false));
+        let prepared = unmasked.prepare_queries(&query);
+        let hits_unmasked = unmasked.search_partition(&prepared, &part, 2500, 1);
+        assert!(!hits_unmasked.is_empty(), "unmasked control should hit");
+    }
+}

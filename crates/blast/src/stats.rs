@@ -1,0 +1,278 @@
+//! Karlin–Altschul statistics: λ, K, H, bit scores, E-values, and effective
+//! search-space corrections.
+//!
+//! "At each stage, the remaining candidates have to pass the test for
+//! statistical significance, typically controlled by the user through the
+//! E-value cutoff parameter" (§II.B). Two statistical details matter to the
+//! paper's parallelization:
+//!
+//! * the **effective DB length override** — each work unit searches one
+//!   partition but must report E-values against the whole database, so the
+//!   caller passes the global residue count ([`KarlinParams::evalue`] takes
+//!   the effective space computed from it);
+//! * the **top-K pass-through** — because each partition keeps its own top-K
+//!   hits and the merge discards the excess after `collate()`, E-values must
+//!   be *identical* no matter which partition a hit came from; computing the
+//!   search space from global numbers guarantees that.
+//!
+//! The ungapped λ and H are solved exactly from the score distribution
+//! (Newton + bisection); K values come from the published NCBI tables for
+//! the supported scoring systems, exactly as the NCBI engine ships
+//! precomputed `blast_stat.c` tables.
+
+use crate::matrix::{Scoring, BLOSUM62};
+
+/// The Karlin–Altschul parameter triple plus gap costs context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KarlinParams {
+    /// Scale parameter λ.
+    pub lambda: f64,
+    /// Search-space constant K.
+    pub k: f64,
+    /// Relative entropy H (bits of information per aligned position pair).
+    pub h: f64,
+}
+
+impl KarlinParams {
+    /// Gapped parameters for a scoring system, from the NCBI tables.
+    ///
+    /// Supported systems: DNA (2,−3,5,2) [blastn default], DNA (1,−2,*,*)
+    /// (megablast-like), BLOSUM62 (11,1) [blastp default]. Unknown gap
+    /// combinations fall back to the system's ungapped parameters, matching
+    /// NCBI's behavior of rejecting unsupported combinations (we degrade
+    /// instead of erroring).
+    pub fn gapped(scoring: &Scoring) -> KarlinParams {
+        match scoring {
+            Scoring::Dna { reward: 2, penalty: -3, gap_open: 5, gap_extend: 2 } => {
+                // NCBI blast_stat.c: reward 2 / penalty -3, gaps 5/2.
+                KarlinParams { lambda: 0.62, k: 0.39, h: 1.1 }
+            }
+            Scoring::Dna { reward: 1, penalty: -2, .. } => {
+                KarlinParams { lambda: 1.28, k: 0.46, h: 0.85 }
+            }
+            Scoring::Blosum62 { gap_open: 11, gap_extend: 1 } => {
+                // The canonical BLOSUM62 gapped parameters.
+                KarlinParams { lambda: 0.267, k: 0.041, h: 0.14 }
+            }
+            _ => Self::ungapped(scoring),
+        }
+    }
+
+    /// Ungapped parameters solved from the score distribution under uniform
+    /// (DNA) or Robinson–Robinson-like (protein) background frequencies.
+    pub fn ungapped(scoring: &Scoring) -> KarlinParams {
+        match scoring {
+            Scoring::Dna { reward, penalty, .. } => {
+                let probs = [(f64::from(*reward), 0.25), (f64::from(*penalty), 0.75)];
+                let lambda = solve_lambda(&probs);
+                let h = entropy(&probs, lambda);
+                // K for blastn ungapped per NCBI tables (2,-3 → 0.46; close
+                // for nearby systems).
+                KarlinParams { lambda, k: 0.46, h }
+            }
+            Scoring::Blosum62 { .. } => {
+                // NCBI ungapped BLOSUM62: λ=0.3176, K=0.134, H=0.40.
+                KarlinParams { lambda: 0.3176, k: 0.134, h: 0.40 }
+            }
+        }
+    }
+
+    /// Bit score of a raw score.
+    pub fn bit_score(&self, raw: i32) -> f64 {
+        (self.lambda * f64::from(raw) - self.k.ln()) / std::f64::consts::LN_2
+    }
+
+    /// Raw score needed to reach a bit score (inverse of
+    /// [`KarlinParams::bit_score`], rounded up).
+    pub fn raw_for_bits(&self, bits: f64) -> i32 {
+        ((bits * std::f64::consts::LN_2 + self.k.ln()) / self.lambda).ceil() as i32
+    }
+
+    /// E-value of a raw score over an effective search space (product of
+    /// corrected query and database lengths).
+    pub fn evalue(&self, raw: i32, search_space: f64) -> f64 {
+        self.k * search_space * (-self.lambda * f64::from(raw)).exp()
+    }
+
+    /// Length adjustment ("edge-effect correction"): the expected length of
+    /// an alignment that arises by chance, iterated to a fixed point as in
+    /// NCBI's `BLAST_ComputeLengthAdjustment`.
+    pub fn length_adjustment(&self, query_len: u64, db_len: u64, db_seqs: u64) -> u64 {
+        if query_len == 0 || db_len == 0 {
+            return 0;
+        }
+        let m = query_len as f64;
+        let n = db_len as f64;
+        let ns = db_seqs.max(1) as f64;
+        let log_kmn = (self.k * m * n).max(2.0).ln();
+        let mut l = log_kmn / self.h;
+        for _ in 0..5 {
+            let me = (m - l).max(1.0);
+            let ne = (n - ns * l).max(1.0);
+            let next = (self.k * me * ne).max(2.0).ln() / self.h;
+            if (next - l).abs() < 0.5 {
+                l = next;
+                break;
+            }
+            l = next;
+        }
+        // Never correct away more than half of the query.
+        (l.max(0.0) as u64).min(query_len / 2)
+    }
+
+    /// Effective search space for one query against a database of
+    /// `db_len` residues in `db_seqs` sequences.
+    pub fn search_space(&self, query_len: u64, db_len: u64, db_seqs: u64) -> f64 {
+        let l = self.length_adjustment(query_len, db_len, db_seqs);
+        let m = (query_len.saturating_sub(l)).max(1) as f64;
+        let n = (db_len.saturating_sub(db_seqs.max(1) * l)).max(1) as f64;
+        m * n
+    }
+}
+
+/// Solve `Σ pᵢ·exp(λ·sᵢ) = 1` for λ > 0 by bisection. The score
+/// distribution must have positive maximum and negative expectation (the
+/// standard Karlin–Altschul conditions).
+///
+/// # Panics
+/// Panics if the conditions are violated (a scoring system with
+/// non-negative expected score has no meaningful statistics).
+pub fn solve_lambda(score_probs: &[(f64, f64)]) -> f64 {
+    let expect: f64 = score_probs.iter().map(|&(s, p)| s * p).sum();
+    let smax = score_probs.iter().map(|&(s, _)| s).fold(f64::MIN, f64::max);
+    assert!(expect < 0.0, "expected score must be negative, got {expect}");
+    assert!(smax > 0.0, "maximum score must be positive");
+
+    let f = |lambda: f64| -> f64 {
+        score_probs.iter().map(|&(s, p)| p * (lambda * s).exp()).sum::<f64>() - 1.0
+    };
+    // f(0) = 0; f'(0) = E[S] < 0; f(∞) = ∞. Find an upper bracket.
+    let mut hi = 1.0;
+    while f(hi) < 0.0 {
+        hi *= 2.0;
+        assert!(hi < 1e6, "lambda bracket failed");
+    }
+    let mut lo = 1e-9;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Relative entropy H (nats per pair) of the aligned-letter distribution at
+/// the given λ.
+fn entropy(score_probs: &[(f64, f64)], lambda: f64) -> f64 {
+    score_probs.iter().map(|&(s, p)| lambda * s * p * (lambda * s).exp()).sum()
+}
+
+/// Background amino-acid frequencies (Robinson–Robinson), indexed by the
+/// canonical 20 residues; used for validating the BLOSUM62 λ.
+const AA_FREQ: [f64; 20] = [
+    0.07805, 0.05129, 0.04487, 0.05364, 0.01925, 0.04264, 0.06295, 0.07377, 0.02199, 0.05142,
+    0.09019, 0.05744, 0.02243, 0.03856, 0.05203, 0.07120, 0.05841, 0.01330, 0.03216, 0.06441,
+];
+
+/// Solve the ungapped λ of BLOSUM62 under the Robinson–Robinson background —
+/// used as a self-check that our solver reproduces the canonical 0.3176.
+pub fn blosum62_ungapped_lambda() -> f64 {
+    let mut probs = Vec::with_capacity(400);
+    for i in 0..20 {
+        for j in 0..20 {
+            probs.push((f64::from(BLOSUM62[i][j]), AA_FREQ[i] * AA_FREQ[j]));
+        }
+    }
+    solve_lambda(&probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_for_blastn_defaults() {
+        // 0.25·e^{2λ} + 0.75·e^{−3λ} = 1 → λ ≈ 0.6337.
+        let l = solve_lambda(&[(2.0, 0.25), (-3.0, 0.75)]);
+        assert!((l - 0.6337).abs() < 1e-3, "lambda {l}");
+    }
+
+    #[test]
+    fn lambda_for_megablast_defaults() {
+        // reward 1, penalty −2: λ ≈ 1.0961? Solve 0.25 e^λ + 0.75 e^{−2λ} = 1.
+        let l = solve_lambda(&[(1.0, 0.25), (-2.0, 0.75)]);
+        let check = 0.25 * (l).exp() + 0.75 * (-2.0 * l).exp();
+        assert!((check - 1.0).abs() < 1e-9);
+        assert!(l > 0.5 && l < 2.0);
+    }
+
+    #[test]
+    fn blosum62_lambda_matches_published_value() {
+        let l = blosum62_ungapped_lambda();
+        assert!((l - 0.3176).abs() < 0.01, "BLOSUM62 ungapped lambda {l}");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn positive_expectation_rejected() {
+        let _ = solve_lambda(&[(1.0, 0.9), (-1.0, 0.1)]);
+    }
+
+    #[test]
+    fn bit_score_and_evalue_monotonicity() {
+        let kp = KarlinParams::gapped(&Scoring::blastp_default());
+        assert!(kp.bit_score(100) > kp.bit_score(50));
+        let space = 1e9;
+        assert!(kp.evalue(100, space) < kp.evalue(50, space));
+        // Doubling the space doubles E.
+        let e1 = kp.evalue(80, space);
+        let e2 = kp.evalue(80, 2.0 * space);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn raw_for_bits_inverts_bit_score() {
+        let kp = KarlinParams::gapped(&Scoring::blastn_default());
+        for bits in [10.0, 22.0, 50.0] {
+            let raw = kp.raw_for_bits(bits);
+            assert!(kp.bit_score(raw) >= bits);
+            assert!(kp.bit_score(raw - 1) < bits + 1.0);
+        }
+    }
+
+    #[test]
+    fn length_adjustment_reasonable() {
+        let kp = KarlinParams::gapped(&Scoring::blastp_default());
+        let l = kp.length_adjustment(300, 1_000_000_000, 1_000_000);
+        assert!(l > 10 && l <= 150, "adjustment {l}");
+        // Tiny query: adjustment capped at half the query.
+        assert!(kp.length_adjustment(10, 1_000_000_000, 1_000_000) <= 5);
+        assert_eq!(kp.length_adjustment(0, 100, 1), 0);
+    }
+
+    #[test]
+    fn search_space_positive_and_increasing_in_db() {
+        let kp = KarlinParams::gapped(&Scoring::blastn_default());
+        let s1 = kp.search_space(400, 1_000_000, 100);
+        let s2 = kp.search_space(400, 10_000_000, 1000);
+        assert!(s1 > 0.0);
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn db_length_override_scales_evalue_linearly() {
+        // The matrix-split invariant: same hit, partition-local space vs
+        // global space — E-value must scale with the space, so overriding
+        // with the global DB length reproduces whole-DB statistics.
+        let kp = KarlinParams::gapped(&Scoring::blastn_default());
+        let raw = 60;
+        let local = kp.search_space(400, 1_000_000, 500);
+        let global = kp.search_space(400, 109_000_000, 54_500);
+        let ratio = kp.evalue(raw, global) / kp.evalue(raw, local);
+        assert!((ratio - global / local).abs() / ratio < 1e-12);
+        assert!(ratio > 50.0, "global space must dominate, ratio {ratio}");
+    }
+}

@@ -1,0 +1,58 @@
+//! `mb-formatdb` — format a FASTA file into a partitioned BLAST database
+//! (the repository's equivalent of NCBI's `formatdb`, §III.A).
+//!
+//! ```text
+//! mb-formatdb --in refs.fa --out dbdir --name refdb [--protein]
+//!             [--partition-bytes 1048576]
+//! ```
+
+use bioseq::db::{format_db, FormatDbConfig};
+use bioseq::fasta::read_fasta_file;
+use mrbio::cliargs::Args;
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "mb-formatdb — partition a FASTA database\n\
+             \n\
+             required:\n  --in <fasta>           input FASTA file\n  \
+             --out <dir>            output directory\n  --name <name>          database name\n\
+             \n\
+             optional:\n  --protein              protein database (default: nucleotide)\n  \
+             --partition-bytes <n>  target packed partition size (default 1 MiB)"
+        );
+        return Ok(());
+    }
+    let args = Args::parse(&raw, &["protein"])?;
+    let input = args.require("in")?.to_string();
+    let out = args.require("out")?.to_string();
+    let name = args.require("name")?.to_string();
+    let protein = args.has("protein");
+    let partition_bytes = args.get_usize("partition-bytes", 1 << 20)?;
+    args.reject_unknown()?;
+
+    let records = read_fasta_file(&input).map_err(|e| format!("read {input}: {e}"))?;
+    let cfg = if protein {
+        FormatDbConfig::protein(partition_bytes)
+    } else {
+        FormatDbConfig::dna(partition_bytes)
+    };
+    let db = format_db(&records, &cfg, &out, &name).map_err(|e| format!("format: {e}"))?;
+    println!(
+        "formatted {} sequences / {} residues into {} partitions under {}/{}",
+        db.total_sequences,
+        db.total_residues,
+        db.num_partitions(),
+        out,
+        name
+    );
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("mb-formatdb: {e}");
+        std::process::exit(2);
+    }
+}

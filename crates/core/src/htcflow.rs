@@ -1,0 +1,333 @@
+//! A minimal HTC workflow engine — the substitute for the paper's "VICS
+//! workflow execution engine (unpublished internal software)" (§IV.A).
+//!
+//! The paper's comparison system executed "a matrix-split computation as a
+//! collection of 960 serial BLAST jobs followed by a few merge-sort and
+//! formatting jobs" on an HTC cluster, with data exchanged through a shared
+//! filesystem. This module provides the general form: a DAG of serial jobs
+//! with dependencies, executed by a fixed pool of virtual workers under
+//! list scheduling. Jobs run *for real* (their closures execute, their
+//! durations are measured); the worker clocks, start/end times, makespan
+//! and critical path are simulated from those measurements — the same
+//! virtual-time discipline as the rest of the workspace.
+//!
+//! [`crate::htc::run_htc`] is the specialized matrix-split fast path; this
+//! engine expresses arbitrary workflow shapes (diamond dependencies,
+//! fan-in merges, staged pipelines) for the HTC comparison benches.
+
+/// Identifier of a job within one workflow.
+pub type JobId = usize;
+
+struct JobSpec {
+    name: String,
+    deps: Vec<JobId>,
+    work: Box<dyn FnOnce()>,
+}
+
+/// Scheduling outcome of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Simulated start time (seconds).
+    pub start: f64,
+    /// Simulated end time.
+    pub end: f64,
+    /// Worker index that executed the job.
+    pub worker: usize,
+    /// Measured execution duration.
+    pub duration: f64,
+}
+
+/// Outcome of a workflow execution.
+#[derive(Debug, Clone)]
+pub struct WorkflowReport {
+    /// Per-job schedule, in job-id order.
+    pub jobs: Vec<JobReport>,
+    /// Simulated wall clock of the whole workflow.
+    pub makespan: f64,
+    /// Sum of all job durations (serial work).
+    pub total_work: f64,
+    /// Names along one critical dependency chain, root → sink.
+    pub critical_path: Vec<String>,
+}
+
+impl WorkflowReport {
+    /// Parallel efficiency: serial work ÷ (makespan × workers).
+    pub fn efficiency(&self, workers: usize) -> f64 {
+        if self.makespan <= 0.0 {
+            return 1.0;
+        }
+        self.total_work / (self.makespan * workers as f64)
+    }
+}
+
+/// A DAG of serial jobs.
+#[derive(Default)]
+pub struct Workflow {
+    jobs: Vec<JobSpec>,
+}
+
+impl Workflow {
+    /// Empty workflow.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a job depending on `deps` (which must already be added). Returns
+    /// the job's id.
+    ///
+    /// # Panics
+    /// Panics on a forward dependency (dependencies must be added first —
+    /// this also rules out cycles by construction).
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        deps: &[JobId],
+        work: impl FnOnce() + 'static,
+    ) -> JobId {
+        let id = self.jobs.len();
+        for &d in deps {
+            assert!(d < id, "job {id} depends on not-yet-added job {d}");
+        }
+        self.jobs.push(JobSpec { name: name.into(), deps: deps.to_vec(), work: Box::new(work) });
+        id
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs were added.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Execute every job (for real, in a dependency-respecting order) and
+    /// compute the schedule a pool of `workers` serial workers would have
+    /// produced under greedy list scheduling (jobs dispatched in readiness
+    /// order, earliest-free worker first).
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn execute(self, workers: usize) -> WorkflowReport {
+        assert!(workers > 0, "worker pool must be non-empty");
+        let n = self.jobs.len();
+
+        // Jobs are stored in topological order by construction (forward
+        // deps are rejected), so executing in id order is valid.
+        let mut durations = vec![0.0f64; n];
+        let mut names = Vec::with_capacity(n);
+        let mut deps = Vec::with_capacity(n);
+        for (i, job) in self.jobs.into_iter().enumerate() {
+            names.push(job.name);
+            deps.push(job.deps);
+            let t0 = std::time::Instant::now();
+            (job.work)();
+            durations[i] = t0.elapsed().as_secs_f64();
+        }
+
+        // List scheduling over the measured durations: repeatedly pick the
+        // ready job with the earliest possible start (ties: lowest id).
+        let mut ready_time = vec![0.0f64; n]; // max dep end, filled as deps finish
+        let mut scheduled = vec![false; n];
+        let mut end_time = vec![0.0f64; n];
+        let mut reports: Vec<Option<JobReport>> = (0..n).map(|_| None).collect();
+        let mut worker_free = vec![0.0f64; workers];
+        let mut remaining = n;
+        let mut done = vec![false; n];
+
+        while remaining > 0 {
+            // Ready = all deps done.
+            let mut pick: Option<(f64, usize, usize)> = None; // (start, job, worker)
+            for j in 0..n {
+                if scheduled[j] || !deps[j].iter().all(|&d| done[d]) {
+                    continue;
+                }
+                let (w, &free) = worker_free
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+                    .expect("workers non-empty");
+                let start = ready_time[j].max(free);
+                let better = match &pick {
+                    None => true,
+                    Some((s, _, _)) => start < *s,
+                };
+                if better {
+                    pick = Some((start, j, w));
+                }
+            }
+            let (start, j, w) = pick.expect("DAG must always have a ready job");
+            scheduled[j] = true;
+            let end = start + durations[j];
+            end_time[j] = end;
+            worker_free[w] = end;
+            reports[j] = Some(JobReport {
+                name: names[j].clone(),
+                start,
+                end,
+                worker: w,
+                duration: durations[j],
+            });
+            // Mark done and propagate readiness. (List scheduling with
+            // immediate completion of the picked job is valid because we
+            // always pick the globally earliest-startable job.)
+            done[j] = true;
+            for k in 0..n {
+                if deps[k].contains(&j) {
+                    ready_time[k] = ready_time[k].max(end);
+                }
+            }
+            remaining -= 1;
+        }
+
+        let makespan = end_time.iter().copied().fold(0.0, f64::max);
+        let total_work: f64 = durations.iter().sum();
+
+        // Critical path: walk back from the sink with the latest end,
+        // following the dependency that finished last.
+        let mut critical = Vec::new();
+        if n > 0 {
+            let mut cur = (0..n)
+                .max_by(|&a, &b| end_time[a].partial_cmp(&end_time[b]).expect("no NaN"))
+                .expect("non-empty");
+            loop {
+                critical.push(names[cur].clone());
+                match deps[cur]
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| end_time[a].partial_cmp(&end_time[b]).expect("no NaN"))
+                {
+                    Some(d) => cur = d,
+                    None => break,
+                }
+            }
+            critical.reverse();
+        }
+
+        WorkflowReport {
+            jobs: reports.into_iter().map(|r| r.expect("all scheduled")).collect(),
+            makespan,
+            total_work,
+            critical_path: critical,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn busy(units: u64) -> impl FnOnce() {
+        move || {
+            let mut x = 0u64;
+            for i in 0..units * 20_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(x);
+        }
+    }
+
+    #[test]
+    fn jobs_run_exactly_once_in_dependency_order() {
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut wf = Workflow::new();
+        let o1 = order.clone();
+        let a = wf.add("a", &[], move || o1.lock().unwrap().push("a"));
+        let o2 = order.clone();
+        let b = wf.add("b", &[a], move || o2.lock().unwrap().push("b"));
+        let o3 = order.clone();
+        let _c = wf.add("c", &[a, b], move || o3.lock().unwrap().push("c"));
+        let report = wf.execute(2);
+        assert_eq!(*order.lock().unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(report.jobs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not-yet-added")]
+    fn forward_dependencies_rejected() {
+        let mut wf = Workflow::new();
+        let _ = wf.add("bad", &[5], || {});
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let mut wf = Workflow::new();
+        let a = wf.add("a", &[], busy(50));
+        let b = wf.add("b", &[a], busy(50));
+        let _ = wf.add("c", &[b], busy(50));
+        let report = wf.execute(4);
+        let find = |n: &str| report.jobs.iter().find(|j| j.name == n).unwrap().clone();
+        assert!(find("b").start >= find("a").end - 1e-12);
+        assert!(find("c").start >= find("b").end - 1e-12);
+        // A pure chain gains nothing from 4 workers.
+        assert!((report.makespan - report.total_work).abs() / report.total_work < 0.05);
+        assert_eq!(report.critical_path, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn independent_jobs_spread_over_workers() {
+        let mut wf = Workflow::new();
+        for i in 0..8 {
+            wf.add(format!("job{i}"), &[], busy(60));
+        }
+        let report = wf.execute(4);
+        let used: std::collections::HashSet<usize> =
+            report.jobs.iter().map(|j| j.worker).collect();
+        assert_eq!(used.len(), 4, "all workers busy");
+        // Roughly total/4 makespan (loose: timing noise on a busy host).
+        assert!(report.makespan < report.total_work * 0.7);
+        assert!(report.efficiency(4) > 0.5);
+    }
+
+    #[test]
+    fn vics_shape_matrix_then_merge() {
+        // The paper's workflow: a grid of independent search jobs, then a
+        // merge job depending on all of them.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut wf = Workflow::new();
+        let mut grid = Vec::new();
+        for i in 0..12 {
+            let c = counter.clone();
+            grid.push(wf.add(format!("search{i}"), &[], move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                busy(30)();
+            }));
+        }
+        let c = counter.clone();
+        let merge = wf.add("merge", &grid, move || {
+            assert_eq!(c.load(Ordering::SeqCst), 12, "merge must run after the matrix");
+        });
+        let report = wf.execute(3);
+        let merge_rep = &report.jobs[merge];
+        for g in &grid {
+            assert!(merge_rep.start >= report.jobs[*g].end - 1e-12);
+        }
+        assert_eq!(report.critical_path.last().unwrap(), "merge");
+        assert_eq!(report.makespan, merge_rep.end);
+    }
+
+    #[test]
+    fn diamond_dependencies_schedule_correctly() {
+        let mut wf = Workflow::new();
+        let a = wf.add("a", &[], busy(20));
+        let b = wf.add("b", &[a], busy(80));
+        let c = wf.add("c", &[a], busy(20));
+        let _d = wf.add("d", &[b, c], busy(20));
+        let report = wf.execute(2);
+        // Critical path goes through the heavy branch.
+        assert_eq!(report.critical_path, vec!["a", "b", "d"]);
+    }
+
+    #[test]
+    fn empty_workflow() {
+        let report = Workflow::new().execute(2);
+        assert_eq!(report.makespan, 0.0);
+        assert!(report.jobs.is_empty());
+        assert!(report.critical_path.is_empty());
+    }
+}

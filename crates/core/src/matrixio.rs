@@ -1,0 +1,174 @@
+//! Dense on-disk vector matrices.
+//!
+//! "The program takes the input vectors as a dense matrix saved on disk in
+//! the platform floating point representation, and uses memory mapped files
+//! to access them on the worker nodes … Each work unit is thus described by
+//! a pair of offsets in that memory mapped file. This allows processing
+//! input datasets larger than the available RAM size." (§III.B)
+//!
+//! We reproduce the same access pattern with positional reads
+//! (`read_at`/pread) instead of `mmap`: lazy page-in, random block access by
+//! offset, no requirement that the matrix fit in RAM, and no extra crates.
+
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"MRSOMMAT";
+
+/// Handle to an on-disk row-major `f64` matrix of `n` rows × `dims` columns.
+#[derive(Debug)]
+pub struct VectorMatrix {
+    file: std::fs::File,
+    path: PathBuf,
+    /// Number of vectors (rows).
+    pub n: usize,
+    /// Dimensionality (columns).
+    pub dims: usize,
+}
+
+impl VectorMatrix {
+    /// Write `vectors` to `path` and return the open handle.
+    ///
+    /// # Errors
+    /// IO errors.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent dimensionality.
+    pub fn create(path: impl AsRef<Path>, vectors: &[Vec<f64>]) -> std::io::Result<VectorMatrix> {
+        let path = path.as_ref().to_path_buf();
+        let dims = vectors.first().map_or(0, Vec::len);
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&(vectors.len() as u64).to_le_bytes())?;
+        w.write_all(&(dims as u64).to_le_bytes())?;
+        for v in vectors {
+            assert_eq!(v.len(), dims, "ragged matrix rows");
+            for x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        w.flush()?;
+        drop(w);
+        Self::open(path)
+    }
+
+    /// Open an existing matrix file.
+    ///
+    /// # Errors
+    /// IO and format errors.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<VectorMatrix> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::open(&path)?;
+        let mut header = [0u8; 24];
+        file.read_exact_at(&mut header, 0)?;
+        if &header[..8] != MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "not a vector matrix file",
+            ));
+        }
+        let n = u64::from_le_bytes(header[8..16].try_into().expect("n")) as usize;
+        let dims = u64::from_le_bytes(header[16..24].try_into().expect("dims")) as usize;
+        Ok(VectorMatrix { file, path, n, dims })
+    }
+
+    /// Path of the backing file (work units ship this plus offsets).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read rows `[start, end)` with one positional read.
+    ///
+    /// # Errors
+    /// IO errors.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn read_rows(&self, start: usize, end: usize) -> std::io::Result<Vec<Vec<f64>>> {
+        assert!(start <= end && end <= self.n, "row range {start}..{end} out of 0..{}", self.n);
+        let rows = end - start;
+        let mut buf = vec![0u8; rows * self.dims * 8];
+        let offset = 24 + (start * self.dims * 8) as u64;
+        self.file.read_exact_at(&mut buf, offset)?;
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let mut row = Vec::with_capacity(self.dims);
+            for d in 0..self.dims {
+                let o = (r * self.dims + d) * 8;
+                row.push(f64::from_le_bytes(buf[o..o + 8].try_into().expect("f64")));
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Partition the rows into blocks of `block_size` (the SOM work units);
+    /// returns `(start, end)` offset pairs, last block possibly short.
+    pub fn blocks(&self, block_size: usize) -> Vec<(usize, usize)> {
+        assert!(block_size > 0, "block size must be positive");
+        (0..self.n.div_ceil(block_size))
+            .map(|b| (b * block_size, ((b + 1) * block_size).min(self.n)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmppath(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mrbio-mat-{tag}-{}.bin", std::process::id()))
+    }
+
+    fn sample(n: usize, dims: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| (0..dims).map(|d| (i * dims + d) as f64 * 0.5).collect()).collect()
+    }
+
+    #[test]
+    fn create_open_read_roundtrip() {
+        let path = tmppath("rt");
+        let data = sample(10, 4);
+        let m = VectorMatrix::create(&path, &data).unwrap();
+        assert_eq!((m.n, m.dims), (10, 4));
+        assert_eq!(m.read_rows(0, 10).unwrap(), data);
+        let reopened = VectorMatrix::open(&path).unwrap();
+        assert_eq!(reopened.read_rows(3, 7).unwrap(), data[3..7].to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_single_row_ranges() {
+        let path = tmppath("edge");
+        let data = sample(5, 3);
+        let m = VectorMatrix::create(&path, &data).unwrap();
+        assert!(m.read_rows(2, 2).unwrap().is_empty());
+        assert_eq!(m.read_rows(4, 5).unwrap(), vec![data[4].clone()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_bounds_rejected() {
+        let path = tmppath("oob");
+        let m = VectorMatrix::create(&path, &sample(3, 2)).unwrap();
+        let _ = m.read_rows(2, 4);
+    }
+
+    #[test]
+    fn blocks_tile_exactly() {
+        let path = tmppath("blocks");
+        let m = VectorMatrix::create(&path, &sample(103, 2)).unwrap();
+        let blocks = m.blocks(40);
+        assert_eq!(blocks, vec![(0, 40), (40, 80), (80, 103)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = tmppath("bad");
+        std::fs::write(&path, b"not a matrix").unwrap();
+        assert!(VectorMatrix::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

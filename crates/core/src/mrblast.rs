@@ -1,0 +1,469 @@
+//! MR-MPI BLAST: the paper's first application (Fig. 1).
+//!
+//! The control flow reproduced here, stage by stage:
+//!
+//! 1. the query set arrives pre-split into *query blocks*; the database is
+//!    pre-formatted into partitions (`bioseq::db`);
+//! 2. work items are `(query block, DB partition)` tuples; `map()` is run
+//!    with the master-worker mapstyle so that "each worker is kept occupied
+//!    as long as there are remaining work units";
+//! 3. each `map()` call runs the serial engine with the DB length overridden
+//!    to the whole database and emits `(query id → encoded HSP)` pairs;
+//! 4. `collate()` groups hits per query across partitions;
+//! 5. `reduce()` sorts by E-value, truncates to the requested top-K and
+//!    appends to the per-rank output file — "the results of the computations
+//!    are in a set of files, one per each MPI rank, with the hits for each
+//!    query located in only one file";
+//! 6. an outer loop over subsets of the query blocks bounds the KV working
+//!    set held in memory between `map()` and `reduce()`.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bioseq::db::{BlastDb, DbPartition};
+use bioseq::seq::SeqRecord;
+use blast::format::tabular_line;
+use blast::hsp::{sort_and_truncate, Hit};
+use blast::search::{BlastSearcher, PreparedQueries};
+use blast::SearchParams;
+use mpisim::Comm;
+use mrmpi::{MapReduce, MapStyle, Settings};
+
+use crate::util::BusyTracker;
+
+/// Configuration of one MR-MPI BLAST run.
+#[derive(Debug, Clone)]
+pub struct MrBlastConfig {
+    /// Engine parameters (passed through to the serial searcher unchanged —
+    /// the paper's "easy to support any of the multitudes of options").
+    pub params: SearchParams,
+    /// Task assignment policy; the paper uses master-worker.
+    pub map_style: MapStyle,
+    /// Use the locality-aware master (the paper's future-work scheduler):
+    /// workers preferentially receive work units for the DB partition they
+    /// already hold. Only effective with [`MapStyle::MasterWorker`].
+    pub locality_aware: bool,
+    /// Query blocks per MapReduce iteration (`0` = all blocks in one
+    /// iteration). Controls the intermediate key-value working set.
+    pub blocks_per_iteration: usize,
+    /// Directory for per-rank tabular output files (`None` = in-memory
+    /// only).
+    pub output_dir: Option<PathBuf>,
+    /// Drop hits of a shredded fragment against its own source sequence
+    /// (the paper excluded "hits of the RefSeq fragments against
+    /// themselves"). A fragment id `src/123-523` is considered self against
+    /// subject id `src`.
+    pub exclude_self: bool,
+    /// MapReduce engine settings (page size, memory budget, spill dir).
+    pub mr_settings: Settings,
+}
+
+impl MrBlastConfig {
+    /// Nucleotide defaults with master-worker scheduling.
+    pub fn blastn() -> Self {
+        MrBlastConfig {
+            params: SearchParams::blastn(),
+            map_style: MapStyle::MasterWorker,
+            locality_aware: false,
+            blocks_per_iteration: 0,
+            output_dir: None,
+            exclude_self: false,
+            mr_settings: Settings::default(),
+        }
+    }
+
+    /// Protein defaults with master-worker scheduling.
+    pub fn blastp() -> Self {
+        MrBlastConfig { params: SearchParams::blastp(), ..Self::blastn() }
+    }
+}
+
+/// Per-rank outcome of a run.
+#[derive(Debug)]
+pub struct MrBlastRankReport {
+    /// This rank.
+    pub rank: usize,
+    /// Hits reduced on this rank, in output-file order (each query's hits
+    /// are contiguous and sorted by E-value).
+    pub hits: Vec<Hit>,
+    /// Path of the per-rank output file, when file output was requested.
+    pub output_file: Option<PathBuf>,
+    /// Number of map() work items executed on this rank.
+    pub map_calls: u64,
+    /// Number of DB partition (re)loads this rank performed — the cache-miss
+    /// counter behind the paper's superlinear-speedup discussion.
+    pub db_loads: u64,
+    /// Busy intervals spent inside the search engine (rank-local clock).
+    pub busy: BusyTracker,
+    /// Rank-local virtual time at completion.
+    pub finish_time: f64,
+}
+
+/// Run MR-MPI BLAST collectively. Must be called by every rank of `comm`
+/// with identical arguments.
+pub fn run_mrblast(
+    comm: &Comm,
+    db: &BlastDb,
+    query_blocks: &[Vec<SeqRecord>],
+    cfg: &MrBlastConfig,
+) -> MrBlastRankReport {
+    let searcher = BlastSearcher::new(cfg.params);
+    let nparts = db.num_partitions();
+    let nblocks = query_blocks.len();
+    let per_iter = if cfg.blocks_per_iteration == 0 {
+        nblocks.max(1)
+    } else {
+        cfg.blocks_per_iteration
+    };
+
+    let mut report = MrBlastRankReport {
+        rank: comm.rank(),
+        hits: Vec::new(),
+        output_file: None,
+        map_calls: 0,
+        db_loads: 0,
+        busy: BusyTracker::new(),
+        finish_time: 0.0,
+    };
+
+    let mut out_file = match &cfg.output_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("create output dir");
+            let path = dir.join(format!("hits.rank{:04}.tsv", comm.rank()));
+            let f = std::fs::File::create(&path).expect("create rank output file");
+            report.output_file = Some(path);
+            Some(std::io::BufWriter::new(f))
+        }
+        None => None,
+    };
+
+    // Caches living across map() invocations on this rank (§III.A: "The DB
+    // object is cached between map() invocations on a given rank, and only
+    // re-initialized if the different DB partition is required").
+    let db_cache: RefCell<Option<(usize, DbPartition)>> = RefCell::new(None);
+    let q_cache: RefCell<Option<(usize, PreparedQueries)>> = RefCell::new(None);
+    let counters: RefCell<(u64, u64)> = RefCell::new((0, 0)); // (map_calls, db_loads)
+    let busy: RefCell<BusyTracker> = RefCell::new(BusyTracker::new());
+
+    let mut iter_start = 0usize;
+    while iter_start < nblocks {
+        let iter_end = (iter_start + per_iter).min(nblocks);
+        let iter_blocks = &query_blocks[iter_start..iter_end];
+        let ntasks = iter_blocks.len() * nparts;
+
+        let mut mr = MapReduce::with_settings(comm, cfg.mr_settings.clone());
+        let nblocks_iter = iter_blocks.len();
+        let mut map_body = |task: usize, kv: &mut mrmpi::KvEmitter<'_>| {
+            // Partition-major order: consecutive tasks share a partition, so
+            // sequential assignment reuses the cached DB object.
+            let part_idx = task / nblocks_iter;
+            let block_idx = task % nblocks_iter;
+
+            counters.borrow_mut().0 += 1;
+
+            // DB partition cache.
+            let mut db_slot = db_cache.borrow_mut();
+            let reload = !matches!(&*db_slot, Some((idx, _)) if *idx == part_idx);
+            if reload {
+                let t0 = Instant::now();
+                let part = db.load_partition(part_idx).expect("load DB partition");
+                comm.charge(t0.elapsed().as_secs_f64());
+                counters.borrow_mut().1 += 1;
+                *db_slot = Some((part_idx, part));
+            }
+            let (_, part) = db_slot.as_ref().expect("cache just filled");
+
+            // Prepared-query cache (global block index across iterations).
+            let global_block = iter_start + block_idx;
+            let mut q_slot = q_cache.borrow_mut();
+            let rebuild = !matches!(&*q_slot, Some((idx, _)) if *idx == global_block);
+            if rebuild {
+                let t0 = Instant::now();
+                let prepared = searcher.prepare_queries(&iter_blocks[block_idx]);
+                comm.charge(t0.elapsed().as_secs_f64());
+                *q_slot = Some((global_block, prepared));
+            }
+            let (_, prepared) = q_slot.as_ref().expect("cache just filled");
+
+            // The serial engine call — the paper's "useful" time.
+            let clock_start = comm.now();
+            let t0 = Instant::now();
+            let hits =
+                searcher.search_partition(prepared, part, db.total_residues, db.total_sequences);
+            let elapsed = t0.elapsed().as_secs_f64();
+            comm.charge(elapsed);
+            busy.borrow_mut().record(clock_start, clock_start + elapsed);
+
+            for hit in hits {
+                if cfg.exclude_self && is_self_hit(&hit) {
+                    continue;
+                }
+                kv.emit(hit.query_id.as_bytes(), &hit.encode());
+            }
+        };
+        if cfg.locality_aware && cfg.map_style == MapStyle::MasterWorker {
+            let affinity: Vec<usize> = (0..ntasks).map(|t| t / nblocks_iter).collect();
+            mr.map_tasks_affinity(ntasks, &affinity, &mut map_body);
+        } else {
+            mr.map_tasks(ntasks, cfg.map_style, &mut map_body);
+        }
+
+        mr.collate();
+
+        let max_hits = cfg.params.max_hits_per_query;
+        mr.reduce(&mut |key, values, _out| {
+            let mut hits: Vec<Hit> = values.map(Hit::decode).collect();
+            sort_and_truncate(&mut hits, max_hits);
+            debug_assert!(hits.iter().all(|h| h.query_id.as_bytes() == key));
+            if let Some(f) = out_file.as_mut() {
+                for h in &hits {
+                    writeln!(f, "{}", tabular_line(h)).expect("write hit line");
+                }
+            }
+            report.hits.extend(hits);
+        });
+
+        iter_start = iter_end;
+    }
+
+    if let Some(mut f) = out_file {
+        f.flush().expect("flush rank output");
+    }
+    comm.barrier();
+
+    let (map_calls, db_loads) = *counters.borrow();
+    report.map_calls = map_calls;
+    report.db_loads = db_loads;
+    report.busy = busy.into_inner();
+    report.finish_time = comm.now();
+    report
+}
+
+/// A shredded fragment `src/123-523` hitting subject `src` is a self-hit.
+pub(crate) fn is_self_hit(hit: &Hit) -> bool {
+    match hit.query_id.split_once('/') {
+        Some((src, _)) => src == hit.subject_id,
+        None => hit.query_id == hit.subject_id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::db::{format_db, FormatDbConfig};
+    use bioseq::gen::{self, WorkloadConfig};
+    use bioseq::shred::query_blocks;
+    use mpisim::World;
+    use std::sync::Arc;
+
+    struct Fixture {
+        db: BlastDb,
+        blocks: Vec<Vec<SeqRecord>>,
+        serial: Vec<Hit>,
+        dir: PathBuf,
+    }
+
+    fn fixture(seed: u64, tag: &str) -> Fixture {
+        let cfg = WorkloadConfig {
+            db_seqs: 10,
+            db_seq_len: 1200,
+            queries: 24,
+            homolog_fraction: 0.7,
+            ..Default::default()
+        };
+        let w = gen::dna_workload(seed, &cfg);
+        let dir =
+            std::env::temp_dir().join(format!("mrblast-test-{tag}-{}", std::process::id()));
+        let db = format_db(&w.db, &FormatDbConfig::dna(900), &dir, "db").unwrap();
+        let searcher = BlastSearcher::new(SearchParams::blastn());
+        let serial = searcher.search_db_serial(&w.queries, &db).unwrap();
+        let blocks = query_blocks(w.queries, 6);
+        Fixture { db, blocks, serial, dir }
+    }
+
+    fn sorted(mut hits: Vec<Hit>) -> Vec<Hit> {
+        hits.sort_by(|a, b| {
+            a.query_id.cmp(&b.query_id).then_with(|| a.rank_cmp(b))
+        });
+        hits
+    }
+
+    #[test]
+    fn parallel_output_matches_serial_for_every_rank_count() {
+        let fx = Arc::new(fixture(21, "match"));
+        assert!(fx.db.num_partitions() >= 3, "need several partitions");
+        assert!(!fx.serial.is_empty(), "workload must produce hits");
+        for ranks in [1, 2, 4] {
+            let fx2 = fx.clone();
+            let reports = World::new(ranks).run(move |comm| {
+                run_mrblast(comm, &fx2.db, &fx2.blocks, &MrBlastConfig::blastn())
+            });
+            let parallel: Vec<Hit> =
+                reports.into_iter().flat_map(|r| r.hits).collect();
+            assert_eq!(
+                sorted(parallel),
+                sorted(fx.serial.clone()),
+                "rank count {ranks} must reproduce serial output"
+            );
+        }
+    }
+
+    #[test]
+    fn each_query_reduced_on_exactly_one_rank() {
+        let fx = Arc::new(fixture(22, "onerank"));
+        let fx2 = fx.clone();
+        let reports = World::new(3).run(move |comm| {
+            run_mrblast(comm, &fx2.db, &fx2.blocks, &MrBlastConfig::blastn())
+        });
+        let mut owners: std::collections::HashMap<String, usize> = Default::default();
+        for rep in &reports {
+            for h in &rep.hits {
+                if let Some(prev) = owners.insert(h.query_id.clone(), rep.rank) {
+                    assert_eq!(
+                        prev, rep.rank,
+                        "query {} split across ranks {} and {}",
+                        h.query_id, prev, rep.rank
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_looping_preserves_results() {
+        let fx = Arc::new(fixture(23, "iters"));
+        let run_with = |blocks_per_iteration: usize| {
+            let fx = fx.clone();
+            let reports = World::new(2).run(move |comm| {
+                let cfg = MrBlastConfig {
+                    blocks_per_iteration,
+                    ..MrBlastConfig::blastn()
+                };
+                run_mrblast(comm, &fx.db, &fx.blocks, &cfg)
+            });
+            sorted(reports.into_iter().flat_map(|r| r.hits).collect())
+        };
+        assert_eq!(run_with(0), run_with(1), "per-block iterations must not change output");
+        assert_eq!(run_with(0), run_with(2));
+    }
+
+    #[test]
+    fn mapstyles_agree() {
+        let fx = Arc::new(fixture(24, "styles"));
+        let run_with = |style: MapStyle| {
+            let fx = fx.clone();
+            let reports = World::new(3).run(move |comm| {
+                let cfg = MrBlastConfig { map_style: style, ..MrBlastConfig::blastn() };
+                run_mrblast(comm, &fx.db, &fx.blocks, &cfg)
+            });
+            sorted(reports.into_iter().flat_map(|r| r.hits).collect())
+        };
+        let mw = run_with(MapStyle::MasterWorker);
+        assert_eq!(mw, run_with(MapStyle::Chunk));
+        assert_eq!(mw, run_with(MapStyle::RoundRobin));
+    }
+
+    #[test]
+    fn output_files_contain_all_hits() {
+        let fx = Arc::new(fixture(25, "files"));
+        let outdir = fx.dir.join("out");
+        let fx2 = fx.clone();
+        let od = outdir.clone();
+        let reports = World::new(2).run(move |comm| {
+            let cfg = MrBlastConfig {
+                output_dir: Some(od.clone()),
+                ..MrBlastConfig::blastn()
+            };
+            run_mrblast(comm, &fx2.db, &fx2.blocks, &cfg)
+        });
+        let mut lines = 0usize;
+        for rep in &reports {
+            let path = rep.output_file.as_ref().expect("file requested");
+            let content = std::fs::read_to_string(path).unwrap();
+            lines += content.lines().count();
+            for line in content.lines() {
+                assert_eq!(line.split('\t').count(), 12, "tabular format");
+            }
+        }
+        let total: usize = reports.iter().map(|r| r.hits.len()).sum();
+        assert_eq!(lines, total);
+        assert_eq!(total, fx.serial.len());
+        std::fs::remove_dir_all(&outdir).ok();
+    }
+
+    #[test]
+    fn exclude_self_drops_fragment_source_hits() {
+        // Shred a DB sequence into fragments and search with exclude_self.
+        let mut r = gen::rng(26);
+        let genome = gen::random_dna(&mut r, 3000, 0.5);
+        let db_recs = vec![SeqRecord::new("src0", genome)];
+        let dir = std::env::temp_dir().join(format!("mrblast-self-{}", std::process::id()));
+        let db = format_db(&db_recs, &FormatDbConfig::dna(usize::MAX), &dir, "db").unwrap();
+        let frags = bioseq::shred::shred_record(
+            &db_recs[0],
+            &bioseq::shred::ShredConfig::default(),
+        );
+        let blocks = query_blocks(frags, 4);
+        let db = Arc::new(db);
+        let blocks = Arc::new(blocks);
+
+        let run_with = |exclude: bool| {
+            let db = db.clone();
+            let blocks = blocks.clone();
+            let reports = World::new(2).run(move |comm| {
+                let cfg = MrBlastConfig { exclude_self: exclude, ..MrBlastConfig::blastn() };
+                run_mrblast(comm, &db, &blocks, &cfg)
+            });
+            reports.into_iter().flat_map(|r| r.hits).collect::<Vec<Hit>>()
+        };
+        let with = run_with(false);
+        let without = run_with(true);
+        assert!(!with.is_empty(), "fragments must hit their source");
+        assert!(
+            without.is_empty(),
+            "all hits are self-hits here, exclusion must drop them: {without:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn locality_aware_scheduler_preserves_results_and_cuts_reloads() {
+        let fx = Arc::new(fixture(28, "locality"));
+        let run_with = |locality: bool| {
+            let fx = fx.clone();
+            let reports = World::new(4).run(move |comm| {
+                let cfg = MrBlastConfig { locality_aware: locality, ..MrBlastConfig::blastn() };
+                run_mrblast(comm, &fx.db, &fx.blocks, &cfg)
+            });
+            let loads: u64 = reports.iter().map(|r| r.db_loads).sum();
+            let hits = sorted(reports.into_iter().flat_map(|r| r.hits).collect::<Vec<_>>());
+            (hits, loads)
+        };
+        let (plain_hits, plain_loads) = run_with(false);
+        let (loc_hits, loc_loads) = run_with(true);
+        assert_eq!(plain_hits, loc_hits, "locality must not change results");
+        assert!(
+            loc_loads <= plain_loads,
+            "locality-aware master should not increase DB loads: {loc_loads} vs {plain_loads}"
+        );
+    }
+
+    #[test]
+    fn counters_track_cache_behaviour() {
+        let fx = Arc::new(fixture(27, "counters"));
+        let nparts = fx.db.num_partitions() as u64;
+        let nblocks = fx.blocks.len() as u64;
+        let fx2 = fx.clone();
+        let reports = World::new(1).run(move |comm| {
+            run_mrblast(comm, &fx2.db, &fx2.blocks, &MrBlastConfig::blastn())
+        });
+        let rep = &reports[0];
+        assert_eq!(rep.map_calls, nparts * nblocks);
+        // Partition-major order on a single rank: each partition loaded once.
+        assert_eq!(rep.db_loads, nparts, "one load per partition expected");
+        assert!(rep.busy.busy_total() > 0.0);
+        assert!(rep.finish_time >= rep.busy.busy_total() * 0.99);
+    }
+}

@@ -1,0 +1,560 @@
+//! MR-MPI batch SOM: the paper's second application (Fig. 2).
+//!
+//! Per epoch:
+//!
+//! 1. "the copy of the codebook is distributed with MPI_Broadcast() from the
+//!    master to all worker nodes at the start of each epoch";
+//! 2. work units — blocks of input vectors described by offsets into the
+//!    on-disk dense matrix — are distributed by the MapReduce `map()`;
+//! 3. each `map()` call accumulates contributions to the numerator and
+//!    denominator of Eq. 5 into two rank-local arrays;
+//! 4. "at the end of the epoch, a collective MPI_Reduce() call is used to
+//!    sum all newly computed numerators and denominators, and the new
+//!    codebook is computed as per Eq. 5. … No reduce() stage is used in
+//!    this program."
+//!
+//! The mix of MapReduce task scheduling and *direct* MPI collectives is the
+//! paper's stated optimization; [`run_mrsom_collate`] implements the pure-
+//! MapReduce alternative (emit per-neuron contributions as key-value pairs
+//! and `collate()` them) so the ablation bench can quantify the difference.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use mpisim::{Comm, ReduceOp};
+use mrmpi::{MapReduce, MapStyle, Settings};
+use som::batch::{init_codebook, BatchAccumulator};
+use som::codebook::Codebook;
+use som::neighborhood::{sigma_schedule, SomConfig};
+
+use crate::matrixio::VectorMatrix;
+use crate::util::BusyTracker;
+
+/// Configuration of one MR-MPI batch SOM run.
+#[derive(Debug, Clone)]
+pub struct MrSomConfig {
+    /// Map shape, dimensionality, epochs, schedules, seed.
+    pub som: SomConfig,
+    /// Input vectors per work unit (the paper's Fig. 6 uses blocks of 40).
+    pub block_size: usize,
+    /// Task assignment policy ("we are again using the master-worker
+    /// execution mode, although in the case of SOM this is not as
+    /// critical").
+    pub map_style: MapStyle,
+    /// MapReduce engine settings.
+    pub mr_settings: Settings,
+    /// Checkpoint the codebook to this directory every
+    /// `checkpoint_every` epochs, and resume from the newest checkpoint on
+    /// startup. The paper notes that "the price for this extra flexibility
+    /// and portability is a lack of fault-tolerance inherent in the
+    /// underlying MPI execution model" (§II.A) — epoch-level checkpointing
+    /// is the standard mitigation for a BSP program, so it is provided
+    /// here.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Epoch interval between checkpoints (`0` disables even when a
+    /// directory is set).
+    pub checkpoint_every: usize,
+    /// Stop gracefully after this many total epochs have completed (e.g. a
+    /// wall-time limit on the allocation), leaving the schedule intact so a
+    /// resumed run continues exactly where this one stopped. `None` = train
+    /// to `som.epochs`.
+    pub stop_after_epochs: Option<usize>,
+}
+
+impl MrSomConfig {
+    /// Paper-style defaults for a given SOM shape.
+    pub fn new(som: SomConfig) -> Self {
+        MrSomConfig {
+            som,
+            block_size: 40,
+            map_style: MapStyle::MasterWorker,
+            mr_settings: Settings::default(),
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            stop_after_epochs: None,
+        }
+    }
+}
+
+/// Per-rank outcome of a run.
+#[derive(Debug)]
+pub struct MrSomRankReport {
+    /// This rank.
+    pub rank: usize,
+    /// Work units (vector blocks) processed by this rank over all epochs.
+    pub blocks_processed: u64,
+    /// Busy intervals spent in BMU search + accumulation.
+    pub busy: BusyTracker,
+    /// Rank-local virtual time at completion.
+    pub finish_time: f64,
+}
+
+/// Run MR-MPI batch SOM collectively; every rank returns the final codebook
+/// (identical on all ranks) plus its own report.
+pub fn run_mrsom(
+    comm: &Comm,
+    matrix: &VectorMatrix,
+    cfg: &MrSomConfig,
+) -> (Codebook, MrSomRankReport) {
+    let som = &cfg.som;
+    assert_eq!(matrix.dims, som.dims, "matrix dims must match SOM config");
+
+    // Master initializes (random or PCA over a bounded sample of the input
+    // matrix, or the newest checkpoint when resuming); everyone receives
+    // via broadcast (Fig. 2).
+    let mut start_epoch = [0.0f64];
+    let mut cb = if comm.rank() == 0 {
+        match load_latest_checkpoint(cfg) {
+            Some((epoch, cb)) => {
+                start_epoch[0] = epoch as f64;
+                cb
+            }
+            None => master_init_codebook(som, matrix),
+        }
+    } else {
+        Codebook::zeros(som.rows, som.cols, som.dims).with_torus(som.torus)
+    };
+    comm.bcast_f64s(0, &mut start_epoch);
+    let start_epoch = start_epoch[0] as usize;
+    let sigma0 = som.sigma0_for(cb.half_diagonal());
+    let blocks = matrix.blocks(cfg.block_size);
+    let nn = cb.num_neurons();
+    let dims = cb.dims;
+
+    let busy: RefCell<BusyTracker> = RefCell::new(BusyTracker::new());
+    let blocks_processed: RefCell<u64> = RefCell::new(0);
+
+    for epoch in start_epoch..som.epochs {
+        comm.bcast_f64s(0, &mut cb.weights);
+        let sigma = sigma_schedule(sigma0, som.sigma_end, som.epochs, epoch);
+
+        let acc: RefCell<BatchAccumulator> = RefCell::new(BatchAccumulator::zeros(&cb));
+        let mut mr = MapReduce::with_settings(comm, cfg.mr_settings.clone());
+        mr.map_tasks(blocks.len(), cfg.map_style, &mut |b, _kv| {
+            let (start, end) = blocks[b];
+            let t_load = Instant::now();
+            let inputs = matrix.read_rows(start, end).expect("read vector block");
+            comm.charge(t_load.elapsed().as_secs_f64());
+
+            let clock_start = comm.now();
+            let t0 = Instant::now();
+            acc.borrow_mut().accumulate_block_with(&cb, &inputs, sigma, som.kernel);
+            let elapsed = t0.elapsed().as_secs_f64();
+            comm.charge(elapsed);
+            busy.borrow_mut().record(clock_start, clock_start + elapsed);
+            *blocks_processed.borrow_mut() += 1;
+        });
+
+        // Direct MPI: one reduce over [numerator ‖ denominator].
+        let acc = acc.into_inner();
+        let mut packed = acc.numerator;
+        packed.extend_from_slice(&acc.denominator);
+        let mut summed = vec![0.0; packed.len()];
+        let is_root = comm.reduce_f64(0, &packed, &mut summed, ReduceOp::Sum);
+        if is_root {
+            let merged = BatchAccumulator::from_parts(
+                summed[..nn * dims].to_vec(),
+                summed[nn * dims..].to_vec(),
+                dims,
+            );
+            merged.apply(&mut cb);
+            write_checkpoint(cfg, epoch + 1, &cb);
+        }
+        if cfg.stop_after_epochs.is_some_and(|stop| epoch + 1 >= stop) {
+            break;
+        }
+    }
+    // Final broadcast so every rank returns the trained map.
+    comm.bcast_f64s(0, &mut cb.weights);
+    comm.barrier();
+
+    let report = MrSomRankReport {
+        rank: comm.rank(),
+        blocks_processed: blocks_processed.into_inner(),
+        busy: busy.into_inner(),
+        finish_time: comm.now(),
+    };
+    (cb, report)
+}
+
+/// Checkpoint file layout: `som-epoch-<NNNN>.cbk` per completed epoch.
+fn checkpoint_path(dir: &std::path::Path, epoch: usize) -> std::path::PathBuf {
+    dir.join(format!("som-epoch-{epoch:04}.cbk"))
+}
+
+fn write_checkpoint(cfg: &MrSomConfig, completed_epochs: usize, cb: &Codebook) {
+    let Some(dir) = &cfg.checkpoint_dir else { return };
+    if cfg.checkpoint_every == 0 || completed_epochs % cfg.checkpoint_every != 0 {
+        return;
+    }
+    std::fs::create_dir_all(dir).expect("create checkpoint dir");
+    cb.save(checkpoint_path(dir, completed_epochs)).expect("write checkpoint");
+}
+
+fn load_latest_checkpoint(cfg: &MrSomConfig) -> Option<(usize, Codebook)> {
+    let dir = cfg.checkpoint_dir.as_ref()?;
+    let mut best: Option<(usize, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(num) = name.strip_prefix("som-epoch-").and_then(|n| n.strip_suffix(".cbk")) {
+            if let Ok(epoch) = num.parse::<usize>() {
+                if best.as_ref().is_none_or(|(b, _)| epoch > *b) {
+                    best = Some((epoch, entry.path()));
+                }
+            }
+        }
+    }
+    let (epoch, path) = best?;
+    Some((epoch, Codebook::load(path).expect("read checkpoint")))
+}
+
+/// Rows used for PCA-plane initialization when the input matrix is large:
+/// the basis is estimated from a bounded prefix so initialization stays
+/// O(sample) regardless of dataset size. (Serial `batch_train` uses all
+/// inputs; the two agree exactly whenever the dataset fits the sample.)
+const PCA_SAMPLE_ROWS: usize = 4096;
+
+fn master_init_codebook(som: &SomConfig, matrix: &VectorMatrix) -> Codebook {
+    match som.init {
+        som::InitMethod::Random => init_codebook(som, &[]),
+        som::InitMethod::PcaPlane => {
+            let sample_end = matrix.n.min(PCA_SAMPLE_ROWS);
+            let sample = matrix.read_rows(0, sample_end).expect("read PCA sample");
+            init_codebook(som, &sample)
+        }
+    }
+}
+
+/// The pure-MapReduce variant for the ablation: instead of the direct
+/// `MPI_Reduce`, every map() emits one key-value pair per work unit per
+/// neuron row (`key = neuron index`, `value = [numerator row ‖ denominator]`)
+/// and a full `collate()` + `reduce()` + `gather()` cycle reconstructs the
+/// codebook on the master. Mathematically identical; the bench measures
+/// what the extra key-value traffic costs.
+pub fn run_mrsom_collate(
+    comm: &Comm,
+    matrix: &VectorMatrix,
+    cfg: &MrSomConfig,
+) -> (Codebook, MrSomRankReport) {
+    let som = &cfg.som;
+    assert_eq!(matrix.dims, som.dims, "matrix dims must match SOM config");
+
+    let mut cb = if comm.rank() == 0 {
+        master_init_codebook(som, matrix)
+    } else {
+        Codebook::zeros(som.rows, som.cols, som.dims).with_torus(som.torus)
+    };
+    let sigma0 = som.sigma0_for(cb.half_diagonal());
+    let blocks = matrix.blocks(cfg.block_size);
+    let dims = cb.dims;
+
+    let busy: RefCell<BusyTracker> = RefCell::new(BusyTracker::new());
+    let blocks_processed: RefCell<u64> = RefCell::new(0);
+
+    for epoch in 0..som.epochs {
+        comm.bcast_f64s(0, &mut cb.weights);
+        let sigma = sigma_schedule(sigma0, som.sigma_end, som.epochs, epoch);
+
+        let mut mr = MapReduce::with_settings(comm, cfg.mr_settings.clone());
+        mr.map_tasks(blocks.len(), cfg.map_style, &mut |b, kv| {
+            let (start, end) = blocks[b];
+            let inputs = matrix.read_rows(start, end).expect("read vector block");
+            let clock_start = comm.now();
+            let t0 = Instant::now();
+            let mut acc = BatchAccumulator::zeros(&cb);
+            acc.accumulate_block_with(&cb, &inputs, sigma, som.kernel);
+            let elapsed = t0.elapsed().as_secs_f64();
+            comm.charge(elapsed);
+            busy.borrow_mut().record(clock_start, clock_start + elapsed);
+            *blocks_processed.borrow_mut() += 1;
+            // Emit per-neuron rows — this is the traffic the direct-MPI
+            // version avoids.
+            for n in 0..cb.num_neurons() {
+                if acc.denominator[n] <= 0.0 {
+                    continue;
+                }
+                let mut row = acc.numerator[n * dims..(n + 1) * dims].to_vec();
+                row.push(acc.denominator[n]);
+                kv.emit(&(n as u64).to_le_bytes(), &mpisim::wire::f64s_to_bytes(&row));
+            }
+        });
+
+        mr.collate();
+        mr.reduce(&mut |key, values, out| {
+            let mut sum = vec![0.0f64; dims + 1];
+            for v in values {
+                let row = mpisim::wire::bytes_to_f64s(v);
+                for (s, r) in sum.iter_mut().zip(&row) {
+                    *s += r;
+                }
+            }
+            out.emit(key, &mpisim::wire::f64s_to_bytes(&sum));
+        });
+        mr.gather(1);
+
+        if comm.rank() == 0 {
+            mr.kv_for_each(|key, value| {
+                let n = u64::from_le_bytes(key.try_into().expect("neuron key")) as usize;
+                let row = mpisim::wire::bytes_to_f64s(value);
+                let den = row[dims];
+                if den > 1e-12 {
+                    for (w, num) in cb.neuron_mut(n).iter_mut().zip(&row[..dims]) {
+                        *w = num / den;
+                    }
+                }
+            });
+        }
+        comm.barrier();
+    }
+    comm.bcast_f64s(0, &mut cb.weights);
+    comm.barrier();
+
+    let report = MrSomRankReport {
+        rank: comm.rank(),
+        blocks_processed: blocks_processed.into_inner(),
+        busy: busy.into_inner(),
+        finish_time: comm.now(),
+    };
+    (cb, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::World;
+    use som::batch::batch_train;
+    use std::path::PathBuf;
+
+    fn matrix_fixture(tag: &str, n: usize, dims: usize, seed: u64) -> (PathBuf, Vec<Vec<f64>>) {
+        let vectors = bioseq::gen::random_vectors(seed, n, dims);
+        let path =
+            std::env::temp_dir().join(format!("mrsom-test-{tag}-{}.bin", std::process::id()));
+        VectorMatrix::create(&path, &vectors).unwrap();
+        (path, vectors)
+    }
+
+    fn som_cfg(dims: usize) -> SomConfig {
+        SomConfig { rows: 5, cols: 5, dims, epochs: 6, sigma0: None, sigma_end: 1.0, seed: 11, ..SomConfig::default() }
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs()),
+                "{what}: element {i} differs: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_som_matches_serial_batch() {
+        let (path, vectors) = matrix_fixture("serialmatch", 120, 8, 31);
+        let som = som_cfg(8);
+        let serial = batch_train(&vectors, &som);
+        for ranks in [1, 2, 4] {
+            let path = path.clone();
+            let som2 = som;
+            let reports = World::new(ranks).run(move |comm| {
+                let matrix = VectorMatrix::open(&path).unwrap();
+                let cfg = MrSomConfig { block_size: 16, ..MrSomConfig::new(som2) };
+                run_mrsom(comm, &matrix, &cfg)
+            });
+            for (cb, _) in &reports {
+                assert_close(
+                    &cb.weights,
+                    &serial.weights,
+                    1e-9,
+                    &format!("ranks={ranks} codebook"),
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn all_ranks_return_identical_codebook() {
+        let (path, _) = matrix_fixture("identical", 80, 4, 32);
+        let som = som_cfg(4);
+        let reports = World::new(3).run(move |comm| {
+            let matrix = VectorMatrix::open(&path).unwrap();
+            let cfg = MrSomConfig { block_size: 10, ..MrSomConfig::new(som) };
+            run_mrsom(comm, &matrix, &cfg)
+        });
+        let first = &reports[0].0.weights;
+        for (cb, _) in &reports[1..] {
+            assert_eq!(&cb.weights, first, "broadcast must synchronize codebooks exactly");
+        }
+    }
+
+    #[test]
+    fn block_size_does_not_change_result() {
+        // The paper: "work units of 80 vectors each produced the identical
+        // timings" — and must produce identical maps.
+        let (path, _) = matrix_fixture("blocksize", 120, 4, 33);
+        let som = som_cfg(4);
+        let run_with = |block_size: usize| {
+            let path = path.clone();
+            let reports = World::new(2).run(move |comm| {
+                let matrix = VectorMatrix::open(&path).unwrap();
+                let cfg = MrSomConfig { block_size, ..MrSomConfig::new(som) };
+                run_mrsom(comm, &matrix, &cfg)
+            });
+            reports.into_iter().next().unwrap().0
+        };
+        let a = run_with(40);
+        let b = run_with(80);
+        assert_close(&a.weights, &b.weights, 1e-9, "block size 40 vs 80");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn collate_variant_matches_direct_reduce() {
+        let (path, _) = matrix_fixture("collate", 60, 4, 34);
+        let som = som_cfg(4);
+        let p1 = path.clone();
+        let direct = World::new(2).run(move |comm| {
+            let matrix = VectorMatrix::open(&p1).unwrap();
+            run_mrsom(comm, &matrix, &MrSomConfig { block_size: 10, ..MrSomConfig::new(som) })
+        });
+        let p2 = path.clone();
+        let collate = World::new(2).run(move |comm| {
+            let matrix = VectorMatrix::open(&p2).unwrap();
+            run_mrsom_collate(
+                comm,
+                &matrix,
+                &MrSomConfig { block_size: 10, ..MrSomConfig::new(som) },
+            )
+        });
+        assert_close(
+            &direct[0].0.weights,
+            &collate[0].0.weights,
+            1e-9,
+            "collate vs direct reduce",
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reports_cover_all_blocks() {
+        let (path, _) = matrix_fixture("reports", 100, 4, 35);
+        let som = som_cfg(4);
+        let reports = World::new(3).run(move |comm| {
+            let matrix = VectorMatrix::open(&path).unwrap();
+            let cfg = MrSomConfig { block_size: 10, ..MrSomConfig::new(som) };
+            run_mrsom(comm, &matrix, &cfg)
+        });
+        let total: u64 = reports.iter().map(|(_, r)| r.blocks_processed).sum();
+        assert_eq!(total, 10 * som.epochs as u64, "10 blocks × epochs");
+        // Master-worker: rank 0 does no compute.
+        assert_eq!(reports[0].1.blocks_processed, 0);
+        for (_, r) in &reports[1..] {
+            assert!(r.finish_time >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pca_torus_bubble_options_preserved_in_parallel() {
+        // The non-default configuration axes (PCA-plane init, toroidal grid,
+        // bubble kernel) must flow through the parallel driver and still
+        // match the serial batch trainer exactly.
+        let (path, vectors) = matrix_fixture("options", 100, 6, 37);
+        let som = SomConfig {
+            rows: 6,
+            cols: 6,
+            dims: 6,
+            epochs: 5,
+            sigma_end: 1.5,
+            init: som::InitMethod::PcaPlane,
+            kernel: som::Kernel::Bubble,
+            torus: true,
+            ..SomConfig::default()
+        };
+        let serial = som::batch::batch_train(&vectors, &som);
+        assert!(serial.torus, "topology must propagate");
+        let reports = World::new(3).run(move |comm| {
+            let matrix = VectorMatrix::open(&path).unwrap();
+            let cfg = MrSomConfig { block_size: 20, ..MrSomConfig::new(som) };
+            run_mrsom(comm, &matrix, &cfg)
+        });
+        for (cb, _) in &reports {
+            assert!(cb.torus);
+            assert_close(&cb.weights, &serial.weights, 1e-9, "pca/torus/bubble codebook");
+        }
+    }
+
+    #[test]
+    fn checkpoint_and_resume_match_uninterrupted_run() {
+        let (path, _) = matrix_fixture("ckpt", 90, 5, 38);
+        let som = SomConfig { epochs: 8, ..som_cfg(5) };
+        let ckdir = std::env::temp_dir().join(format!("mrsom-ckpt-{}", std::process::id()));
+        std::fs::remove_dir_all(&ckdir).ok();
+
+        // Reference: one uninterrupted run.
+        let p1 = path.clone();
+        let full = World::new(2).run(move |comm| {
+            let matrix = VectorMatrix::open(&p1).unwrap();
+            run_mrsom(comm, &matrix, &MrSomConfig { block_size: 15, ..MrSomConfig::new(som) })
+        });
+
+        // Interrupted: same 8-epoch schedule, stopped after 4 epochs
+        // (checkpoint every 2), then resumed with the full budget from the
+        // newest checkpoint.
+        let p2 = path.clone();
+        let ck = ckdir.clone();
+        World::new(2).run(move |comm| {
+            let matrix = VectorMatrix::open(&p2).unwrap();
+            let cfg = MrSomConfig {
+                block_size: 15,
+                checkpoint_dir: Some(ck.clone()),
+                checkpoint_every: 2,
+                stop_after_epochs: Some(4),
+                ..MrSomConfig::new(som)
+            };
+            run_mrsom(comm, &matrix, &cfg)
+        });
+        assert!(
+            ckdir.join("som-epoch-0004.cbk").exists(),
+            "checkpoint after epoch 4 expected"
+        );
+
+        let p3 = path.clone();
+        let ck = ckdir.clone();
+        let resumed = World::new(2).run(move |comm| {
+            let matrix = VectorMatrix::open(&p3).unwrap();
+            let cfg = MrSomConfig {
+                block_size: 15,
+                checkpoint_dir: Some(ck.clone()),
+                checkpoint_every: 2,
+                ..MrSomConfig::new(som)
+            };
+            run_mrsom(comm, &matrix, &cfg)
+        });
+        // Resumed run processed only the remaining epochs' blocks.
+        let resumed_blocks: u64 = resumed.iter().map(|(_, r)| r.blocks_processed).sum();
+        assert_eq!(resumed_blocks, 6 * 4, "6 blocks × 4 remaining epochs");
+        assert_close(
+            &resumed[0].0.weights,
+            &full[0].0.weights,
+            1e-12,
+            "resumed codebook vs uninterrupted",
+        );
+        std::fs::remove_dir_all(&ckdir).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trained_map_quality_is_preserved_in_parallel() {
+        let (path, vectors) = matrix_fixture("quality", 150, 3, 36);
+        let som = SomConfig { epochs: 12, ..som_cfg(3) };
+        let reports = World::new(4).run(move |comm| {
+            let matrix = VectorMatrix::open(&path).unwrap();
+            let cfg = MrSomConfig { block_size: 15, ..MrSomConfig::new(som) };
+            run_mrsom(comm, &matrix, &cfg)
+        });
+        let cb = &reports[0].0;
+        let qe = som::quality::quantization_error(cb, &vectors);
+        assert!(qe < 0.35, "parallel-trained map must quantize well: {qe}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Busy-interval tracking: the paper's "useful CPU utilization" metric.
+//!
+//! Fig. 5 plots, over the course of a run, "the ratio of user CPU time … to
+//! the wall clock time, both spent within each call to the NCBI BLAST search
+//! procedure … summed over all calls taking place at any given moment and
+//! divided by the total core count". We record an interval per engine call
+//! in rank-local (virtual) time and post-process the set of intervals into
+//! that curve.
+
+/// Busy intervals of one rank, in seconds on its clock.
+#[derive(Debug, Clone, Default)]
+pub struct BusyTracker {
+    intervals: Vec<(f64, f64)>,
+}
+
+impl BusyTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one busy interval `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `end < start`.
+    pub fn record(&mut self, start: f64, end: f64) {
+        debug_assert!(end >= start, "interval ends before it starts");
+        self.intervals.push((start, end));
+    }
+
+    /// Recorded intervals.
+    pub fn intervals(&self) -> &[(f64, f64)] {
+        &self.intervals
+    }
+
+    /// Total busy seconds.
+    pub fn busy_total(&self) -> f64 {
+        self.intervals.iter().map(|(s, e)| e - s).sum()
+    }
+}
+
+/// Aggregate per-rank busy intervals into a utilization time series:
+/// `buckets` equal slices of `[0, horizon)`, each holding
+/// `busy seconds in bucket / (bucket width × ncores)` — exactly Fig. 5's
+/// definition with the engine-call intervals as the "user CPU time".
+pub fn utilization_curve(
+    trackers: &[BusyTracker],
+    ncores: usize,
+    horizon: f64,
+    buckets: usize,
+) -> Vec<f64> {
+    assert!(buckets > 0 && ncores > 0, "degenerate utilization request");
+    let mut out = vec![0.0; buckets];
+    if horizon <= 0.0 {
+        return out;
+    }
+    let width = horizon / buckets as f64;
+    for t in trackers {
+        for &(s, e) in t.intervals() {
+            let first = ((s / width).floor() as usize).min(buckets - 1);
+            let last = ((e / width).ceil() as usize).min(buckets);
+            for (b, item) in out.iter_mut().enumerate().take(last).skip(first) {
+                let b_start = b as f64 * width;
+                let b_end = b_start + width;
+                let overlap = (e.min(b_end) - s.max(b_start)).max(0.0);
+                *item += overlap;
+            }
+        }
+    }
+    for v in &mut out {
+        *v /= width * ncores as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_total_sums() {
+        let mut t = BusyTracker::new();
+        t.record(0.0, 2.0);
+        t.record(5.0, 6.5);
+        assert!((t.busy_total() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_utilization_is_one() {
+        // Two ranks busy the whole horizon.
+        let mut a = BusyTracker::new();
+        a.record(0.0, 10.0);
+        let mut b = BusyTracker::new();
+        b.record(0.0, 10.0);
+        let curve = utilization_curve(&[a, b], 2, 10.0, 5);
+        for v in curve {
+            assert!((v - 1.0).abs() < 1e-9, "expected 1.0, got {v}");
+        }
+    }
+
+    #[test]
+    fn half_busy_is_half() {
+        let mut a = BusyTracker::new();
+        a.record(0.0, 5.0); // busy first half only
+        let curve = utilization_curve(&[a], 1, 10.0, 2);
+        assert!((curve[0] - 1.0).abs() < 1e-9);
+        assert!(curve[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_bucket_overlap() {
+        let mut a = BusyTracker::new();
+        a.record(2.5, 7.5);
+        let curve = utilization_curve(&[a], 1, 10.0, 4); // buckets of 2.5
+        assert!((curve[0] - 0.0).abs() < 1e-9);
+        assert!((curve[1] - 1.0).abs() < 1e-9);
+        assert!((curve[2] - 1.0).abs() < 1e-9);
+        assert!((curve[3] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tapering_tail_shows_decline() {
+        // Rank 0 busy for 10s, rank 1 only for 5s → second half at 0.5.
+        let mut a = BusyTracker::new();
+        a.record(0.0, 10.0);
+        let mut b = BusyTracker::new();
+        b.record(0.0, 5.0);
+        let curve = utilization_curve(&[a, b], 2, 10.0, 2);
+        assert!((curve[0] - 1.0).abs() < 1e-9);
+        assert!((curve[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_horizon_is_flat_zero() {
+        let curve = utilization_curve(&[BusyTracker::new()], 4, 0.0, 3);
+        assert_eq!(curve, vec![0.0; 3]);
+    }
+}

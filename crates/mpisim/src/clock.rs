@@ -1,0 +1,138 @@
+//! Per-rank virtual clocks and the α–β communication cost model.
+//!
+//! The paper's scaling figures are taken on TACC Ranger at up to 1024 cores.
+//! To regenerate them on an arbitrary host we execute the *same program* but
+//! let time be a simulated quantity: each rank advances its own clock by
+//! explicit compute charges and by modelled communication costs. Because the
+//! applications under study are deterministic and (in the SOM case) bulk
+//! synchronous, the resulting makespan is independent of the physical thread
+//! interleaving.
+
+/// Communication cost model: the classic postal (α–β) model.
+///
+/// A point-to-point message of `n` bytes costs `alpha + beta * n` seconds.
+/// A collective over `p` ranks costs `ceil(log2 p)` rounds of that, which is
+/// the standard binomial-tree estimate and accurate enough for the BSP codes
+/// simulated here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-message latency in seconds.
+    pub alpha: f64,
+    /// Per-byte transfer cost in seconds (inverse bandwidth).
+    pub beta: f64,
+}
+
+impl CostModel {
+    /// Zero-cost communication; virtual time advances only via explicit
+    /// compute charges. Useful for tests.
+    pub const FREE: CostModel = CostModel { alpha: 0.0, beta: 0.0 };
+
+    /// An Infiniband-class interconnect similar to the SDR fabric on TACC
+    /// Ranger (~2.3 µs latency, ~1 GB/s effective per-stream bandwidth).
+    pub const RANGER: CostModel = CostModel { alpha: 2.3e-6, beta: 1.0e-9 };
+
+    /// Cost of one point-to-point message of `bytes` bytes.
+    #[inline]
+    pub fn p2p(&self, bytes: usize) -> f64 {
+        self.alpha + self.beta * bytes as f64
+    }
+
+    /// Cost of a binomial-tree collective over `ranks` ranks moving `bytes`
+    /// bytes per round.
+    #[inline]
+    pub fn collective(&self, ranks: usize, bytes: usize) -> f64 {
+        let rounds = usize::BITS - ranks.next_power_of_two().leading_zeros() - 1;
+        rounds as f64 * self.p2p(bytes)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::FREE
+    }
+}
+
+/// A rank-local virtual clock, in seconds.
+///
+/// Clocks only move forward. Receiving a message pulls the local clock up to
+/// the message's modelled arrival time; collectives pull every participant up
+/// to the global maximum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Clock {
+    now: f64,
+}
+
+impl Clock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Clock { now: 0.0 }
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance by `dt` seconds of local work. Negative charges are a bug.
+    #[inline]
+    pub fn charge(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative time charge: {dt}");
+        self.now += dt;
+    }
+
+    /// Pull the clock up to `t` if `t` is later (message arrival, collective
+    /// synchronization). Earlier times are ignored: clocks never run
+    /// backwards.
+    #[inline]
+    pub fn sync_to(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut c = Clock::new();
+        c.charge(1.5);
+        c.charge(0.5);
+        assert_eq!(c.now(), 2.0);
+    }
+
+    #[test]
+    fn sync_never_rewinds() {
+        let mut c = Clock::new();
+        c.charge(5.0);
+        c.sync_to(3.0);
+        assert_eq!(c.now(), 5.0);
+        c.sync_to(7.0);
+        assert_eq!(c.now(), 7.0);
+    }
+
+    #[test]
+    fn p2p_cost_is_affine_in_bytes() {
+        let m = CostModel { alpha: 1e-6, beta: 1e-9 };
+        assert!((m.p2p(0) - 1e-6).abs() < 1e-18);
+        assert!((m.p2p(1000) - (1e-6 + 1e-6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn collective_cost_uses_log_rounds() {
+        let m = CostModel { alpha: 1.0, beta: 0.0 };
+        // 2 ranks -> 1 round, 8 ranks -> 3 rounds, 9 ranks -> 4 rounds.
+        assert_eq!(m.collective(2, 0), 1.0);
+        assert_eq!(m.collective(8, 0), 3.0);
+        assert_eq!(m.collective(9, 0), 4.0);
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        assert_eq!(CostModel::FREE.p2p(1 << 20), 0.0);
+        assert_eq!(CostModel::FREE.collective(1024, 1 << 20), 0.0);
+    }
+}

@@ -1,0 +1,539 @@
+//! The per-rank communicator handle.
+//!
+//! A [`Comm`] is handed to each rank closure by [`crate::World::run`]. It is
+//! intentionally *not* `Sync`: one rank, one thread, one communicator, as in
+//! MPI. All operations advance the rank's virtual clock per the world's
+//! [`CostModel`].
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::clock::{Clock, CostModel};
+use crate::collective::{ReduceOp, Rendezvous};
+use crate::error::MpiError;
+use crate::mailbox::{Mailbox, Packet};
+use crate::wire;
+use crate::{Rank, Tag};
+
+/// Wildcard source for receives (matches any sending rank).
+pub const ANY_SOURCE: Rank = usize::MAX;
+/// Wildcard tag for receives (matches any tag).
+pub const ANY_TAG: Tag = u32::MAX;
+
+/// Envelope information returned by receives and probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Actual source rank of the matched message.
+    pub source: Rank,
+    /// Actual tag of the matched message.
+    pub tag: Tag,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// A received message: payload plus envelope.
+#[derive(Debug)]
+pub struct RecvMsg {
+    /// Payload bytes.
+    pub data: Vec<u8>,
+    /// Envelope of the matched message.
+    pub status: Status,
+}
+
+/// Shared world state referenced by every rank's communicator.
+pub(crate) struct Shared {
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) rendezvous: Rendezvous,
+    pub(crate) cost: CostModel,
+}
+
+/// Communicator for one rank of a running world.
+pub struct Comm {
+    shared: Arc<Shared>,
+    rank: Rank,
+    size: usize,
+    clock: RefCell<Clock>,
+}
+
+impl Comm {
+    pub(crate) fn new(shared: Arc<Shared>, rank: Rank, size: usize) -> Self {
+        Comm { shared, rank, size, clock: RefCell::new(Clock::new()) }
+    }
+
+    /// This rank's index in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The communication cost model in effect.
+    #[inline]
+    pub fn cost_model(&self) -> CostModel {
+        self.shared.cost
+    }
+
+    /// Current virtual time of this rank, in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.clock.borrow().now()
+    }
+
+    /// Charge `dt` seconds of local computation to this rank's clock.
+    #[inline]
+    pub fn charge(&self, dt: f64) {
+        self.clock.borrow_mut().charge(dt);
+    }
+
+    // ---------------------------------------------------------------- p2p
+
+    /// Blocking-eager send of `data` to `dst` with `tag`.
+    ///
+    /// The sender is charged the full α + βn transfer cost (a rendezvous-free
+    /// eager protocol); the message arrives at the receiver at the sender's
+    /// post-send clock.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range.
+    pub fn send(&self, dst: Rank, tag: Tag, data: Vec<u8>) {
+        assert!(dst < self.size, "send to rank {dst} in a world of {}", self.size);
+        let cost = self.shared.cost.p2p(data.len());
+        self.charge(cost);
+        let arrival = self.now();
+        self.shared.mailboxes[dst].push(Packet { src: self.rank, tag, data, arrival });
+    }
+
+    /// Convenience: send an `f64` slice.
+    pub fn send_f64s(&self, dst: Rank, tag: Tag, xs: &[f64]) {
+        self.send(dst, tag, wire::f64s_to_bytes(xs));
+    }
+
+    /// Convenience: send a `u64` slice.
+    pub fn send_u64s(&self, dst: Rank, tag: Tag, xs: &[u64]) {
+        self.send(dst, tag, wire::u64s_to_bytes(xs));
+    }
+
+    /// Blocking receive matching `(src, tag)`; wildcards [`ANY_SOURCE`] /
+    /// [`ANY_TAG`] are honored. The local clock is pulled up to the message's
+    /// modelled arrival time.
+    ///
+    /// # Panics
+    /// Panics if the world was torn down (another rank panicked) while
+    /// waiting.
+    pub fn recv(&self, src: Rank, tag: Tag) -> RecvMsg {
+        match self.try_recv_blocking(src, tag) {
+            Ok(msg) => msg,
+            Err(e) => panic!("recv on rank {}: {e}", self.rank),
+        }
+    }
+
+    fn try_recv_blocking(&self, src: Rank, tag: Tag) -> Result<RecvMsg, MpiError> {
+        let pkt = self.shared.mailboxes[self.rank].recv(src, tag)?;
+        self.clock.borrow_mut().sync_to(pkt.arrival);
+        Ok(RecvMsg {
+            status: Status { source: pkt.src, tag: pkt.tag, len: pkt.data.len() },
+            data: pkt.data,
+        })
+    }
+
+    /// Non-blocking receive. `Err(WouldBlock)` when nothing matches.
+    pub fn try_recv(&self, src: Rank, tag: Tag) -> Result<RecvMsg, MpiError> {
+        let pkt = self.shared.mailboxes[self.rank].try_recv(src, tag)?;
+        self.clock.borrow_mut().sync_to(pkt.arrival);
+        Ok(RecvMsg {
+            status: Status { source: pkt.src, tag: pkt.tag, len: pkt.data.len() },
+            data: pkt.data,
+        })
+    }
+
+    /// Convenience: receive and decode an `f64` payload.
+    pub fn recv_f64s(&self, src: Rank, tag: Tag) -> (Vec<f64>, Status) {
+        let msg = self.recv(src, tag);
+        (wire::bytes_to_f64s(&msg.data), msg.status)
+    }
+
+    /// Convenience: receive and decode a `u64` payload.
+    pub fn recv_u64s(&self, src: Rank, tag: Tag) -> (Vec<u64>, Status) {
+        let msg = self.recv(src, tag);
+        (wire::bytes_to_u64s(&msg.data), msg.status)
+    }
+
+    /// Probe for a matching message without consuming it.
+    pub fn probe(&self, src: Rank, tag: Tag) -> Option<Status> {
+        self.shared.mailboxes[self.rank]
+            .probe(src, tag)
+            .map(|(source, tag, len)| Status { source, tag, len })
+    }
+
+    // ------------------------------------------------------ nonblocking p2p
+
+    /// Nonblocking send: the message is injected eagerly (our transport is
+    /// in-memory, so an isend always completes locally); the returned
+    /// request's [`SendRequest::wait`] is a no-op kept for MPI-shaped code.
+    /// The sender's clock is charged exactly as [`Comm::send`].
+    pub fn isend(&self, dst: Rank, tag: Tag, data: Vec<u8>) -> SendRequest {
+        self.send(dst, tag, data);
+        SendRequest { _done: true }
+    }
+
+    /// Nonblocking receive: returns a request that matches `(src, tag)` when
+    /// waited on. Posting the request performs no matching — overtaking
+    /// rules apply at [`RecvRequest::wait`] time, which is sufficient for
+    /// the overlap patterns the applications use (post, compute, wait).
+    pub fn irecv(&self, src: Rank, tag: Tag) -> RecvRequest {
+        RecvRequest { src, tag }
+    }
+
+    // --------------------------------------------------------- collectives
+
+    fn exchange(&self, data: Vec<u8>) -> (Arc<Vec<Vec<u8>>>, f64) {
+        self.shared.rendezvous.exchange(self.rank, data, self.now())
+    }
+
+    fn finish_collective(&self, entry_max: f64, bytes: usize) {
+        let mut clock = self.clock.borrow_mut();
+        clock.sync_to(entry_max);
+        clock.charge(self.shared.cost.collective(self.size, bytes));
+    }
+
+    /// Synchronize all ranks; clocks leave at `max(entry clocks) + log2(P)·α`.
+    pub fn barrier(&self) {
+        let (_, t) = self.exchange(Vec::new());
+        self.finish_collective(t, 0);
+    }
+
+    /// Broadcast `data` from `root` to every rank. On non-root ranks `data`
+    /// is replaced with the root's payload.
+    pub fn bcast(&self, root: Rank, data: &mut Vec<u8>) {
+        let contribution = if self.rank == root { std::mem::take(data) } else { Vec::new() };
+        let (all, t) = self.exchange(contribution);
+        *data = all[root].clone();
+        self.finish_collective(t, data.len());
+    }
+
+    /// Broadcast an `f64` buffer from `root`; all ranks' `buf` holds the
+    /// root's values afterwards.
+    ///
+    /// # Panics
+    /// Panics if buffer lengths disagree with the root's.
+    pub fn bcast_f64s(&self, root: Rank, buf: &mut [f64]) {
+        let contribution =
+            if self.rank == root { wire::f64s_to_bytes(buf) } else { Vec::new() };
+        let (all, t) = self.exchange(contribution);
+        wire::bytes_into_f64s(&all[root], buf);
+        self.finish_collective(t, buf.len() * 8);
+    }
+
+    /// Element-wise reduction of `input` across all ranks into `output` on
+    /// `root`. Non-root `output` buffers are left untouched. Returns `true`
+    /// on the root rank.
+    ///
+    /// # Panics
+    /// Panics if any rank contributes a different length.
+    pub fn reduce_f64(&self, root: Rank, input: &[f64], output: &mut [f64], op: ReduceOp) -> bool {
+        let (all, t) = self.exchange(wire::f64s_to_bytes(input));
+        if self.rank == root {
+            assert_eq!(output.len(), input.len(), "reduce output length mismatch");
+            wire::bytes_into_f64s(&all[0], output);
+            let mut scratch = vec![0.0; input.len()];
+            for contribution in all.iter().skip(1) {
+                wire::bytes_into_f64s(contribution, &mut scratch);
+                op.fold_into(output, &scratch);
+            }
+        }
+        self.finish_collective(t, input.len() * 8);
+        self.rank == root
+    }
+
+    /// Element-wise reduction delivered to every rank.
+    pub fn allreduce_f64(&self, input: &[f64], output: &mut [f64], op: ReduceOp) {
+        let (all, t) = self.exchange(wire::f64s_to_bytes(input));
+        assert_eq!(output.len(), input.len(), "allreduce output length mismatch");
+        wire::bytes_into_f64s(&all[0], output);
+        let mut scratch = vec![0.0; input.len()];
+        for contribution in all.iter().skip(1) {
+            wire::bytes_into_f64s(contribution, &mut scratch);
+            op.fold_into(output, &scratch);
+        }
+        self.finish_collective(t, input.len() * 8);
+    }
+
+    /// Gather every rank's payload at `root`. Returns `Some(payloads)` (rank
+    /// indexed) on the root, `None` elsewhere.
+    pub fn gather(&self, root: Rank, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        let bytes = data.len();
+        let (all, t) = self.exchange(data);
+        self.finish_collective(t, bytes);
+        if self.rank == root {
+            Some(all.iter().cloned().collect())
+        } else {
+            None
+        }
+    }
+
+    /// Gather every rank's payload at every rank (rank indexed).
+    pub fn allgather(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        let bytes = data.len();
+        let (all, t) = self.exchange(data);
+        self.finish_collective(t, bytes);
+        all.iter().cloned().collect()
+    }
+
+    /// Personalized all-to-all: `sends[d]` goes to rank `d`; the result's
+    /// element `s` is the buffer rank `s` sent to this rank.
+    ///
+    /// This is the primitive behind MR-MPI's `aggregate()` key exchange.
+    ///
+    /// # Panics
+    /// Panics if `sends.len() != size`.
+    pub fn alltoallv(&self, sends: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(sends.len(), self.size, "alltoallv needs one buffer per rank");
+        let my_bytes: usize = sends.iter().map(Vec::len).sum();
+        let mut packed = Vec::with_capacity(my_bytes + 4 * self.size);
+        for buf in &sends {
+            wire::put_bytes(&mut packed, buf);
+        }
+        let (all, t) = self.exchange(packed);
+        let mut recvd = Vec::with_capacity(self.size);
+        for src_buf in all.iter() {
+            let mut pos = 0;
+            let mut segment = &[][..];
+            for d in 0..=self.rank {
+                segment = wire::get_bytes(src_buf, &mut pos);
+                if d == self.rank {
+                    break;
+                }
+            }
+            recvd.push(segment.to_vec());
+        }
+        self.finish_collective(t, my_bytes);
+        recvd
+    }
+}
+
+/// Handle of a nonblocking send (always complete; see [`Comm::isend`]).
+#[derive(Debug)]
+pub struct SendRequest {
+    _done: bool,
+}
+
+impl SendRequest {
+    /// Complete the send (no-op on this transport).
+    pub fn wait(self) {}
+}
+
+/// Handle of a nonblocking receive posted with [`Comm::irecv`].
+#[derive(Debug)]
+pub struct RecvRequest {
+    src: Rank,
+    tag: Tag,
+}
+
+impl RecvRequest {
+    /// Block until a matching message arrives and return it.
+    pub fn wait(self, comm: &Comm) -> RecvMsg {
+        comm.recv(self.src, self.tag)
+    }
+
+    /// Complete without blocking if a matching message is already queued.
+    ///
+    /// # Errors
+    /// `WouldBlock` when nothing matches yet (the request is returned for
+    /// re-arming); `WorldDown` on teardown.
+    pub fn test(self, comm: &Comm) -> Result<RecvMsg, (RecvRequest, MpiError)> {
+        match comm.try_recv(self.src, self.tag) {
+            Ok(msg) => Ok(msg),
+            Err(e) => Err((self, e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn p2p_ring_passes_token() {
+        let n = 4;
+        let results = World::new(n).run(move |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            if comm.rank() == 0 {
+                comm.send(next, 1, vec![1]);
+                let msg = comm.recv(prev, 1);
+                msg.data[0]
+            } else {
+                let msg = comm.recv(prev, 1);
+                comm.send(next, 1, vec![msg.data[0] + 1]);
+                msg.data[0]
+            }
+        });
+        assert_eq!(results, vec![4, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bcast_delivers_root_payload() {
+        let results = World::new(5).run(|comm| {
+            let mut data = if comm.rank() == 2 { b"codebook".to_vec() } else { Vec::new() };
+            comm.bcast(2, &mut data);
+            data
+        });
+        for r in results {
+            assert_eq!(r, b"codebook");
+        }
+    }
+
+    #[test]
+    fn reduce_sums_on_root_only() {
+        let results = World::new(4).run(|comm| {
+            let input = [comm.rank() as f64, 1.0];
+            let mut out = [-1.0, -1.0];
+            let is_root = comm.reduce_f64(0, &input, &mut out, ReduceOp::Sum);
+            (is_root, out)
+        });
+        assert_eq!(results[0], (true, [6.0, 4.0]));
+        for r in &results[1..] {
+            assert_eq!(*r, (false, [-1.0, -1.0]));
+        }
+    }
+
+    #[test]
+    fn allreduce_max_everywhere() {
+        let results = World::new(3).run(|comm| {
+            let input = [comm.rank() as f64];
+            let mut out = [0.0];
+            comm.allreduce_f64(&input, &mut out, ReduceOp::Max);
+            out[0]
+        });
+        assert_eq!(results, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = World::new(3).run(|comm| comm.gather(1, vec![comm.rank() as u8 * 3]));
+        assert!(results[0].is_none());
+        assert_eq!(results[1].as_ref().unwrap(), &vec![vec![0], vec![3], vec![6]]);
+        assert!(results[2].is_none());
+    }
+
+    #[test]
+    fn alltoallv_transposes() {
+        let n = 4;
+        let results = World::new(n).run(move |comm| {
+            let sends: Vec<Vec<u8>> =
+                (0..n).map(|d| vec![comm.rank() as u8, d as u8]).collect();
+            comm.alltoallv(sends)
+        });
+        for (me, recvd) in results.iter().enumerate() {
+            for (src, buf) in recvd.iter().enumerate() {
+                assert_eq!(buf, &vec![src as u8, me as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_handles_empty_buffers() {
+        let results = World::new(3).run(|comm| {
+            let mut sends = vec![Vec::new(); 3];
+            // Everyone sends only to rank 0.
+            sends[0] = vec![comm.rank() as u8];
+            comm.alltoallv(sends)
+        });
+        assert_eq!(results[0], vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(results[1], vec![Vec::<u8>::new(); 3]);
+    }
+
+    #[test]
+    fn nonblocking_overlap_compute_with_communication() {
+        let results = World::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                let req = comm.isend(1, 5, vec![0xaa; 256]);
+                req.wait();
+                comm.recv(1, 6).data[0]
+            } else {
+                // Post the receive, "compute", then wait.
+                let req = comm.irecv(0, 5);
+                comm.charge(1.0);
+                let msg = req.wait(comm);
+                assert_eq!(msg.data.len(), 256);
+                comm.send(0, 6, vec![7]);
+                7
+            }
+        });
+        assert_eq!(results, vec![7, 7]);
+    }
+
+    #[test]
+    fn recv_request_test_polls_without_blocking() {
+        let results = World::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.barrier();
+                comm.send(1, 9, vec![1]);
+                comm.barrier();
+                0
+            } else {
+                let req = comm.irecv(0, 9);
+                // Nothing sent yet.
+                let (req, err) = req.test(comm).expect_err("no message before barrier");
+                assert_eq!(err, MpiError::WouldBlock);
+                comm.barrier();
+                comm.barrier(); // sender completed its send before this
+                let msg = req.test(comm).expect("message queued after barriers");
+                msg.data[0] as usize
+            }
+        });
+        assert_eq!(results[1], 1);
+    }
+
+    #[test]
+    fn virtual_clocks_sync_through_collectives() {
+        let results = World::new(4).run(|comm| {
+            // Rank 3 does the most "work"; everyone's clock must leave the
+            // barrier at >= 30.
+            comm.charge(comm.rank() as f64 * 10.0);
+            comm.barrier();
+            comm.now()
+        });
+        for t in results {
+            assert!((t - 30.0).abs() < 1e-12, "clock was {t}");
+        }
+    }
+
+    #[test]
+    fn message_arrival_pulls_receiver_clock() {
+        let results = World::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.charge(5.0);
+                comm.send(1, 0, vec![0; 8]);
+                comm.now()
+            } else {
+                let _ = comm.recv(0, 0);
+                comm.now()
+            }
+        });
+        // Free cost model: arrival == sender clock at send (5.0).
+        assert_eq!(results, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn cost_model_charges_sender_and_receiver() {
+        let results = World::new(2)
+            .with_cost(CostModel { alpha: 1.0, beta: 0.5 })
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, vec![0; 4]); // cost 1 + 2 = 3
+                    comm.now()
+                } else {
+                    let _ = comm.recv(0, 0);
+                    comm.now()
+                }
+            });
+        assert_eq!(results, vec![3.0, 3.0]);
+    }
+}

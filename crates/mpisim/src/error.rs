@@ -1,0 +1,41 @@
+//! Error type for runtime failures.
+//!
+//! The runtime panics on programming errors (rank out of bounds, mismatched
+//! collective participation) because those are unrecoverable bugs, exactly as
+//! a real MPI implementation would abort. Recoverable conditions — currently
+//! only a world torn down while a rank is blocked in `recv` — are reported as
+//! [`MpiError`].
+
+use std::fmt;
+
+/// Errors surfaced by fallible `try_*` communication calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// The world was shut down while this rank was waiting for a message.
+    /// This can only happen if another rank panicked.
+    WorldDown,
+    /// A `try_recv` found no matching message.
+    WouldBlock,
+    /// A receive buffer was too small for the matched message.
+    Truncated {
+        /// Bytes required by the incoming message.
+        needed: usize,
+        /// Bytes available in the caller's buffer.
+        available: usize,
+    },
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::WorldDown => write!(f, "world shut down during a blocking operation"),
+            MpiError::WouldBlock => write!(f, "no matching message available"),
+            MpiError::Truncated { needed, available } => write!(
+                f,
+                "receive buffer too small: message needs {needed} bytes, buffer holds {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}

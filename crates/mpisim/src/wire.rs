@@ -1,0 +1,122 @@
+//! Byte-level encoding helpers for typed payloads.
+//!
+//! The runtime moves `Vec<u8>` payloads; applications mostly exchange `f64`
+//! accumulator slices (SOM) or length-prefixed key-value pages (MR-MPI).
+//! These helpers perform the conversions with explicit little-endian copies —
+//! no `unsafe` transmutes — which is plenty fast for a simulation substrate.
+
+/// Encode an `f64` slice to little-endian bytes.
+pub fn f64s_to_bytes(xs: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 8);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into an `f64` vector.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of 8.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len() % 8 == 0, "payload length {} not a multiple of 8", bytes.len());
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Decode little-endian bytes into a caller-provided `f64` buffer.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn bytes_into_f64s(bytes: &[u8], out: &mut [f64]) {
+    assert_eq!(bytes.len(), out.len() * 8, "payload/buffer length mismatch");
+    for (c, o) in bytes.chunks_exact(8).zip(out.iter_mut()) {
+        *o = f64::from_le_bytes(c.try_into().expect("chunk of 8"));
+    }
+}
+
+/// Encode a `u64` slice to little-endian bytes.
+pub fn u64s_to_bytes(xs: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 8);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into a `u64` vector.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of 8.
+pub fn bytes_to_u64s(bytes: &[u8]) -> Vec<u64> {
+    assert!(bytes.len() % 8 == 0, "payload length {} not a multiple of 8", bytes.len());
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Append a length-prefixed byte string to `buf` (u32 little-endian length).
+pub fn put_bytes(buf: &mut Vec<u8>, s: &[u8]) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s);
+}
+
+/// Read a length-prefixed byte string starting at `*pos`, advancing `*pos`.
+///
+/// # Panics
+/// Panics on a malformed buffer (truncated length or payload).
+pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> &'a [u8] {
+    let len_end = *pos + 4;
+    let len = u32::from_le_bytes(buf[*pos..len_end].try_into().expect("4-byte length")) as usize;
+    let end = len_end + len;
+    let s = &buf[len_end..end];
+    *pos = end;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let xs = [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 3.141592653589793];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&xs)), xs);
+    }
+
+    #[test]
+    fn f64_into_buffer() {
+        let xs = [1.0, 2.0, 4.0];
+        let mut out = [0.0; 3];
+        bytes_into_f64s(&f64s_to_bytes(&xs), &mut out);
+        assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let xs = [0u64, 1, u64::MAX, 42];
+        assert_eq!(bytes_to_u64s(&u64s_to_bytes(&xs)), xs);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn f64_decode_rejects_ragged_input() {
+        bytes_to_f64s(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn length_prefixed_strings_roundtrip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        put_bytes(&mut buf, b"world!");
+        let mut pos = 0;
+        assert_eq!(get_bytes(&buf, &mut pos), b"hello");
+        assert_eq!(get_bytes(&buf, &mut pos), b"");
+        assert_eq!(get_bytes(&buf, &mut pos), b"world!");
+        assert_eq!(pos, buf.len());
+    }
+}

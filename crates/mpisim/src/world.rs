@@ -1,0 +1,161 @@
+//! World construction: spawn ranks, run the program, collect results.
+
+use std::sync::Arc;
+
+use crate::clock::CostModel;
+use crate::collective::Rendezvous;
+use crate::comm::{Comm, Shared};
+use crate::mailbox::Mailbox;
+
+/// Stack size for rank threads. BLAST's banded DP and the MR-MPI page
+/// machinery are iterative, but FASTA parsing and sort recursions benefit
+/// from headroom.
+const RANK_STACK_BYTES: usize = 8 * 1024 * 1024;
+
+/// A fixed-size set of ranks ready to execute an SPMD program.
+///
+/// ```
+/// let sizes = mpisim::World::new(3).run(|comm| comm.size());
+/// assert_eq!(sizes, vec![3, 3, 3]);
+/// ```
+pub struct World {
+    size: usize,
+    cost: CostModel,
+}
+
+impl World {
+    /// A world of `size` ranks with free (zero-cost) communication.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "a world needs at least one rank");
+        World { size, cost: CostModel::FREE }
+    }
+
+    /// Set the communication cost model used for virtual-clock accounting.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f` on every rank concurrently and return the per-rank results in
+    /// rank order.
+    ///
+    /// If any rank panics, the world is torn down (blocked receivers observe
+    /// `WorldDown` and panic in turn) and the first panic is propagated to
+    /// the caller.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(&Comm) -> T + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared {
+            mailboxes: (0..self.size).map(|_| Mailbox::new()).collect(),
+            rendezvous: Rendezvous::new(self.size),
+            cost: self.cost,
+        });
+        let f = Arc::new(f);
+
+        let handles: Vec<_> = (0..self.size)
+            .map(|rank| {
+                let shared = shared.clone();
+                let f = f.clone();
+                let size = self.size;
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(RANK_STACK_BYTES)
+                    .spawn(move || {
+                        let comm = Comm::new(shared.clone(), rank, size);
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(&comm)
+                        }));
+                        if out.is_err() {
+                            // Wake everyone so they don't deadlock waiting on
+                            // a rank that will never send or join a
+                            // collective.
+                            for mb in &shared.mailboxes {
+                                mb.shutdown();
+                            }
+                            shared.rendezvous.shutdown();
+                        }
+                        out
+                    })
+                    .expect("spawn rank thread")
+            })
+            .collect();
+
+        let mut results = Vec::with_capacity(self.size);
+        let mut first_panic = None;
+        for h in handles {
+            match h.join().expect("rank thread not poisoned") {
+                Ok(v) => results.push(Some(v)),
+                Err(p) => {
+                    results.push(None);
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
+        }
+        results.into_iter().map(|r| r.expect("no panic recorded")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_distinct_and_sized() {
+        let got = World::new(6).run(|comm| (comm.rank(), comm.size()));
+        for (i, (rank, size)) in got.into_iter().enumerate() {
+            assert_eq!(rank, i);
+            assert_eq!(size, 6);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let got = World::new(1).run(|comm| {
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rank_world_rejected() {
+        let _ = World::new(0);
+    }
+
+    #[test]
+    fn rank_panic_propagates_without_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            World::new(3).run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("rank 1 dies");
+                }
+                // Other ranks block on a message that will never come; the
+                // teardown must unblock them.
+                let _ = comm.recv(1, 0);
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let got = World::new(5).run(|comm| comm.rank() * comm.rank());
+        assert_eq!(got, vec![0, 1, 4, 9, 16]);
+    }
+}

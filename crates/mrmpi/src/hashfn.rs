@@ -1,0 +1,66 @@
+//! Key hashing for `aggregate()`.
+//!
+//! The original MR-MPI assigns each unique key to a process with a hash of
+//! the key bytes modulo the number of ranks. We use FNV-1a, which is cheap,
+//! deterministic across platforms and runs (important: the parallel output
+//! layout must be reproducible for the paper's "same results at any rank
+//! count" claim to be testable), and well distributed for the short keys the
+//! applications use (query-id integers).
+
+/// 64-bit FNV-1a hash of a byte string.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Rank that owns `key` in a world of `size` ranks.
+#[inline]
+pub fn key_owner(key: &[u8], size: usize) -> usize {
+    debug_assert!(size > 0);
+    (fnv1a(key) % size as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn owner_is_stable_and_in_range() {
+        for size in 1..17 {
+            for key in [&b"q1"[..], b"q2", b"", b"some-longer-key-string"] {
+                let o = key_owner(key, size);
+                assert!(o < size);
+                assert_eq!(o, key_owner(key, size), "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        // 10k distinct integer-like keys over 16 ranks: every rank should own
+        // a reasonable share (loose bound, this is not a statistical test).
+        let size = 16;
+        let mut counts = vec![0usize; size];
+        for i in 0..10_000u64 {
+            counts[key_owner(&i.to_le_bytes(), size)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 300, "rank starved: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The paged KeyMultiValue store.
+//!
+//! A KMV dataset holds `(key, [values...])` groups with unique keys per rank
+//! (after `collate()`, unique across the whole world):
+//!
+//! ```text
+//! entry := klen:u32le  nvalues:u32le  key[klen]  (vlen:u32le value[vlen])*
+//! page  := entry*            (entries never straddle a page boundary)
+//! ```
+//!
+//! A group larger than the page size gets a dedicated oversized page, so a
+//! query whose hits from all database partitions exceed the page size is
+//! still representable (the BLAST application depends on this).
+
+use crate::settings::Settings;
+use crate::spool::Spool;
+
+/// A rank-local, paged, spillable sequence of key → multivalue groups.
+pub struct KeyMultiValue {
+    spool: Spool,
+    open: Vec<u8>,
+    ngroups: u64,
+    nvalues: u64,
+    page_size: usize,
+}
+
+impl KeyMultiValue {
+    /// An empty KMV store.
+    pub fn new(settings: &Settings) -> Self {
+        KeyMultiValue {
+            spool: Spool::new(settings.mem_budget, settings.tmpdir.clone()),
+            open: Vec::new(),
+            ngroups: 0,
+            nvalues: 0,
+            page_size: settings.page_size,
+        }
+    }
+
+    /// Append one group: a key and its list of values.
+    pub fn add_group<'v>(&mut self, key: &[u8], values: impl ExactSizeIterator<Item = &'v [u8]>) {
+        let nvals = values.len();
+        let mut entry = Vec::with_capacity(8 + key.len() + nvals * 8);
+        entry.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        entry.extend_from_slice(&(nvals as u32).to_le_bytes());
+        entry.extend_from_slice(key);
+        for v in values {
+            entry.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            entry.extend_from_slice(v);
+        }
+        if !self.open.is_empty() && self.open.len() + entry.len() > self.page_size {
+            self.close_page();
+        }
+        self.open.extend_from_slice(&entry);
+        self.ngroups += 1;
+        self.nvalues += nvals as u64;
+        if self.open.len() >= self.page_size {
+            self.close_page();
+        }
+    }
+
+    fn close_page(&mut self) {
+        if !self.open.is_empty() {
+            let page = std::mem::take(&mut self.open);
+            self.spool.push(page);
+        }
+    }
+
+    /// Number of key groups on this rank.
+    pub fn ngroups(&self) -> u64 {
+        self.ngroups
+    }
+
+    /// Total number of values across all groups on this rank.
+    pub fn nvalues(&self) -> u64 {
+        self.nvalues
+    }
+
+    /// Total encoded bytes on this rank.
+    pub fn nbytes(&self) -> usize {
+        self.spool.total_bytes() + self.open.len()
+    }
+
+    /// How many pages have been spilled to disk so far.
+    pub fn spill_count(&self) -> usize {
+        self.spool.spill_count()
+    }
+
+    /// Visit every group in insertion order. The callback receives the key
+    /// and a cursor over the group's values.
+    pub fn for_each_group(&self, mut f: impl FnMut(&[u8], ValueCursor<'_>)) {
+        let mut walk = |page: &[u8]| {
+            let mut pos = 0;
+            while pos < page.len() {
+                let klen =
+                    u32::from_le_bytes(page[pos..pos + 4].try_into().expect("klen")) as usize;
+                let nvals =
+                    u32::from_le_bytes(page[pos + 4..pos + 8].try_into().expect("nvals")) as usize;
+                let kstart = pos + 8;
+                let key = &page[kstart..kstart + klen];
+                let vstart = kstart + klen;
+                // Find the end of this entry by skimming the value lengths;
+                // the callback may consume the cursor only partially.
+                let mut end = vstart;
+                for _ in 0..nvals {
+                    let vlen =
+                        u32::from_le_bytes(page[end..end + 4].try_into().expect("vlen")) as usize;
+                    end += 4 + vlen;
+                }
+                f(key, ValueCursor { buf: page, pos: vstart, remaining: nvals });
+                pos = end;
+            }
+        };
+        for i in 0..self.spool.num_pages() {
+            walk(&self.spool.page(i));
+        }
+        if !self.open.is_empty() {
+            walk(&self.open);
+        }
+    }
+}
+
+/// Cursor over the values of one KMV group.
+#[derive(Default)]
+pub struct ValueCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    remaining: usize,
+}
+
+impl<'a> ValueCursor<'a> {
+    /// Number of values not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Consume the cursor and count all remaining values.
+    pub fn count(mut self) -> usize {
+        let n = self.remaining;
+        while self.next().is_some() {}
+        n
+    }
+
+    /// Collect all remaining values into owned vectors.
+    pub fn collect_owned(mut self) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.remaining);
+        while let Some(v) = self.next() {
+            out.push(v.to_vec());
+        }
+        out
+    }
+}
+
+impl<'a> Iterator for ValueCursor<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let vlen =
+            u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("vlen")) as usize;
+        let start = self.pos + 4;
+        let end = start + vlen;
+        self.pos = end;
+        self.remaining -= 1;
+        Some(&self.buf[start..end])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for ValueCursor<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settings(page: usize) -> Settings {
+        Settings { page_size: page, mem_budget: usize::MAX, ..Settings::default() }
+    }
+
+    #[test]
+    fn groups_roundtrip() {
+        let mut kmv = KeyMultiValue::new(&settings(1024));
+        kmv.add_group(b"q1", [b"h1".as_slice(), b"h2", b"h3"].into_iter());
+        kmv.add_group(b"q2", [b"only".as_slice()].into_iter());
+        kmv.add_group(b"q3", std::iter::empty::<&[u8]>().collect::<Vec<_>>().into_iter());
+        assert_eq!(kmv.ngroups(), 3);
+        assert_eq!(kmv.nvalues(), 4);
+
+        let mut got = Vec::new();
+        kmv.for_each_group(|k, vals| {
+            got.push((k.to_vec(), vals.collect_owned()));
+        });
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, b"q1");
+        assert_eq!(got[0].1, vec![b"h1".to_vec(), b"h2".to_vec(), b"h3".to_vec()]);
+        assert_eq!(got[1].1.len(), 1);
+        assert_eq!(got[2].1.len(), 0);
+    }
+
+    #[test]
+    fn small_pages_split_groups_across_pages() {
+        let mut kmv = KeyMultiValue::new(&settings(48));
+        for i in 0..30u8 {
+            kmv.add_group(&[i], [[i; 4].as_slice(), &[i; 4]].into_iter());
+        }
+        let mut seen = 0u8;
+        kmv.for_each_group(|k, vals| {
+            assert_eq!(k, &[seen]);
+            assert_eq!(vals.count(), 2);
+            seen += 1;
+        });
+        assert_eq!(seen, 30);
+    }
+
+    #[test]
+    fn oversized_group_is_preserved() {
+        let mut kmv = KeyMultiValue::new(&settings(64));
+        let vals: Vec<Vec<u8>> = (0..50).map(|i| vec![i as u8; 10]).collect();
+        kmv.add_group(b"huge", vals.iter().map(Vec::as_slice));
+        let mut count = 0;
+        kmv.for_each_group(|_, v| count = v.count());
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn cursor_iterates_lazily_and_exactly() {
+        let mut kmv = KeyMultiValue::new(&settings(1024));
+        kmv.add_group(b"k", [b"a".as_slice(), b"bb", b"ccc"].into_iter());
+        kmv.for_each_group(|_, mut vals| {
+            assert_eq!(vals.remaining(), 3);
+            assert_eq!(vals.next(), Some(b"a".as_slice()));
+            assert_eq!(vals.remaining(), 2);
+            assert_eq!(vals.next(), Some(b"bb".as_slice()));
+            assert_eq!(vals.next(), Some(b"ccc".as_slice()));
+            assert_eq!(vals.next(), None);
+        });
+    }
+
+    #[test]
+    fn spilled_kmv_reads_back() {
+        let s = Settings { page_size: 32, mem_budget: 32, tmpdir: std::env::temp_dir() };
+        let mut kmv = KeyMultiValue::new(&s);
+        for i in 0..20u8 {
+            kmv.add_group(&[i], [[i; 8].as_slice()].into_iter());
+        }
+        assert!(kmv.spill_count() > 0);
+        let mut n = 0;
+        kmv.for_each_group(|k, vals| {
+            assert_eq!(vals.collect_owned(), vec![vec![k[0]; 8]]);
+            n += 1;
+        });
+        assert_eq!(n, 20);
+    }
+}

@@ -1,0 +1,283 @@
+//! The paged KeyValue store.
+//!
+//! A KV dataset is a rank-local sequence of `(key, value)` byte-string pairs
+//! laid out in pages:
+//!
+//! ```text
+//! entry := klen:u32le  vlen:u32le  key[klen]  value[vlen]
+//! page  := entry*            (entries never straddle a page boundary)
+//! ```
+//!
+//! An entry larger than the page size gets a dedicated oversized page, so
+//! arbitrarily large values (e.g. a full hit list) are representable.
+
+use crate::settings::Settings;
+use crate::spool::Spool;
+
+/// Encode one entry into `buf`.
+pub(crate) fn encode_entry(buf: &mut Vec<u8>, key: &[u8], value: &[u8]) {
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    buf.extend_from_slice(key);
+    buf.extend_from_slice(value);
+}
+
+/// Decode the entry starting at `*pos`; advances `*pos` past it.
+///
+/// # Panics
+/// Panics on a malformed page.
+pub(crate) fn decode_entry<'a>(page: &'a [u8], pos: &mut usize) -> (&'a [u8], &'a [u8]) {
+    let klen = u32::from_le_bytes(page[*pos..*pos + 4].try_into().expect("klen")) as usize;
+    let vlen = u32::from_le_bytes(page[*pos + 4..*pos + 8].try_into().expect("vlen")) as usize;
+    let kstart = *pos + 8;
+    let vstart = kstart + klen;
+    let end = vstart + vlen;
+    let out = (&page[kstart..vstart], &page[vstart..end]);
+    *pos = end;
+    out
+}
+
+/// A rank-local, paged, spillable sequence of key-value pairs.
+pub struct KeyValue {
+    spool: Spool,
+    open: Vec<u8>,
+    npairs: u64,
+    page_size: usize,
+}
+
+impl KeyValue {
+    /// An empty KV store with the given engine settings.
+    pub fn new(settings: &Settings) -> Self {
+        KeyValue {
+            spool: Spool::new(settings.mem_budget, settings.tmpdir.clone()),
+            open: Vec::new(),
+            npairs: 0,
+            page_size: settings.page_size,
+        }
+    }
+
+    /// Append one pair.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+        let entry_len = 8 + key.len() + value.len();
+        if !self.open.is_empty() && self.open.len() + entry_len > self.page_size {
+            self.close_page();
+        }
+        encode_entry(&mut self.open, key, value);
+        self.npairs += 1;
+        if self.open.len() >= self.page_size {
+            self.close_page();
+        }
+    }
+
+    /// Append a pre-encoded page worth of entries containing `npairs` pairs.
+    /// Used by `aggregate()` to splice received buffers in without re-parsing.
+    pub(crate) fn add_encoded_page(&mut self, page: Vec<u8>, npairs: u64) {
+        if page.is_empty() {
+            return;
+        }
+        self.close_page();
+        self.spool.push(page);
+        self.npairs += npairs;
+    }
+
+    fn close_page(&mut self) {
+        if !self.open.is_empty() {
+            let page = std::mem::take(&mut self.open);
+            self.spool.push(page);
+        }
+    }
+
+    /// Number of pairs on this rank.
+    pub fn npairs(&self) -> u64 {
+        self.npairs
+    }
+
+    /// Total encoded bytes on this rank (closed + open pages).
+    pub fn nbytes(&self) -> usize {
+        self.spool.total_bytes() + self.open.len()
+    }
+
+    /// How many pages have been spilled to disk so far.
+    pub fn spill_count(&self) -> usize {
+        self.spool.spill_count()
+    }
+
+    /// Number of closed pages plus the open one if non-empty.
+    pub fn num_pages(&self) -> usize {
+        self.spool.num_pages() + usize::from(!self.open.is_empty())
+    }
+
+    /// Visit every pair in insertion order.
+    pub fn for_each(&self, mut f: impl FnMut(&[u8], &[u8])) {
+        for i in 0..self.spool.num_pages() {
+            let page = self.spool.page(i);
+            let mut pos = 0;
+            while pos < page.len() {
+                let (k, v) = decode_entry(&page, &mut pos);
+                f(k, v);
+            }
+        }
+        let mut pos = 0;
+        while pos < self.open.len() {
+            let (k, v) = decode_entry(&self.open, &mut pos);
+            f(k, v);
+        }
+    }
+
+    /// Borrow page `i` (closed pages first, then the open page last).
+    /// Returns `None` past the end. Spilled pages are loaded transparently.
+    pub fn page_at(&self, i: usize) -> Option<crate::spool::PageRef<'_>> {
+        let closed = self.spool.num_pages();
+        if i < closed {
+            Some(self.spool.page(i))
+        } else if i == closed && !self.open.is_empty() {
+            Some(crate::spool::PageRef::Borrowed(&self.open))
+        } else {
+            None
+        }
+    }
+
+    /// Visit every page (closed pages first, then the open page), yielding
+    /// raw encoded bytes. Used by operations that process page-at-a-time to
+    /// bound memory.
+    pub fn for_each_page(&self, mut f: impl FnMut(&[u8])) {
+        for i in 0..self.spool.num_pages() {
+            f(&self.spool.page(i));
+        }
+        if !self.open.is_empty() {
+            f(&self.open);
+        }
+    }
+
+    /// Consume the store, returning all pairs as owned vectors. Convenience
+    /// for tests and small datasets.
+    pub fn into_pairs(mut self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.close_page();
+        let mut out = Vec::with_capacity(self.npairs as usize);
+        for page in self.spool.drain_pages() {
+            let mut pos = 0;
+            while pos < page.len() {
+                let (k, v) = decode_entry(&page, &mut pos);
+                out.push((k.to_vec(), v.to_vec()));
+            }
+        }
+        out
+    }
+}
+
+/// Emitter handed to map and reduce callbacks for producing output pairs.
+pub struct KvEmitter<'a> {
+    kv: &'a mut KeyValue,
+}
+
+impl<'a> KvEmitter<'a> {
+    /// Wrap an output KV store.
+    pub fn new(kv: &'a mut KeyValue) -> Self {
+        KvEmitter { kv }
+    }
+
+    /// Emit one key-value pair.
+    pub fn emit(&mut self, key: &[u8], value: &[u8]) {
+        self.kv.add(key, value);
+    }
+
+    /// Pairs emitted so far into the underlying store.
+    pub fn emitted(&self) -> u64 {
+        self.kv.npairs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_settings() -> Settings {
+        Settings { page_size: 64, mem_budget: usize::MAX, ..Settings::default() }
+    }
+
+    #[test]
+    fn add_and_iterate_preserves_order_and_content() {
+        let mut kv = KeyValue::new(&small_settings());
+        for i in 0..100u32 {
+            kv.add(&i.to_le_bytes(), format!("value-{i}").as_bytes());
+        }
+        assert_eq!(kv.npairs(), 100);
+        let mut seen = 0u32;
+        kv.for_each(|k, v| {
+            assert_eq!(k, seen.to_le_bytes());
+            assert_eq!(v, format!("value-{seen}").as_bytes());
+            seen += 1;
+        });
+        assert_eq!(seen, 100);
+    }
+
+    #[test]
+    fn entries_do_not_straddle_pages() {
+        let mut kv = KeyValue::new(&small_settings());
+        for _ in 0..20 {
+            kv.add(b"0123456789", b"0123456789012345678901234567890123456789");
+        }
+        // Every page must decode cleanly on its own.
+        kv.for_each_page(|page| {
+            let mut pos = 0;
+            while pos < page.len() {
+                let _ = decode_entry(page, &mut pos);
+            }
+            assert_eq!(pos, page.len());
+        });
+    }
+
+    #[test]
+    fn oversized_entry_gets_own_page() {
+        let mut kv = KeyValue::new(&small_settings());
+        let big = vec![7u8; 1000];
+        kv.add(b"big", &big);
+        kv.add(b"small", b"x");
+        let mut got = Vec::new();
+        kv.for_each(|k, v| got.push((k.to_vec(), v.len())));
+        assert_eq!(got, vec![(b"big".to_vec(), 1000), (b"small".to_vec(), 1)]);
+    }
+
+    #[test]
+    fn empty_keys_and_values_are_legal() {
+        let mut kv = KeyValue::new(&small_settings());
+        kv.add(b"", b"");
+        kv.add(b"k", b"");
+        kv.add(b"", b"v");
+        assert_eq!(
+            kv.into_pairs(),
+            vec![
+                (vec![], vec![]),
+                (b"k".to_vec(), vec![]),
+                (vec![], b"v".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn spilled_kv_iterates_identically() {
+        let dir = std::env::temp_dir();
+        let settings = Settings { page_size: 32, mem_budget: 64, tmpdir: dir };
+        let mut kv = KeyValue::new(&settings);
+        for i in 0..50u8 {
+            kv.add(&[i], &[i, i, i]);
+        }
+        assert!(kv.spill_count() > 0, "test must exercise spilling");
+        let mut seen = 0u8;
+        kv.for_each(|k, v| {
+            assert_eq!(k, &[seen]);
+            assert_eq!(v, &[seen; 3]);
+            seen += 1;
+        });
+        assert_eq!(seen, 50);
+    }
+
+    #[test]
+    fn emitter_counts() {
+        let mut kv = KeyValue::new(&small_settings());
+        let mut em = KvEmitter::new(&mut kv);
+        em.emit(b"a", b"1");
+        em.emit(b"b", b"2");
+        assert_eq!(em.emitted(), 2);
+    }
+}

@@ -1,0 +1,733 @@
+//! The `MapReduce` object: the user-facing API of the library.
+//!
+//! Mirrors the original C++ class: an object bound to a communicator that
+//! owns at most one distributed KeyValue *or* KeyMultiValue dataset, plus the
+//! collective operations that transform one into the other. All collective
+//! methods must be called by every rank of the communicator (standard MR-MPI
+//! contract).
+
+use std::collections::HashMap;
+
+use mpisim::Comm;
+
+use crate::hashfn::{fnv1a, key_owner};
+use crate::kmv::{KeyMultiValue, ValueCursor};
+use crate::kv::{decode_entry, encode_entry, KeyValue, KvEmitter};
+use crate::sched::{assign_and_run, MapStyle};
+use crate::settings::Settings;
+
+/// Alias for the value cursor handed to reduce callbacks.
+pub type MultiValues<'a> = ValueCursor<'a>;
+
+/// Counters reported by [`MapReduce::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MrStats {
+    /// Global number of KV pairs (if a KV exists).
+    pub kv_pairs: u64,
+    /// Global number of KMV groups (if a KMV exists).
+    pub kmv_groups: u64,
+    /// Local pages spilled to disk so far, summed over datasets.
+    pub local_spills: u64,
+}
+
+/// A MapReduce engine bound to one communicator.
+pub struct MapReduce<'c> {
+    comm: &'c Comm,
+    settings: Settings,
+    kv: Option<KeyValue>,
+    kmv: Option<KeyMultiValue>,
+    /// Spills from datasets already consumed by later operations (so the
+    /// out-of-core cost of a whole map→collate→reduce cycle is visible in
+    /// [`MapReduce::stats`] even after the intermediates are gone).
+    spills_retired: u64,
+}
+
+impl<'c> MapReduce<'c> {
+    /// New engine with default [`Settings`].
+    pub fn new(comm: &'c Comm) -> Self {
+        Self::with_settings(comm, Settings::default())
+    }
+
+    /// New engine with explicit settings (page size, memory budget, tmpdir).
+    pub fn with_settings(comm: &'c Comm, settings: Settings) -> Self {
+        MapReduce { comm, settings, kv: None, kmv: None, spills_retired: 0 }
+    }
+
+    fn retire_kv(&mut self, kv: &KeyValue) {
+        self.spills_retired += kv.spill_count() as u64;
+    }
+
+    fn retire_kmv(&mut self, kmv: &KeyMultiValue) {
+        self.spills_retired += kmv.spill_count() as u64;
+    }
+
+    /// The communicator this engine runs on.
+    pub fn comm(&self) -> &Comm {
+        self.comm
+    }
+
+    /// Engine settings.
+    pub fn settings(&self) -> &Settings {
+        &self.settings
+    }
+
+    // ------------------------------------------------------------------ map
+
+    /// Collective. Run `ntasks` map tasks distributed per `style`, replacing
+    /// any existing dataset with the emitted KV. Returns the *global* number
+    /// of emitted pairs.
+    ///
+    /// The map callback receives the global task index and an emitter.
+    pub fn map_tasks(
+        &mut self,
+        ntasks: usize,
+        style: MapStyle,
+        f: &mut dyn FnMut(usize, &mut KvEmitter<'_>),
+    ) -> u64 {
+        if let Some(old) = self.kmv.take() {
+            self.retire_kmv(&old);
+        }
+        if let Some(old) = self.kv.take() {
+            self.retire_kv(&old);
+        }
+        let mut kv = KeyValue::new(&self.settings);
+        assign_and_run(self.comm, ntasks, style, |task| {
+            let mut em = KvEmitter::new(&mut kv);
+            f(task, &mut em);
+        });
+        let local = kv.npairs();
+        self.kv = Some(kv);
+        self.global_count(local)
+    }
+
+    /// Collective. Like [`MapReduce::map_tasks`] with the master-worker
+    /// style, but the master schedules with **resource affinity**:
+    /// `affinity[t]` names the resource (e.g. DB partition) task `t` needs,
+    /// and workers preferentially receive tasks for the resource they
+    /// already hold — the paper's proposed locality-aware scheduler.
+    pub fn map_tasks_affinity(
+        &mut self,
+        ntasks: usize,
+        affinity: &[usize],
+        f: &mut dyn FnMut(usize, &mut KvEmitter<'_>),
+    ) -> u64 {
+        if let Some(old) = self.kmv.take() {
+            self.retire_kmv(&old);
+        }
+        if let Some(old) = self.kv.take() {
+            self.retire_kv(&old);
+        }
+        let mut kv = KeyValue::new(&self.settings);
+        crate::sched::assign_and_run_affinity(self.comm, ntasks, affinity, |task| {
+            let mut em = KvEmitter::new(&mut kv);
+            f(task, &mut em);
+        });
+        let local = kv.npairs();
+        self.kv = Some(kv);
+        self.global_count(local)
+    }
+
+    /// Collective. Transform the existing KV pair-by-pair into a new KV.
+    /// Purely local (no communication). Returns the global pair count of the
+    /// new dataset.
+    ///
+    /// # Panics
+    /// Panics if no KV dataset exists.
+    pub fn map_kv(&mut self, f: &mut dyn FnMut(&[u8], &[u8], &mut KvEmitter<'_>)) -> u64 {
+        let old = self.kv.take().expect("map_kv requires a KV dataset");
+        let mut new_kv = KeyValue::new(&self.settings);
+        old.for_each(|k, v| {
+            let mut em = KvEmitter::new(&mut new_kv);
+            f(k, v, &mut em);
+        });
+        self.retire_kv(&old);
+        let local = new_kv.npairs();
+        self.kv = Some(new_kv);
+        self.global_count(local)
+    }
+
+    /// Local. Add a pair directly to the KV dataset (creating it if absent).
+    /// The original library's `kv->add()` used inside user callbacks between
+    /// operations.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+        if self.kv.is_none() {
+            self.kv = Some(KeyValue::new(&self.settings));
+        }
+        self.kv.as_mut().expect("just ensured").add(key, value);
+    }
+
+    // -------------------------------------------------------------- shuffle
+
+    /// Collective. Re-distribute KV pairs so that every pair of a given key
+    /// lands on the rank `hash(key) % P`. Processes page-at-a-time with one
+    /// `alltoallv` per global page round, bounding memory to O(page size · P)
+    /// regardless of dataset size (the original exchanges page-wise for the
+    /// same reason).
+    ///
+    /// # Panics
+    /// Panics if no KV dataset exists.
+    pub fn aggregate(&mut self) -> u64 {
+        let size = self.comm.size();
+        let kv = self.kv.take().expect("aggregate requires a KV dataset");
+        if size == 1 {
+            let n = kv.npairs();
+            self.kv = Some(kv);
+            return n;
+        }
+
+        // Agree on the number of exchange rounds: max local page count.
+        let local_pages = kv.num_pages() as f64;
+        let mut max_pages = [0.0f64];
+        self.comm.allreduce_f64(&[local_pages], &mut max_pages, mpisim::ReduceOp::Max);
+        let rounds = max_pages[0] as usize;
+
+        let mut incoming = KeyValue::new(&self.settings);
+
+        for round in 0..rounds {
+            let mut sends: Vec<Vec<u8>> = vec![Vec::new(); size];
+            let mut counts: Vec<u64> = vec![0; size];
+            if let Some(page) = kv.page_at(round) {
+                let mut pos = 0;
+                while pos < page.len() {
+                    let (k, v) = decode_entry(&page, &mut pos);
+                    let owner = key_owner(k, size);
+                    encode_entry(&mut sends[owner], k, v);
+                    counts[owner] += 1;
+                }
+            }
+            // Prefix each buffer with its pair count so the receiver can
+            // splice it in as a pre-encoded page.
+            let sends: Vec<Vec<u8>> = sends
+                .into_iter()
+                .zip(&counts)
+                .map(|(buf, &n)| {
+                    let mut msg = Vec::with_capacity(8 + buf.len());
+                    msg.extend_from_slice(&n.to_le_bytes());
+                    msg.extend_from_slice(&buf);
+                    msg
+                })
+                .collect();
+            let received = self.comm.alltoallv(sends);
+            for msg in received {
+                if msg.len() <= 8 {
+                    continue;
+                }
+                let n = u64::from_le_bytes(msg[..8].try_into().expect("count"));
+                incoming.add_encoded_page(msg[8..].to_vec(), n);
+            }
+        }
+
+        self.retire_kv(&kv);
+        let local = incoming.npairs();
+        self.kv = Some(incoming);
+        self.global_count(local)
+    }
+
+    /// Local (but conventionally called on all ranks). Group the local KV by
+    /// key into a KMV. After [`MapReduce::aggregate`] the grouping is global.
+    /// Returns the global number of groups.
+    ///
+    /// When the dataset exceeds the memory budget the grouping runs in
+    /// hash-partitioned passes ("bins"), each small enough to group in
+    /// memory — the out-of-core convert of the original library.
+    ///
+    /// # Panics
+    /// Panics if no KV dataset exists.
+    pub fn convert(&mut self) -> u64 {
+        let kv = self.kv.take().expect("convert requires a KV dataset");
+        let mut kmv = KeyMultiValue::new(&self.settings);
+
+        let budget = self.settings.mem_budget;
+        if kv.nbytes() <= budget || budget == usize::MAX {
+            Self::convert_in_memory(&kv, &mut kmv);
+        } else {
+            // Out-of-core: split keys into enough hash bins that one bin fits
+            // comfortably in the budget, spool each bin (spilling as needed),
+            // then group bin-by-bin.
+            let nbins = (kv.nbytes() / (budget / 2).max(1) + 1).max(2);
+            let mut bins: Vec<KeyValue> =
+                (0..nbins).map(|_| KeyValue::new(&self.settings)).collect();
+            kv.for_each(|k, v| {
+                // Rotate the hash so bin selection is independent of the
+                // rank-ownership hash used by aggregate().
+                let bin = (fnv1a(k).rotate_left(32) % nbins as u64) as usize;
+                bins[bin].add(k, v);
+            });
+            for bin in &bins {
+                Self::convert_in_memory(bin, &mut kmv);
+            }
+            self.spills_retired +=
+                bins.iter().map(|b| b.spill_count() as u64).sum::<u64>();
+        }
+
+        self.retire_kv(&kv);
+        let local = kmv.ngroups();
+        self.kv = None;
+        self.kmv = Some(kmv);
+        self.global_count(local)
+    }
+
+    fn convert_in_memory(kv: &KeyValue, kmv: &mut KeyMultiValue) {
+        // Group preserving first-seen key order (deterministic output).
+        let mut order: Vec<Vec<u8>> = Vec::new();
+        let mut groups: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
+        kv.for_each(|k, v| {
+            if let Some(vals) = groups.get_mut(k) {
+                vals.push(v.to_vec());
+            } else {
+                order.push(k.to_vec());
+                groups.insert(k.to_vec(), vec![v.to_vec()]);
+            }
+        });
+        for key in order {
+            let vals = groups.remove(&key).expect("key recorded in order list");
+            kmv.add_group(&key, vals.iter().map(Vec::as_slice));
+        }
+    }
+
+    /// Collective. `aggregate()` followed by `convert()`: the canonical
+    /// shuffle that groups every key's values on one rank. Returns the global
+    /// number of unique keys.
+    pub fn collate(&mut self) -> u64 {
+        self.aggregate();
+        self.convert()
+    }
+
+    // --------------------------------------------------------------- reduce
+
+    /// Collective in convention, local in execution. Call `f` once per local
+    /// KMV group; pairs emitted through the third argument form the new KV
+    /// dataset. Returns the global emitted-pair count.
+    ///
+    /// # Panics
+    /// Panics if no KMV dataset exists.
+    pub fn reduce(&mut self, f: &mut dyn FnMut(&[u8], MultiValues<'_>, &mut KvEmitter<'_>)) -> u64 {
+        let kmv = self.kmv.take().expect("reduce requires a KMV dataset");
+        let mut kv = KeyValue::new(&self.settings);
+        kmv.for_each_group(|key, vals| {
+            let mut em = KvEmitter::new(&mut kv);
+            f(key, vals, &mut em);
+        });
+        self.retire_kmv(&kmv);
+        let local = kv.npairs();
+        self.kv = Some(kv);
+        self.global_count(local)
+    }
+
+    /// Local convert + reduce without any communication: combines duplicate
+    /// keys *within* each rank (the original's `compress()`), typically used
+    /// to shrink data before an expensive `collate()`.
+    pub fn compress(
+        &mut self,
+        f: &mut dyn FnMut(&[u8], MultiValues<'_>, &mut KvEmitter<'_>),
+    ) -> u64 {
+        let kv = self.kv.take().expect("compress requires a KV dataset");
+        let mut kmv = KeyMultiValue::new(&self.settings);
+        Self::convert_in_memory(&kv, &mut kmv);
+        self.retire_kv(&kv);
+        let mut out = KeyValue::new(&self.settings);
+        kmv.for_each_group(|key, vals| {
+            let mut em = KvEmitter::new(&mut out);
+            f(key, vals, &mut em);
+        });
+        let local = out.npairs();
+        self.kv = Some(out);
+        self.global_count(local)
+    }
+
+    // ----------------------------------------------------------------- misc
+
+    /// Local. Sort the KV pairs by key with `cmp`. Datasets within the
+    /// memory budget sort in memory; larger ones run the external merge sort
+    /// ([`crate::extsort`]), matching the original library's out-of-core
+    /// `sort_keys()`.
+    ///
+    /// # Panics
+    /// Panics if no KV dataset exists.
+    pub fn sort_keys(&mut self, cmp: impl Fn(&[u8], &[u8]) -> std::cmp::Ordering) {
+        let kv = self.kv.take().expect("sort_keys requires a KV dataset");
+        self.retire_kv(&kv);
+        self.kv = Some(crate::extsort::external_sort(
+            kv,
+            &self.settings,
+            crate::extsort::SortBy::Key,
+            &cmp,
+        ));
+    }
+
+    /// Local. Sort the KV pairs by value with `cmp` (the original library's
+    /// `sort_values()`), out-of-core past the memory budget like
+    /// [`MapReduce::sort_keys`].
+    ///
+    /// # Panics
+    /// Panics if no KV dataset exists.
+    pub fn sort_values(&mut self, cmp: impl Fn(&[u8], &[u8]) -> std::cmp::Ordering) {
+        let kv = self.kv.take().expect("sort_values requires a KV dataset");
+        self.retire_kv(&kv);
+        self.kv = Some(crate::extsort::external_sort(
+            kv,
+            &self.settings,
+            crate::extsort::SortBy::Value,
+            &cmp,
+        ));
+    }
+
+    /// Local. Sort the values *within* each KMV group with `cmp` (the
+    /// original library's `sort_multivalues()`) — e.g. hits by E-value
+    /// before a reduce that writes them out in order.
+    ///
+    /// # Panics
+    /// Panics if no KMV dataset exists.
+    pub fn sort_multivalues(&mut self, cmp: impl Fn(&[u8], &[u8]) -> std::cmp::Ordering) {
+        let kmv = self.kmv.take().expect("sort_multivalues requires a KMV dataset");
+        self.retire_kmv(&kmv);
+        let mut out = KeyMultiValue::new(&self.settings);
+        kmv.for_each_group(|key, vals| {
+            let mut values = vals.collect_owned();
+            values.sort_by(|a, b| cmp(a, b));
+            out.add_group(key, values.iter().map(Vec::as_slice));
+        });
+        self.kmv = Some(out);
+    }
+
+    /// Collective. Replace every rank's KV dataset with a copy of `root`'s
+    /// (the original library's `broadcast()`).
+    ///
+    /// # Panics
+    /// Panics if the root has no KV dataset.
+    pub fn broadcast(&mut self, root: usize) -> u64 {
+        let is_root = self.comm.rank() == root;
+        let mut payload = Vec::new();
+        if is_root {
+            let kv = self.kv.as_ref().expect("broadcast requires a KV dataset on root");
+            payload.extend_from_slice(&kv.npairs().to_le_bytes());
+            kv.for_each_page(|page| {
+                payload.extend_from_slice(&(page.len() as u64).to_le_bytes());
+                payload.extend_from_slice(page);
+            });
+        }
+        self.comm.bcast(root, &mut payload);
+        if !is_root {
+            if let Some(old) = self.kv.take() {
+                self.retire_kv(&old);
+            }
+            let npairs = u64::from_le_bytes(payload[..8].try_into().expect("count"));
+            let mut kv = KeyValue::new(&self.settings);
+            let mut pos = 8usize;
+            let mut remaining_pairs = npairs;
+            while pos < payload.len() {
+                let len =
+                    u64::from_le_bytes(payload[pos..pos + 8].try_into().expect("len")) as usize;
+                pos += 8;
+                let page = payload[pos..pos + len].to_vec();
+                pos += len;
+                // Pair counts per page are recovered by decoding; the final
+                // page gets the remainder.
+                let mut count = 0u64;
+                let mut p = 0usize;
+                while p < page.len() {
+                    let _ = decode_entry(&page, &mut p);
+                    count += 1;
+                }
+                remaining_pairs = remaining_pairs.saturating_sub(count);
+                kv.add_encoded_page(page, count);
+            }
+            debug_assert_eq!(remaining_pairs, 0, "broadcast page counts disagree");
+            self.kv = Some(kv);
+        }
+        self.global_count(self.kv_local_count()) / self.comm.size() as u64
+    }
+
+    /// Collective. Move every KV pair to the first `nranks` ranks (pair
+    /// counts preserved; source rank `r` ships to `r % nranks`). The original
+    /// library's `gather()`.
+    ///
+    /// # Panics
+    /// Panics if `nranks` is zero or exceeds the world size, or if no KV
+    /// dataset exists.
+    pub fn gather(&mut self, nranks: usize) -> u64 {
+        let size = self.comm.size();
+        assert!(nranks >= 1 && nranks <= size, "gather target {nranks} out of range");
+        let kv = self.kv.take().expect("gather requires a KV dataset");
+        if size == 1 || nranks == size {
+            let n = kv.npairs();
+            self.kv = Some(kv);
+            return self.global_count(n);
+        }
+        let rank = self.comm.rank();
+        let mut sends: Vec<Vec<u8>> = vec![Vec::new(); size];
+        let mut keep = KeyValue::new(&self.settings);
+        if rank < nranks {
+            kv.for_each(|k, v| keep.add(k, v));
+        } else {
+            let dst = rank % nranks;
+            let mut buf = vec![0u8; 8];
+            let mut n = 0u64;
+            kv.for_each(|k, v| {
+                encode_entry(&mut buf, k, v);
+                n += 1;
+            });
+            buf[..8].copy_from_slice(&n.to_le_bytes());
+            sends[dst] = buf;
+        }
+        let received = self.comm.alltoallv(sends);
+        for msg in received {
+            if msg.len() <= 8 {
+                continue;
+            }
+            let n = u64::from_le_bytes(msg[..8].try_into().expect("count"));
+            keep.add_encoded_page(msg[8..].to_vec(), n);
+        }
+        self.retire_kv(&kv);
+        let local = keep.npairs();
+        self.kv = Some(keep);
+        self.global_count(local)
+    }
+
+    /// Global pair/group count across ranks for a local count.
+    fn global_count(&self, local: u64) -> u64 {
+        if self.comm.size() == 1 {
+            return local;
+        }
+        let mut out = [0.0f64];
+        self.comm.allreduce_f64(&[local as f64], &mut out, mpisim::ReduceOp::Sum);
+        out[0] as u64
+    }
+
+    /// Local pair count of the KV dataset (0 if none).
+    pub fn kv_local_count(&self) -> u64 {
+        self.kv.as_ref().map_or(0, KeyValue::npairs)
+    }
+
+    /// Local group count of the KMV dataset (0 if none).
+    pub fn kmv_local_count(&self) -> u64 {
+        self.kmv.as_ref().map_or(0, KeyMultiValue::ngroups)
+    }
+
+    /// Collective. Global dataset statistics.
+    pub fn stats(&self) -> MrStats {
+        let live = self.kv.as_ref().map_or(0, KeyValue::spill_count)
+            + self.kmv.as_ref().map_or(0, KeyMultiValue::spill_count);
+        MrStats {
+            kv_pairs: self.global_count(self.kv_local_count()),
+            kmv_groups: self.global_count(self.kmv_local_count()),
+            local_spills: live as u64 + self.spills_retired,
+        }
+    }
+
+    /// Visit every local KV pair (insertion order). No-op without a KV.
+    pub fn kv_for_each(&self, f: impl FnMut(&[u8], &[u8])) {
+        if let Some(kv) = &self.kv {
+            kv.for_each(f);
+        }
+    }
+
+    /// Take the KV dataset out of the engine (e.g. to hand to application
+    /// code).
+    pub fn take_kv(&mut self) -> Option<KeyValue> {
+        self.kv.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::World;
+
+    /// Word-count over synthetic "documents": the canonical end-to-end test.
+    #[test]
+    fn wordcount_end_to_end() {
+        for ranks in [1, 2, 4] {
+            let docs: Vec<&str> =
+                vec!["a b a", "c a b", "a a c", "b", "c c c c", "a b c", "b b", ""];
+            let ndocs = docs.len();
+            let results = World::new(ranks).run(move |comm| {
+                let docs = docs.clone();
+                let mut mr = MapReduce::new(comm);
+                mr.map_tasks(ndocs, MapStyle::RoundRobin, &mut |t, kv| {
+                    for w in docs[t].split_whitespace() {
+                        kv.emit(w.as_bytes(), &1u64.to_le_bytes());
+                    }
+                });
+                mr.collate();
+                let mut counts: Vec<(String, usize)> = Vec::new();
+                mr.reduce(&mut |key, vals, _| {
+                    counts.push((String::from_utf8(key.to_vec()).expect("utf8"), vals.count()));
+                });
+                counts
+            });
+            let mut all: Vec<(String, usize)> = results.concat();
+            all.sort();
+            assert_eq!(
+                all,
+                vec![
+                    ("a".to_string(), 6),
+                    ("b".to_string(), 6),
+                    ("c".to_string(), 7),
+                ],
+                "ranks={ranks}"
+            );
+        }
+    }
+
+    #[test]
+    fn collate_places_each_key_on_exactly_one_rank() {
+        let results = World::new(4).run(|comm| {
+            let mut mr = MapReduce::new(comm);
+            mr.map_tasks(40, MapStyle::Chunk, &mut |t, kv| {
+                kv.emit(&[(t % 10) as u8], &(t as u64).to_le_bytes());
+            });
+            let groups = mr.collate();
+            assert_eq!(groups, 10);
+            let mut local_keys = Vec::new();
+            mr.reduce(&mut |key, vals, _| {
+                assert_eq!(vals.count(), 4, "each key emitted by 4 tasks");
+                local_keys.push(key[0]);
+            });
+            local_keys
+        });
+        let mut all: Vec<u8> = results.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn map_kv_transforms_pairs_locally() {
+        let results = World::new(2).run(|comm| {
+            let mut mr = MapReduce::new(comm);
+            mr.map_tasks(6, MapStyle::Chunk, &mut |t, kv| {
+                kv.emit(&[t as u8], &[t as u8]);
+            });
+            let n = mr.map_kv(&mut |k, v, out| {
+                // Duplicate each pair with doubled value.
+                out.emit(k, v);
+                out.emit(k, &[v[0] * 2]);
+            });
+            n
+        });
+        assert_eq!(results, vec![12, 12]);
+    }
+
+    #[test]
+    fn compress_combines_local_duplicates_only() {
+        let results = World::new(2).run(|comm| {
+            let mut mr = MapReduce::new(comm);
+            // Both ranks emit the same key; compress is local so both keep it.
+            mr.map_tasks(2, MapStyle::RoundRobin, &mut |_, kv| {
+                kv.emit(b"k", b"1");
+                kv.emit(b"k", b"1");
+            });
+            mr.compress(&mut |key, vals, out| {
+                let n = vals.count() as u64;
+                out.emit(key, &n.to_le_bytes());
+            })
+        });
+        // 2 ranks × 1 compressed pair each.
+        assert_eq!(results, vec![2, 2]);
+    }
+
+    #[test]
+    fn sort_keys_orders_local_pairs() {
+        let results = World::new(1).run(|comm| {
+            let mut mr = MapReduce::new(comm);
+            mr.map_tasks(1, MapStyle::Chunk, &mut |_, kv| {
+                kv.emit(b"zebra", b"");
+                kv.emit(b"apple", b"");
+                kv.emit(b"mango", b"");
+            });
+            mr.sort_keys(|a, b| a.cmp(b));
+            let mut keys = Vec::new();
+            mr.kv_for_each(|k, _| keys.push(k.to_vec()));
+            keys
+        });
+        assert_eq!(results[0], vec![b"apple".to_vec(), b"mango".to_vec(), b"zebra".to_vec()]);
+    }
+
+    #[test]
+    fn gather_concentrates_pairs() {
+        let results = World::new(4).run(|comm| {
+            let mut mr = MapReduce::new(comm);
+            mr.map_tasks(8, MapStyle::RoundRobin, &mut |t, kv| {
+                kv.emit(&[t as u8], b"v");
+            });
+            let total = mr.gather(2);
+            assert_eq!(total, 8);
+            mr.kv_local_count()
+        });
+        assert_eq!(results[2], 0);
+        assert_eq!(results[3], 0);
+        assert_eq!(results[0] + results[1], 8);
+    }
+
+    #[test]
+    fn out_of_core_collate_matches_in_memory() {
+        let run = |settings: Settings| {
+            World::new(2).run(move |comm| {
+                let mut mr = MapReduce::with_settings(comm, settings.clone());
+                mr.map_tasks(60, MapStyle::Chunk, &mut |t, kv| {
+                    kv.emit(&[(t % 7) as u8], &(t as u64).to_le_bytes());
+                });
+                mr.collate();
+                let mut out: Vec<(u8, Vec<u64>)> = Vec::new();
+                mr.reduce(&mut |key, vals, _| {
+                    let mut ts: Vec<u64> = vals
+                        .map(|v| u64::from_le_bytes(v.try_into().expect("u64")))
+                        .collect();
+                    ts.sort_unstable();
+                    out.push((key[0], ts));
+                });
+                out
+            })
+        };
+        let mut a: Vec<_> = run(Settings::default()).concat();
+        let mut b: Vec<_> = run(Settings::tiny_paged(std::env::temp_dir())).concat();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "paged execution must not change results");
+        assert_eq!(a.len(), 7);
+    }
+
+    #[test]
+    fn master_worker_map_collects_all_emissions() {
+        let results = World::new(4).run(|comm| {
+            let mut mr = MapReduce::new(comm);
+            let n = mr.map_tasks(30, MapStyle::MasterWorker, &mut |t, kv| {
+                kv.emit(&(t as u64).to_le_bytes(), b"done");
+            });
+            n
+        });
+        assert_eq!(results, vec![30, 30, 30, 30]);
+    }
+
+    #[test]
+    fn stats_reports_global_counts() {
+        let results = World::new(3).run(|comm| {
+            let mut mr = MapReduce::new(comm);
+            mr.map_tasks(9, MapStyle::RoundRobin, &mut |t, kv| {
+                kv.emit(&[(t % 3) as u8], b"");
+            });
+            let s1 = mr.stats();
+            mr.collate();
+            let s2 = mr.stats();
+            (s1.kv_pairs, s2.kmv_groups)
+        });
+        for (kv, kmv) in results {
+            assert_eq!(kv, 9);
+            assert_eq!(kmv, 3);
+        }
+    }
+
+    #[test]
+    fn add_feeds_kv_directly() {
+        let results = World::new(2).run(|comm| {
+            let mut mr = MapReduce::new(comm);
+            mr.add(b"k", &[comm.rank() as u8]);
+            mr.collate();
+            let mut n = 0;
+            mr.reduce(&mut |_, vals, _| n = vals.count());
+            n
+        });
+        // Key "k" groups on one rank with both values.
+        assert!(results.contains(&2));
+    }
+}

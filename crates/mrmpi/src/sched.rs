@@ -1,0 +1,358 @@
+//! Map-task assignment: the three *mapstyles* of MapReduce-MPI.
+//!
+//! The original library's `mapstyle` setting selects how the `nmap` task
+//! indices of a `map()` call are assigned to ranks:
+//!
+//! * `Chunk` — rank *r* gets the contiguous block of tasks
+//!   `[r·n/P, (r+1)·n/P)`;
+//! * `RoundRobin` — rank *r* gets tasks `r, r+P, r+2P, …`;
+//! * `MasterWorker` — rank 0 acts as a dedicated master handing one task at a
+//!   time to whichever worker asks next. The paper uses this mode for BLAST,
+//!   "such that each worker is kept occupied as long as there are remaining
+//!   work units", because BLAST work-unit runtimes are highly skewed.
+//!
+//! In a world of one rank every style degenerates to running all tasks
+//! locally.
+
+use mpisim::{Comm, ANY_SOURCE};
+
+/// Tag for a worker's "give me work" request.
+const TAG_REQ: u32 = 0x4D52_0001;
+/// Tag for the master's task assignment / termination reply.
+const TAG_TASK: u32 = 0x4D52_0002;
+
+/// Sentinel index meaning "no more tasks".
+const DONE: u64 = u64::MAX;
+
+/// Task-to-rank assignment policy for [`crate::MapReduce::map_tasks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapStyle {
+    /// Contiguous blocks of tasks per rank (original `mapstyle 0`).
+    Chunk,
+    /// Strided assignment: task `t` runs on rank `t % P` (original
+    /// `mapstyle 1`).
+    RoundRobin,
+    /// Rank 0 is a dedicated master doling out tasks dynamically (original
+    /// `mapstyle 2`); this is the load-balanced mode the paper's BLAST uses.
+    MasterWorker,
+}
+
+/// Execute `run(task)` for every task index this rank is responsible for.
+/// Returns the task indices executed locally, in execution order.
+pub fn assign_and_run(
+    comm: &Comm,
+    ntasks: usize,
+    style: MapStyle,
+    mut run: impl FnMut(usize),
+) -> Vec<usize> {
+    let size = comm.size();
+    let rank = comm.rank();
+    let mut mine = Vec::new();
+
+    if size == 1 {
+        for t in 0..ntasks {
+            run(t);
+            mine.push(t);
+        }
+        return mine;
+    }
+
+    match style {
+        MapStyle::Chunk => {
+            let lo = rank * ntasks / size;
+            let hi = (rank + 1) * ntasks / size;
+            for t in lo..hi {
+                run(t);
+                mine.push(t);
+            }
+        }
+        MapStyle::RoundRobin => {
+            let mut t = rank;
+            while t < ntasks {
+                run(t);
+                mine.push(t);
+                t += size;
+            }
+        }
+        MapStyle::MasterWorker => {
+            if rank == 0 {
+                master_loop(comm, ntasks);
+            } else {
+                loop {
+                    comm.send(0, TAG_REQ, Vec::new());
+                    let (reply, _) = comm.recv_u64s(0, TAG_TASK);
+                    let task = reply[0];
+                    if task == DONE {
+                        break;
+                    }
+                    run(task as usize);
+                    mine.push(task as usize);
+                }
+            }
+        }
+    }
+    mine
+}
+
+/// The master side of the dynamic scheduler: serve requests until every
+/// worker has been told there is nothing left.
+fn master_loop(comm: &Comm, ntasks: usize) {
+    let workers = comm.size() - 1;
+    let mut next = 0u64;
+    let mut retired = 0;
+    while retired < workers {
+        let msg = comm.recv(ANY_SOURCE, TAG_REQ);
+        let who = msg.status.source;
+        if (next as usize) < ntasks {
+            comm.send_u64s(who, TAG_TASK, &[next]);
+            next += 1;
+        } else {
+            comm.send_u64s(who, TAG_TASK, &[DONE]);
+            retired += 1;
+        }
+    }
+}
+
+/// Execute tasks with a **locality-aware master** (the paper's future work:
+/// "improving the location-aware work unit scheduler in order to distribute
+/// the work unit tuples to those ranks that have already been processing
+/// the same DB partitions in as many cases as possible").
+///
+/// `affinity[t]` names the resource (DB partition) task `t` needs. The
+/// master remembers each worker's last resource and serves a matching task
+/// when one remains; otherwise it hands out a task from the resource with
+/// the most remaining work (so late-run workers spread across resources
+/// instead of piling onto one). Degenerates to plain dynamic scheduling
+/// when all affinities are distinct.
+///
+/// Returns the task indices executed locally, in execution order.
+///
+/// # Panics
+/// Panics if `affinity.len() != ntasks`.
+pub fn assign_and_run_affinity(
+    comm: &Comm,
+    ntasks: usize,
+    affinity: &[usize],
+    mut run: impl FnMut(usize),
+) -> Vec<usize> {
+    assert_eq!(affinity.len(), ntasks, "one affinity per task");
+    let size = comm.size();
+    let rank = comm.rank();
+    let mut mine = Vec::new();
+
+    if size == 1 {
+        for t in 0..ntasks {
+            run(t);
+            mine.push(t);
+        }
+        return mine;
+    }
+
+    if rank == 0 {
+        affinity_master_loop(comm, affinity);
+    } else {
+        loop {
+            comm.send(0, TAG_REQ, Vec::new());
+            let (reply, _) = comm.recv_u64s(0, TAG_TASK);
+            let task = reply[0];
+            if task == DONE {
+                break;
+            }
+            run(task as usize);
+            mine.push(task as usize);
+        }
+    }
+    mine
+}
+
+fn affinity_master_loop(comm: &Comm, affinity: &[usize]) {
+    use std::collections::HashMap;
+    let workers = comm.size() - 1;
+    // Task queues per resource, FIFO within a resource.
+    let mut queues: HashMap<usize, std::collections::VecDeque<u64>> = HashMap::new();
+    for (t, &a) in affinity.iter().enumerate() {
+        queues.entry(a).or_default().push_back(t as u64);
+    }
+    let mut remaining = affinity.len();
+    let mut last_resource: HashMap<usize, usize> = HashMap::new();
+    let mut retired = 0;
+
+    while retired < workers {
+        let msg = comm.recv(ANY_SOURCE, TAG_REQ);
+        let who = msg.status.source;
+        if remaining == 0 {
+            comm.send_u64s(who, TAG_TASK, &[DONE]);
+            retired += 1;
+            continue;
+        }
+        // Prefer the worker's current resource.
+        let preferred = last_resource.get(&who).copied();
+        let resource = match preferred {
+            Some(r) if queues.get(&r).is_some_and(|q| !q.is_empty()) => r,
+            _ => {
+                // Fall back to the resource with the most remaining tasks.
+                *queues
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .max_by_key(|(_, q)| q.len())
+                    .expect("remaining > 0")
+                    .0
+            }
+        };
+        let task = queues
+            .get_mut(&resource)
+            .expect("resource exists")
+            .pop_front()
+            .expect("queue non-empty");
+        last_resource.insert(who, resource);
+        remaining -= 1;
+        comm.send_u64s(who, TAG_TASK, &[task]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::World;
+
+    fn run_style(ranks: usize, ntasks: usize, style: MapStyle) -> Vec<Vec<usize>> {
+        World::new(ranks).run(move |comm| assign_and_run(comm, ntasks, style, |_| {}))
+    }
+
+    fn assert_partition(assignments: &[Vec<usize>], ntasks: usize) {
+        let mut all: Vec<usize> = assignments.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..ntasks).collect::<Vec<_>>(), "tasks must partition exactly");
+    }
+
+    #[test]
+    fn chunk_assigns_contiguous_blocks() {
+        let got = run_style(4, 10, MapStyle::Chunk);
+        assert_partition(&got, 10);
+        for ranks_tasks in &got {
+            for w in ranks_tasks.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "chunk must be contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_strides() {
+        let got = run_style(3, 10, MapStyle::RoundRobin);
+        assert_partition(&got, 10);
+        assert_eq!(got[0], vec![0, 3, 6, 9]);
+        assert_eq!(got[1], vec![1, 4, 7]);
+        assert_eq!(got[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn master_worker_partitions_and_master_idles() {
+        let got = run_style(4, 23, MapStyle::MasterWorker);
+        assert!(got[0].is_empty(), "master must not execute tasks");
+        assert_partition(&got, 23);
+    }
+
+    #[test]
+    fn master_worker_zero_tasks_terminates() {
+        let got = run_style(3, 0, MapStyle::MasterWorker);
+        for m in got {
+            assert!(m.is_empty());
+        }
+    }
+
+    #[test]
+    fn master_worker_fewer_tasks_than_workers() {
+        let got = run_style(8, 3, MapStyle::MasterWorker);
+        assert_partition(&got, 3);
+    }
+
+    #[test]
+    fn single_rank_runs_everything_for_every_style() {
+        for style in [MapStyle::Chunk, MapStyle::RoundRobin, MapStyle::MasterWorker] {
+            let got = run_style(1, 7, style);
+            assert_eq!(got[0], (0..7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn affinity_scheduler_partitions_tasks_exactly() {
+        let ntasks = 30;
+        let affinity: Vec<usize> = (0..ntasks).map(|t| t % 5).collect();
+        let got = World::new(4).run(move |comm| {
+            assign_and_run_affinity(comm, ntasks, &affinity, |_| {})
+        });
+        assert!(got[0].is_empty(), "master must not execute tasks");
+        assert_partition(&got, ntasks);
+    }
+
+    #[test]
+    fn affinity_scheduler_groups_same_resource_on_one_worker() {
+        // 3 resources × 10 tasks each, 4 workers: each worker should see far
+        // fewer resource switches than task count.
+        let ntasks = 30;
+        let affinity: Vec<usize> = (0..ntasks).map(|t| t / 10).collect();
+        let aff = affinity.clone();
+        let got = World::new(5).run(move |comm| {
+            assign_and_run_affinity(comm, ntasks, &aff, |_| {})
+        });
+        assert_partition(&got, ntasks);
+        let mut total_switches = 0usize;
+        for tasks in &got[1..] {
+            let mut switches = 0;
+            for w in tasks.windows(2) {
+                if affinity[w[0]] != affinity[w[1]] {
+                    switches += 1;
+                }
+            }
+            total_switches += switches;
+        }
+        // Plain dynamic dispatch of the interleaved stream would switch
+        // almost every task; affinity should keep it near the minimum
+        // (#resources - 1 per worker at worst).
+        assert!(
+            total_switches <= 8,
+            "too many resource switches: {total_switches} (got {got:?})"
+        );
+    }
+
+    #[test]
+    fn affinity_scheduler_single_rank_and_zero_tasks() {
+        let got = World::new(1).run(|comm| assign_and_run_affinity(comm, 4, &[0, 1, 0, 1], |_| {}));
+        assert_eq!(got[0], vec![0, 1, 2, 3]);
+        let got = World::new(3).run(|comm| assign_and_run_affinity(comm, 0, &[], |_| {}));
+        assert!(got.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "one affinity per task")]
+    fn affinity_length_mismatch_panics() {
+        let _ = World::new(1).run(|comm| assign_and_run_affinity(comm, 3, &[0], |_| {}));
+    }
+
+    #[test]
+    fn master_worker_virtual_makespan_is_bounded_by_serial_work() {
+        // NOTE on virtual-time fidelity: the master serves requests in
+        // *physical* arrival order, and virtual charges consume no real time,
+        // so the simulated schedule of a master-worker map is *a* feasible
+        // schedule, not necessarily the one a wall-clock run would produce.
+        // (The discrete-event simulator in the `perfmodel` crate is the
+        // faithful tool for skewed-load scaling studies; this test pins down
+        // the guarantees that do hold.)
+        let ntasks = 16usize;
+        let slow = 8.0; // seconds, task 0
+        let fast = 1.0;
+        let total = slow + (ntasks - 1) as f64 * fast;
+        let times = World::new(3).run(move |comm| {
+            assign_and_run(comm, ntasks, MapStyle::MasterWorker, |t| {
+                comm.charge(if t == 0 { slow } else { fast });
+            });
+            comm.barrier();
+            comm.now()
+        });
+        let makespan = times[0];
+        // Any feasible 2-worker schedule is at least the critical path and at
+        // most all work on one worker.
+        assert!(makespan >= total / 2.0, "impossibly fast: {makespan}");
+        assert!(makespan <= total + 1e-9, "worse than serial: {makespan}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Tunables of the MapReduce engine, mirroring the original library's
+//! `memsize`/`mapstyle`/`fpath` settings.
+
+use std::path::PathBuf;
+
+/// Engine settings for one [`crate::MapReduce`] object.
+#[derive(Debug, Clone)]
+pub struct Settings {
+    /// Size of one KV/KMV page in bytes. The original library defaults to
+    /// 64 MB pages; tests use much smaller pages to exercise paging.
+    pub page_size: usize,
+    /// Per-rank in-memory budget in bytes across all pages of one dataset.
+    /// When exceeded, closed pages spill to `tmpdir` ("out-of-core
+    /// processing"). `usize::MAX` disables spilling.
+    pub mem_budget: usize,
+    /// Directory for spill files (the original's `fpath`).
+    pub tmpdir: PathBuf,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            page_size: 4 * 1024 * 1024,
+            mem_budget: usize::MAX,
+            tmpdir: std::env::temp_dir(),
+        }
+    }
+}
+
+impl Settings {
+    /// Settings with a small page size and memory budget, forcing the
+    /// out-of-core paths; used by tests and the paging ablation bench.
+    pub fn tiny_paged(tmpdir: impl Into<PathBuf>) -> Self {
+        Settings { page_size: 256, mem_budget: 512, tmpdir: tmpdir.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_never_spills() {
+        let s = Settings::default();
+        assert_eq!(s.mem_budget, usize::MAX);
+        assert!(s.page_size > 0);
+    }
+
+    #[test]
+    fn tiny_paged_is_tiny() {
+        let s = Settings::tiny_paged("/tmp");
+        assert!(s.mem_budget <= 1024);
+        assert_eq!(s.tmpdir, PathBuf::from("/tmp"));
+    }
+}

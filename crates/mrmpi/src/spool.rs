@@ -1,0 +1,221 @@
+//! Page storage with out-of-core spilling.
+//!
+//! KV and KMV datasets are sequences of fixed-capacity byte pages. A rank
+//! holds at most `mem_budget` bytes of closed pages in memory; beyond that,
+//! the oldest in-memory pages are written to spill files in the configured
+//! temporary directory and read back transparently on iteration. This mirrors
+//! the original library's "out-of-core processing", whose performance cost on
+//! clusters without node-local scratch is discussed in the paper (§III.A) and
+//! measured by the `ablation_oom_paging` bench.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+enum Page {
+    Mem(Vec<u8>),
+    Disk { path: PathBuf, len: usize },
+}
+
+/// A page either borrowed from memory or loaded back from a spill file.
+pub enum PageRef<'a> {
+    /// Page resident in memory.
+    Borrowed(&'a [u8]),
+    /// Page read back from disk.
+    Owned(Vec<u8>),
+}
+
+impl std::ops::Deref for PageRef<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            PageRef::Borrowed(s) => s,
+            PageRef::Owned(v) => v,
+        }
+    }
+}
+
+/// An ordered collection of closed pages under a memory budget.
+pub struct Spool {
+    pages: Vec<Page>,
+    mem_budget: usize,
+    mem_in_use: usize,
+    tmpdir: PathBuf,
+    spilled: usize,
+    total_bytes: usize,
+}
+
+impl Spool {
+    /// An empty spool spilling to `tmpdir` once in-memory pages exceed
+    /// `mem_budget` bytes.
+    pub fn new(mem_budget: usize, tmpdir: PathBuf) -> Self {
+        Spool { pages: Vec::new(), mem_budget, mem_in_use: 0, tmpdir, spilled: 0, total_bytes: 0 }
+    }
+
+    /// Append a closed page, spilling the oldest in-memory pages if the
+    /// budget is now exceeded.
+    ///
+    /// # Panics
+    /// Panics if a spill file cannot be written (no graceful degradation:
+    /// the original library aborts too).
+    pub fn push(&mut self, page: Vec<u8>) {
+        self.total_bytes += page.len();
+        self.mem_in_use += page.len();
+        self.pages.push(Page::Mem(page));
+        if self.mem_in_use > self.mem_budget {
+            self.spill_down();
+        }
+    }
+
+    fn spill_down(&mut self) {
+        for page in self.pages.iter_mut() {
+            if self.mem_in_use <= self.mem_budget {
+                break;
+            }
+            if let Page::Mem(data) = page {
+                let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+                let path = self
+                    .tmpdir
+                    .join(format!("mrmpi-spill-{}-{}.page", std::process::id(), seq));
+                let mut f = fs::File::create(&path)
+                    .unwrap_or_else(|e| panic!("create spill file {}: {e}", path.display()));
+                f.write_all(data).expect("write spill page");
+                let len = data.len();
+                self.mem_in_use -= len;
+                self.spilled += 1;
+                *page = Page::Disk { path, len };
+            }
+        }
+    }
+
+    /// Number of closed pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total bytes across all closed pages (memory + disk).
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// How many pages have been spilled to disk over this spool's lifetime.
+    pub fn spill_count(&self) -> usize {
+        self.spilled
+    }
+
+    /// Borrow (or load) page `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range or a spill file has gone missing.
+    pub fn page(&self, i: usize) -> PageRef<'_> {
+        match &self.pages[i] {
+            Page::Mem(data) => PageRef::Borrowed(data),
+            Page::Disk { path, len } => {
+                let mut buf = Vec::with_capacity(*len);
+                fs::File::open(path)
+                    .unwrap_or_else(|e| panic!("open spill file {}: {e}", path.display()))
+                    .read_to_end(&mut buf)
+                    .expect("read spill page");
+                assert_eq!(buf.len(), *len, "spill file {} truncated", path.display());
+                PageRef::Owned(buf)
+            }
+        }
+    }
+
+    /// Remove and return all pages in order, loading spilled ones.
+    pub fn drain_pages(&mut self) -> Vec<Vec<u8>> {
+        let pages = std::mem::take(&mut self.pages);
+        self.mem_in_use = 0;
+        self.total_bytes = 0;
+        pages
+            .into_iter()
+            .map(|p| match p {
+                Page::Mem(data) => data,
+                Page::Disk { path, len } => {
+                    let mut buf = Vec::with_capacity(len);
+                    fs::File::open(&path)
+                        .unwrap_or_else(|e| panic!("open spill file {}: {e}", path.display()))
+                        .read_to_end(&mut buf)
+                        .expect("read spill page");
+                    let _ = fs::remove_file(&path);
+                    buf
+                }
+            })
+            .collect()
+    }
+}
+
+impl Drop for Spool {
+    fn drop(&mut self) {
+        for p in &self.pages {
+            if let Page::Disk { path, .. } = p {
+                let _ = fs::remove_file(path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mrmpi-spool-test-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn pages_roundtrip_in_memory() {
+        let mut s = Spool::new(usize::MAX, tmp());
+        s.push(vec![1, 2, 3]);
+        s.push(vec![4]);
+        assert_eq!(s.num_pages(), 2);
+        assert_eq!(s.total_bytes(), 4);
+        assert_eq!(&*s.page(0), &[1, 2, 3]);
+        assert_eq!(&*s.page(1), &[4]);
+        assert_eq!(s.spill_count(), 0);
+    }
+
+    #[test]
+    fn exceeding_budget_spills_and_reads_back() {
+        let mut s = Spool::new(10, tmp());
+        s.push(vec![0xa; 8]);
+        s.push(vec![0xb; 8]); // 16 > 10: first page spills
+        assert_eq!(s.spill_count(), 1);
+        assert_eq!(&*s.page(0), &[0xa; 8][..]);
+        assert_eq!(&*s.page(1), &[0xb; 8][..]);
+    }
+
+    #[test]
+    fn drain_returns_everything_in_order() {
+        let mut s = Spool::new(4, tmp());
+        for i in 0..5u8 {
+            s.push(vec![i; 3]);
+        }
+        assert!(s.spill_count() >= 3, "most pages should spill");
+        let pages = s.drain_pages();
+        assert_eq!(pages.len(), 5);
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(p, &vec![i as u8; 3]);
+        }
+        assert_eq!(s.num_pages(), 0);
+        assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn spill_files_cleaned_on_drop() {
+        let dir = tmp();
+        let before = fs::read_dir(&dir).unwrap().count();
+        {
+            let mut s = Spool::new(0, dir.clone());
+            s.push(vec![9; 100]);
+            assert_eq!(s.spill_count(), 1);
+            assert!(fs::read_dir(&dir).unwrap().count() > before);
+        }
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), before);
+    }
+}

@@ -1,0 +1,125 @@
+//! Cost calibration: ground the simulator's constants in real engine runs.
+//!
+//! The simulator's curves depend on *relative* quantities (skew, load-to-
+//! search ratios); this module provides the measurement and fitting
+//! utilities the bench harness uses to derive them from actual
+//! `blast`/`som` executions on the host, so the DES is anchored to the real
+//! engine rather than to invented constants. (The figure binaries also
+//! accept the fixed Ranger-era presets for deterministic output; see
+//! EXPERIMENTS.md.)
+
+use std::time::Instant;
+
+/// Time `f` once, in seconds.
+pub fn time_once(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+/// Time `reps` executions of `f`, returning per-execution seconds.
+pub fn sample(reps: usize, mut f: impl FnMut()) -> Vec<f64> {
+    (0..reps).map(|_| time_once(&mut f)).collect()
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Compute summary statistics.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "cannot summarize an empty sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+    Summary {
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50: q(0.5),
+        p95: q(0.95),
+        max: *sorted.last().expect("non-empty"),
+    }
+}
+
+/// Fit a log-normal to positive samples: returns `(median, sigma_log)`
+/// where `median = exp(mean(ln x))` and `sigma_log = std(ln x)`. Feed
+/// `sigma_log` into [`crate::WorkUnitCosts`] to give the simulator the
+/// engine's real skew.
+///
+/// # Panics
+/// Panics on empty input or non-positive samples.
+pub fn fit_lognormal(samples: &[f64]) -> (f64, f64) {
+    assert!(!samples.is_empty(), "cannot fit an empty sample");
+    assert!(samples.iter().all(|&x| x > 0.0), "log-normal needs positive samples");
+    let logs: Vec<f64> = samples.iter().map(|x| x.ln()).collect();
+    let mu = logs.iter().sum::<f64>() / logs.len() as f64;
+    let var = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / logs.len() as f64;
+    (mu.exp(), var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_is_positive() {
+        let t = time_once(|| {
+            let mut x = 0u64;
+            for i in 0..10_000 {
+                x = x.wrapping_add(i);
+            }
+            std::hint::black_box(x);
+        });
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn sample_counts() {
+        assert_eq!(sample(5, || {}).len(), 5);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.mean, 22.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        // Deterministic synthetic log-normal sample.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let sigma = 0.5;
+        let median = 3.0;
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| {
+                let u1: f64 = rng.random::<f64>().max(1e-12);
+                let u2: f64 = rng.random();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                median * (sigma * z).exp()
+            })
+            .collect();
+        let (m, s) = fit_lognormal(&samples);
+        assert!((m - median).abs() / median < 0.05, "median {m}");
+        assert!((s - sigma).abs() < 0.03, "sigma {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn lognormal_rejects_nonpositive() {
+        let _ = fit_lognormal(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Cluster description: a Ranger-like machine.
+//!
+//! "Each node has 16 AMD cores and 32 GB of RAM. The shared file system is
+//! Lustre, and no locally attached storage is available to the user
+//! programs. … the cluster always allocates entire nodes to the MPI job"
+//! (§IV).
+
+/// Static description of the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterModel {
+    /// Cores per node (Ranger: 16).
+    pub cores_per_node: usize,
+    /// RAM per node in GB (Ranger: 32).
+    pub ram_per_node_gb: f64,
+    /// Seconds to load one GB of a DB partition cold from the shared
+    /// filesystem (Lustre under concurrent load).
+    pub cold_load_s_per_gb: f64,
+    /// Seconds to re-map one GB already resident in the node's page cache.
+    pub warm_load_s_per_gb: f64,
+    /// Master dispatch overhead per work unit (request + reply).
+    pub dispatch_latency_s: f64,
+    /// Point-to-point latency (seconds) for collective cost estimates.
+    pub net_alpha_s: f64,
+    /// Per-byte transfer cost (seconds) for collective cost estimates.
+    pub net_beta_s_per_byte: f64,
+}
+
+impl ClusterModel {
+    /// A TACC-Ranger-like preset.
+    pub fn ranger() -> Self {
+        ClusterModel {
+            cores_per_node: 16,
+            ram_per_node_gb: 32.0,
+            cold_load_s_per_gb: 12.0,
+            warm_load_s_per_gb: 0.6,
+            dispatch_latency_s: 2e-3,
+            net_alpha_s: 2.3e-6,
+            net_beta_s_per_byte: 5e-10,
+        }
+    }
+
+    /// Number of whole nodes used by `cores` cores ("the cluster always
+    /// allocates entire nodes").
+    pub fn nodes_for(&self, cores: usize) -> usize {
+        cores.div_ceil(self.cores_per_node)
+    }
+
+    /// How many partitions of `partition_gb` GB fit in one node's cache,
+    /// leaving `reserve_gb` for the application itself.
+    pub fn cache_capacity(&self, partition_gb: f64, reserve_gb: f64) -> usize {
+        if partition_gb <= 0.0 {
+            return usize::MAX;
+        }
+        (((self.ram_per_node_gb - reserve_gb).max(0.0)) / partition_gb).floor() as usize
+    }
+
+    /// Estimated cost of a reduce/broadcast-style collective over `ranks`
+    /// ranks moving `bytes` (Rabenseifner-style: latency term logarithmic,
+    /// bandwidth term linear and pipelined).
+    pub fn collective_cost(&self, ranks: usize, bytes: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let rounds = (ranks as f64).log2().ceil();
+        rounds * self.net_alpha_s + 2.0 * self.net_beta_s_per_byte * bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranger_shape() {
+        let c = ClusterModel::ranger();
+        assert_eq!(c.cores_per_node, 16);
+        assert_eq!(c.nodes_for(32), 2);
+        assert_eq!(c.nodes_for(1024), 64);
+        assert_eq!(c.nodes_for(17), 2);
+    }
+
+    #[test]
+    fn cache_capacity_counts_partitions() {
+        let c = ClusterModel::ranger();
+        // 32 GB node, 4 GB reserved, 1 GB partitions → 28.
+        assert_eq!(c.cache_capacity(1.0, 4.0), 28);
+        // Combined check behind the paper's superlinear claim: 2 nodes
+        // (32 cores) cache 56 < 109 partitions; 8 nodes (128 cores) cache
+        // 224 ≥ 109.
+        assert!(2 * c.cache_capacity(1.0, 4.0) < 109);
+        assert!(8 * c.cache_capacity(1.0, 4.0) > 109);
+    }
+
+    #[test]
+    fn collective_cost_grows_slowly() {
+        let c = ClusterModel::ranger();
+        let small = c.collective_cost(32, 1 << 20);
+        let big = c.collective_cost(1024, 1 << 20);
+        assert!(big > small);
+        assert!(big < 4.0 * small, "bandwidth term must dominate, not rounds");
+        assert_eq!(c.collective_cost(1, 1 << 20), 0.0);
+    }
+}

@@ -1,0 +1,548 @@
+//! Deterministic discrete-event simulation of the work-unit schedules.
+//!
+//! Models the three mechanisms the paper's BLAST scaling discussion rests
+//! on (§IV.A):
+//!
+//! 1. **dynamic master-worker dispatch** — work units handed to whichever
+//!    worker frees up first, rank 0 dedicated to the master role;
+//! 2. **per-node partition RAM caching** — a node that has loaded a DB
+//!    partition before re-maps it from page cache ("the memory mapped DB
+//!    partitions stay cached in RAM after being loaded upon the first read
+//!    access"), with LRU eviction under the node's RAM budget;
+//! 3. **tail idling** — "the entire MPI program then has to wait for that
+//!    longest unit of work to finish".
+//!
+//! Static schedules (round-robin / chunk) are simulated for the HTC and
+//!    mapstyle-ablation comparisons.
+
+use crate::cluster::ClusterModel;
+
+/// One work unit: the DB partition it needs and its search compute cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// DB partition index this task scans.
+    pub part: usize,
+    /// Search (engine) time in seconds, excluding partition load.
+    pub cost_s: f64,
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Dynamic: rank 0 dedicated master, `cores − 1` workers pull tasks.
+    MasterWorker,
+    /// Static: task `t` on worker `t % workers`, all cores compute.
+    RoundRobin,
+    /// Static: contiguous task ranges, all cores compute.
+    Chunk,
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Wall clock of the whole run in seconds.
+    pub makespan_s: f64,
+    /// Per-worker total search seconds.
+    pub worker_busy: Vec<f64>,
+    /// Per-worker search intervals (start, end) for utilization curves.
+    pub busy_intervals: Vec<Vec<(f64, f64)>>,
+    /// Partition loads that missed every cache (cold, from Lustre).
+    pub cold_loads: u64,
+    /// Partition loads served from the node page cache (warm re-maps).
+    pub warm_loads: u64,
+    /// Total search seconds across workers (the "useful" work).
+    pub total_search_s: f64,
+    /// Cores the run was charged for (workers + dedicated master if any).
+    pub cores: usize,
+}
+
+impl SimResult {
+    /// Core-seconds charged: makespan × allocated cores.
+    pub fn core_seconds(&self) -> f64 {
+        self.makespan_s * self.cores as f64
+    }
+
+    /// Mean "useful CPU utilization" over the run (Fig. 5's metric averaged
+    /// over time): total search time ÷ (makespan × cores).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        self.total_search_s / self.core_seconds()
+    }
+
+    /// Utilization time series over `buckets` equal slices of the makespan
+    /// (the Fig. 5 curve).
+    pub fn utilization_curve(&self, buckets: usize) -> Vec<f64> {
+        assert!(buckets > 0);
+        let mut out = vec![0.0; buckets];
+        if self.makespan_s <= 0.0 {
+            return out;
+        }
+        let width = self.makespan_s / buckets as f64;
+        for intervals in &self.busy_intervals {
+            for &(s, e) in intervals {
+                let first = ((s / width).floor() as usize).min(buckets - 1);
+                let last = ((e / width).ceil() as usize).min(buckets);
+                for (b, slot) in out.iter_mut().enumerate().take(last).skip(first) {
+                    let b_start = b as f64 * width;
+                    let b_end = b_start + width;
+                    *slot += (e.min(b_end) - s.max(b_start)).max(0.0);
+                }
+            }
+        }
+        for v in &mut out {
+            *v /= width * self.cores as f64;
+        }
+        out
+    }
+}
+
+/// LRU cache of partition indices with combined-RAM capacity.
+///
+/// This implements the paper's own explanation of the superlinear speedup:
+/// "all 109 1GB DB partitions begin to fit entirely into the *combined RAM
+/// of the MPI process ranks* (32 cores only have 64 GB)" — once the
+/// aggregate page cache of the allocation covers the database, re-reads of
+/// a previously loaded partition are warm re-maps; below that capacity the
+/// LRU thrashes and loads come cold from Lustre. (Per-node cache locality
+/// is deliberately not modelled: the paper's scheduler has no partition
+/// affinity either — locality-aware dispatch is its stated future work.)
+struct LruCache {
+    capacity: usize,
+    entries: Vec<usize>, // most recent last
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        LruCache { capacity, entries: Vec::new() }
+    }
+
+    /// Touch a partition; returns true when it was already cached.
+    fn touch(&mut self, part: usize) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&p| p == part) {
+            self.entries.remove(pos);
+            self.entries.push(part);
+            return true;
+        }
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(part);
+        false
+    }
+}
+
+struct LoadModel<'a> {
+    cluster: &'a ClusterModel,
+    partition_gb: f64,
+    cache: LruCache,
+}
+
+impl<'a> LoadModel<'a> {
+    fn new(cluster: &'a ClusterModel, cores: usize, partition_gb: f64) -> Self {
+        let nodes = cluster.nodes_for(cores);
+        let capacity = cluster.cache_capacity(partition_gb, 4.0).saturating_mul(nodes);
+        LoadModel { cluster, partition_gb, cache: LruCache::new(capacity) }
+    }
+
+    /// Load cost of `part`; updates the combined cache and counters.
+    fn load(&mut self, _core: usize, part: usize, cold: &mut u64, warm: &mut u64) -> f64 {
+        if self.cache.touch(part) {
+            *warm += 1;
+            self.cluster.warm_load_s_per_gb * self.partition_gb
+        } else {
+            *cold += 1;
+            self.cluster.cold_load_s_per_gb * self.partition_gb
+        }
+    }
+}
+
+/// Simulate the dynamic master-worker schedule over `tasks` (in dispatch
+/// order) on `cores` cores of `cluster`, with DB partitions of
+/// `partition_gb` GB.
+///
+/// # Panics
+/// Panics if fewer than 2 cores are requested (a dedicated master needs at
+/// least one worker).
+pub fn simulate_master_worker(
+    cluster: &ClusterModel,
+    cores: usize,
+    tasks: &[Task],
+    partition_gb: f64,
+) -> SimResult {
+    assert!(cores >= 2, "master-worker needs >= 2 cores");
+    let workers = cores - 1;
+    let mut loads = LoadModel::new(cluster, cores, partition_gb);
+    let (mut cold, mut warm) = (0u64, 0u64);
+
+    // Min-heap of (free_time, worker). Workers are cores 1..cores (core 0 is
+    // the master).
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(OrdF64, usize)>> =
+        (0..workers).map(|w| std::cmp::Reverse((OrdF64(0.0), w))).collect();
+
+    let mut busy_intervals = vec![Vec::new(); workers];
+    let mut worker_busy = vec![0.0f64; workers];
+    let mut last_worker_cache: Vec<Option<usize>> = vec![None; workers];
+
+    for task in tasks {
+        let std::cmp::Reverse((OrdF64(free), w)) = heap.pop().expect("worker heap never empty");
+        let t = free + cluster.dispatch_latency_s;
+        // Worker-level cache: a worker that just used this partition keeps
+        // its DB object ("cached between map() invocations on a given
+        // rank"); otherwise it (re-)maps, warm or cold per the node cache.
+        let load = if last_worker_cache[w] == Some(task.part) {
+            0.0
+        } else {
+            last_worker_cache[w] = Some(task.part);
+            // Worker core id: skip the master core (core 0).
+            loads.load(w + 1, task.part, &mut cold, &mut warm)
+        };
+        let start = t + load;
+        let end = start + task.cost_s;
+        busy_intervals[w].push((start, end));
+        worker_busy[w] += task.cost_s;
+        heap.push(std::cmp::Reverse((OrdF64(end), w)));
+    }
+
+    let makespan = heap.into_iter().map(|std::cmp::Reverse((OrdF64(t), _))| t).fold(0.0, f64::max);
+    let total_search: f64 = worker_busy.iter().sum();
+    SimResult {
+        makespan_s: makespan,
+        worker_busy,
+        busy_intervals,
+        cold_loads: cold,
+        warm_loads: warm,
+        total_search_s: total_search,
+        cores,
+    }
+}
+
+/// Simulate the **locality-aware** master-worker schedule: the master keeps
+/// per-partition task queues and serves a freed worker a task for the
+/// partition it already holds when one remains, falling back to the
+/// partition with the most remaining work. This is the paper's future-work
+/// scheduler ("distribute the work unit tuples to those ranks that have
+/// already been processing the same DB partitions"), quantified by the
+/// `ablation_locality` bench.
+///
+/// # Panics
+/// Panics if fewer than 2 cores are requested.
+pub fn simulate_master_worker_affinity(
+    cluster: &ClusterModel,
+    cores: usize,
+    tasks: &[Task],
+    partition_gb: f64,
+) -> SimResult {
+    assert!(cores >= 2, "master-worker needs >= 2 cores");
+    let workers = cores - 1;
+    let mut loads = LoadModel::new(cluster, cores, partition_gb);
+    let (mut cold, mut warm) = (0u64, 0u64);
+
+    // Per-partition FIFO queues of task indices, dispatch preferring the
+    // worker's held partition.
+    let mut queues: std::collections::HashMap<usize, std::collections::VecDeque<usize>> =
+        std::collections::HashMap::new();
+    for (i, t) in tasks.iter().enumerate() {
+        queues.entry(t.part).or_default().push_back(i);
+    }
+    let mut remaining = tasks.len();
+
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(OrdF64, usize)>> =
+        (0..workers).map(|w| std::cmp::Reverse((OrdF64(0.0), w))).collect();
+    let mut busy_intervals = vec![Vec::new(); workers];
+    let mut worker_busy = vec![0.0f64; workers];
+    let mut last_worker_cache: Vec<Option<usize>> = vec![None; workers];
+    let mut finish = vec![0.0f64; workers];
+
+    while remaining > 0 {
+        let std::cmp::Reverse((OrdF64(free), w)) = heap.pop().expect("worker heap never empty");
+        let t = free + cluster.dispatch_latency_s;
+        let part = match last_worker_cache[w] {
+            Some(p) if queues.get(&p).is_some_and(|q| !q.is_empty()) => p,
+            _ => *queues
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .max_by_key(|(_, q)| q.len())
+                .expect("remaining > 0")
+                .0,
+        };
+        let task_idx =
+            queues.get_mut(&part).expect("chosen queue").pop_front().expect("non-empty");
+        remaining -= 1;
+        let task = tasks[task_idx];
+        let load = if last_worker_cache[w] == Some(task.part) {
+            0.0
+        } else {
+            last_worker_cache[w] = Some(task.part);
+            loads.load(w + 1, task.part, &mut cold, &mut warm)
+        };
+        let start = t + load;
+        let end = start + task.cost_s;
+        busy_intervals[w].push((start, end));
+        worker_busy[w] += task.cost_s;
+        finish[w] = end;
+        heap.push(std::cmp::Reverse((OrdF64(end), w)));
+    }
+
+    let makespan = finish.iter().copied().fold(0.0, f64::max);
+    let total_search: f64 = worker_busy.iter().sum();
+    SimResult {
+        makespan_s: makespan,
+        worker_busy,
+        busy_intervals,
+        cold_loads: cold,
+        warm_loads: warm,
+        total_search_s: total_search,
+        cores,
+    }
+}
+
+/// Simulate a static schedule (all cores compute; no dynamic balancing).
+pub fn simulate_static(
+    cluster: &ClusterModel,
+    cores: usize,
+    tasks: &[Task],
+    partition_gb: f64,
+    schedule: Schedule,
+) -> SimResult {
+    assert!(cores >= 1);
+    assert!(schedule != Schedule::MasterWorker, "use simulate_master_worker");
+    let mut loads = LoadModel::new(cluster, cores, partition_gb);
+    let (mut cold, mut warm) = (0u64, 0u64);
+    let mut busy_intervals = vec![Vec::new(); cores];
+    let mut worker_busy = vec![0.0f64; cores];
+    let mut clock = vec![0.0f64; cores];
+    let mut last_part: Vec<Option<usize>> = vec![None; cores];
+
+    for (i, task) in tasks.iter().enumerate() {
+        let w = match schedule {
+            Schedule::RoundRobin => i % cores,
+            Schedule::Chunk => i * cores / tasks.len().max(1),
+            Schedule::MasterWorker => unreachable!(),
+        };
+        let load = if last_part[w] == Some(task.part) {
+            0.0
+        } else {
+            last_part[w] = Some(task.part);
+            loads.load(w, task.part, &mut cold, &mut warm)
+        };
+        let start = clock[w] + load;
+        let end = start + task.cost_s;
+        busy_intervals[w].push((start, end));
+        worker_busy[w] += task.cost_s;
+        clock[w] = end;
+    }
+
+    let makespan = clock.iter().copied().fold(0.0, f64::max);
+    let total_search: f64 = worker_busy.iter().sum();
+    SimResult {
+        makespan_s: makespan,
+        worker_busy,
+        busy_intervals,
+        cold_loads: cold,
+        warm_loads: warm,
+        total_search_s: total_search,
+        cores,
+    }
+}
+
+/// Total-orderable f64 for the event heap (costs are never NaN).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("no NaN times")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cheap_cluster() -> ClusterModel {
+        ClusterModel {
+            cold_load_s_per_gb: 0.0,
+            warm_load_s_per_gb: 0.0,
+            dispatch_latency_s: 0.0,
+            ..ClusterModel::ranger()
+        }
+    }
+
+    fn uniform_tasks(n: usize, cost: f64) -> Vec<Task> {
+        (0..n).map(|i| Task { part: i % 4, cost_s: cost }).collect()
+    }
+
+    #[test]
+    fn uniform_tasks_give_ceil_distribution() {
+        // 10 tasks, 3 cores (2 workers), unit cost, zero overheads:
+        // makespan = ceil(10/2) = 5.
+        let r = simulate_master_worker(&cheap_cluster(), 3, &uniform_tasks(10, 1.0), 0.0);
+        assert!((r.makespan_s - 5.0).abs() < 1e-9, "makespan {}", r.makespan_s);
+        assert_eq!(r.total_search_s, 10.0);
+    }
+
+    #[test]
+    fn single_worker_serializes() {
+        let r = simulate_master_worker(&cheap_cluster(), 2, &uniform_tasks(7, 2.0), 0.0);
+        assert!((r.makespan_s - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn master_worker_beats_static_on_skewed_load() {
+        // One giant task plus many small: dynamic dispatch must win.
+        let mut tasks = vec![Task { part: 0, cost_s: 50.0 }];
+        tasks.extend((0..40).map(|i| Task { part: i % 4, cost_s: 1.0 }));
+        let cluster = cheap_cluster();
+        let dynamic = simulate_master_worker(&cluster, 5, &tasks, 0.0);
+        let static_rr = simulate_static(&cluster, 5, &tasks, 0.0, Schedule::RoundRobin);
+        assert!(
+            dynamic.makespan_s < static_rr.makespan_s,
+            "dynamic {} vs static {}",
+            dynamic.makespan_s,
+            static_rr.makespan_s
+        );
+        // Dynamic is near the lower bound max(longest task, total/workers).
+        let lower = 50.0f64.max(90.0 / 4.0);
+        assert!(dynamic.makespan_s <= lower * 1.1, "dynamic {}", dynamic.makespan_s);
+    }
+
+    #[test]
+    fn tail_idling_appears_when_tasks_scarce() {
+        // 5 equal tasks on 4 workers: one worker runs 2 → utilization 5/8.
+        let r = simulate_master_worker(&cheap_cluster(), 5, &uniform_tasks(5, 1.0), 0.0);
+        assert!((r.makespan_s - 2.0).abs() < 1e-9);
+        let util = r.total_search_s / (r.makespan_s * 4.0); // worker cores
+        assert!((util - 5.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_then_warm_loads_with_cache() {
+        let cluster = ClusterModel {
+            cold_load_s_per_gb: 10.0,
+            warm_load_s_per_gb: 1.0,
+            dispatch_latency_s: 0.0,
+            ..ClusterModel::ranger()
+        };
+        // 2 cores → 1 worker, alternating partitions 0,1,0,1 of 1 GB; node
+        // cache holds both → first two cold, rest warm.
+        let tasks: Vec<Task> =
+            (0..6).map(|i| Task { part: i % 2, cost_s: 1.0 }).collect();
+        let r = simulate_master_worker(&cluster, 2, &tasks, 1.0);
+        assert_eq!(r.cold_loads, 2);
+        assert_eq!(r.warm_loads, 4);
+        // makespan = 2 cold (10s) + 4 warm (1s) + 6 × 1s search.
+        assert!((r.makespan_s - (20.0 + 4.0 + 6.0)).abs() < 1e-9, "{}", r.makespan_s);
+    }
+
+    #[test]
+    fn repeated_same_partition_needs_no_reload() {
+        let cluster = ClusterModel {
+            cold_load_s_per_gb: 10.0,
+            dispatch_latency_s: 0.0,
+            ..ClusterModel::ranger()
+        };
+        let tasks = vec![Task { part: 3, cost_s: 1.0 }; 5];
+        let r = simulate_master_worker(&cluster, 2, &tasks, 1.0);
+        assert_eq!(r.cold_loads, 1, "partition loaded once, then rank-cached");
+        assert!((r.makespan_s - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_too_small_thrashes() {
+        let cluster = ClusterModel {
+            ram_per_node_gb: 5.0, // capacity (5-4)/1 = 1 partition
+            cold_load_s_per_gb: 10.0,
+            warm_load_s_per_gb: 0.1,
+            dispatch_latency_s: 0.0,
+            ..ClusterModel::ranger()
+        };
+        let tasks: Vec<Task> = (0..6).map(|i| Task { part: i % 2, cost_s: 1.0 }).collect();
+        let r = simulate_master_worker(&cluster, 2, &tasks, 1.0);
+        assert_eq!(r.cold_loads, 6, "alternating partitions must thrash a 1-slot cache");
+    }
+
+    #[test]
+    fn utilization_curve_tapers_at_end() {
+        // Few long tasks at the end starve most workers.
+        let mut tasks = uniform_tasks(40, 1.0);
+        tasks.push(Task { part: 0, cost_s: 10.0 });
+        let r = simulate_master_worker(&cheap_cluster(), 9, &tasks, 0.0);
+        let curve = r.utilization_curve(10);
+        assert!(curve[0] > 0.8, "start busy: {curve:?}");
+        assert!(curve[9] < 0.4, "tail idle: {curve:?}");
+    }
+
+    #[test]
+    fn affinity_dispatch_cuts_reloads_without_hurting_balance() {
+        let cluster = ClusterModel {
+            cold_load_s_per_gb: 5.0,
+            warm_load_s_per_gb: 5.0, // cache off: every switch pays
+            dispatch_latency_s: 0.0,
+            ..ClusterModel::ranger()
+        };
+        // 8 partitions × 16 unit tasks, interleaved (block-major) order.
+        let tasks: Vec<Task> =
+            (0..128).map(|i| Task { part: i % 8, cost_s: 1.0 }).collect();
+        let plain = simulate_master_worker(&cluster, 5, &tasks, 1.0);
+        let affine = simulate_master_worker_affinity(&cluster, 5, &tasks, 1.0);
+        assert_eq!(plain.total_search_s, affine.total_search_s);
+        // With affinity, each of 4 workers should touch ~2 partitions; the
+        // plain dispatcher reloads nearly every task.
+        assert!(
+            affine.cold_loads + affine.warm_loads <= 16,
+            "affinity loads: {} + {}",
+            affine.cold_loads,
+            affine.warm_loads
+        );
+        assert!(
+            plain.cold_loads + plain.warm_loads > 60,
+            "plain loads unexpectedly low: {} + {}",
+            plain.cold_loads,
+            plain.warm_loads
+        );
+        assert!(affine.makespan_s < plain.makespan_s);
+    }
+
+    #[test]
+    fn affinity_dispatch_handles_skew_like_plain() {
+        let cluster = cheap_cluster();
+        let mut tasks = vec![Task { part: 0, cost_s: 30.0 }];
+        tasks.extend((0..40).map(|i| Task { part: 1 + i % 3, cost_s: 1.0 }));
+        let r = simulate_master_worker_affinity(&cluster, 5, &tasks, 0.0);
+        let lower = 30.0f64.max(70.0 / 4.0);
+        assert!(r.makespan_s <= lower * 1.35, "affinity makespan {}", r.makespan_s);
+        assert_eq!(r.total_search_s, 70.0);
+    }
+
+    #[test]
+    fn static_chunk_and_round_robin_process_all_tasks() {
+        let tasks = uniform_tasks(13, 1.0);
+        for sched in [Schedule::RoundRobin, Schedule::Chunk] {
+            let r = simulate_static(&cheap_cluster(), 4, &tasks, 0.0, sched);
+            assert_eq!(r.total_search_s, 13.0);
+            assert!(r.makespan_s >= 13.0 / 4.0);
+        }
+    }
+
+    #[test]
+    fn core_seconds_and_mean_utilization() {
+        let r = simulate_master_worker(&cheap_cluster(), 3, &uniform_tasks(4, 1.0), 0.0);
+        assert!((r.makespan_s - 2.0).abs() < 1e-9);
+        assert!((r.core_seconds() - 6.0).abs() < 1e-9);
+        // 4 search-seconds over 6 core-seconds (master idles by design).
+        assert!((r.mean_utilization() - 4.0 / 6.0).abs() < 1e-9);
+    }
+}

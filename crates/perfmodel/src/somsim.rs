@@ -1,0 +1,163 @@
+//! BSP model of the MR-MPI batch SOM (Fig. 6).
+//!
+//! The batch SOM is bulk-synchronous: per epoch, every core processes its
+//! share of equal-cost vector blocks, then all ranks meet in an
+//! `MPI_Reduce` + `MPI_Bcast` of the codebook-sized accumulators. With
+//! equal-cost blocks the schedule is trivial — the makespan is
+//! `ceil(blocks / cores) × block cost + collective costs` — so a closed-form
+//! model is *exact*, and it is validated against real `mrbio::run_mrsom`
+//! executions at small scale by the integration tests.
+//!
+//! The paper's benchmark: "81,920 random vectors (the multiple of our core
+//! counts) of 256 dimensions … a 50×50 SOM … work units … blocks of 40
+//! vectors", 96% efficiency at 1024 cores relative to 32.
+
+use crate::cluster::ClusterModel;
+
+/// One batch-SOM scaling scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct SomScenario {
+    /// Number of input vectors (paper: 81 920).
+    pub n_vectors: usize,
+    /// Vector dimensionality (paper: 256).
+    pub dims: usize,
+    /// Number of SOM neurons (paper: 50 × 50 = 2500).
+    pub neurons: usize,
+    /// Vectors per work unit (paper: 40).
+    pub block_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Engine seconds per input vector (BMU search + accumulation); the
+    /// calibration module measures this constant on the host.
+    pub per_vector_s: f64,
+    /// IO seconds per block read from the shared on-disk matrix.
+    pub io_per_block_s: f64,
+}
+
+impl SomScenario {
+    /// The paper's Fig. 6 setup. `per_vector_s` defaults to a Ranger-era
+    /// estimate (≈2500 neurons × 256 dims ≈ 2 MFLOP per BMU at ~0.6 GFLOP/s
+    /// effective).
+    pub fn paper_fig6(epochs: usize) -> Self {
+        SomScenario {
+            n_vectors: 81_920,
+            dims: 256,
+            neurons: 2500,
+            block_size: 40,
+            epochs,
+            per_vector_s: 3.5e-3,
+            io_per_block_s: 1e-3,
+        }
+    }
+
+    /// Number of work units per epoch.
+    pub fn n_blocks(&self) -> usize {
+        self.n_vectors.div_ceil(self.block_size)
+    }
+
+    /// Bytes moved by one accumulator reduce (numerator + denominator) or
+    /// codebook broadcast.
+    pub fn codebook_bytes(&self) -> usize {
+        self.neurons * (self.dims + 1) * 8
+    }
+
+    /// Simulated wall clock of a full training run at `cores` cores. All
+    /// cores compute (the paper sizes its input as "the multiple of our
+    /// core counts", which only divides evenly if every rank takes blocks).
+    pub fn makespan(&self, cluster: &ClusterModel, cores: usize) -> f64 {
+        assert!(cores >= 1);
+        let blocks = self.n_blocks();
+        let max_blocks_per_core = blocks.div_ceil(cores);
+        let block_cost = self.block_size as f64 * self.per_vector_s + self.io_per_block_s;
+        let compute = max_blocks_per_core as f64 * block_cost;
+        let comm = 2.0 * cluster.collective_cost(cores, self.codebook_bytes());
+        let dispatch = max_blocks_per_core as f64 * cluster.dispatch_latency_s;
+        self.epochs as f64 * (compute + comm + dispatch)
+    }
+
+    /// Parallel efficiency at `cores` relative to `base_cores` (the paper
+    /// reports 96% at 1024 relative to 32).
+    pub fn relative_efficiency(
+        &self,
+        cluster: &ClusterModel,
+        cores: usize,
+        base_cores: usize,
+    ) -> f64 {
+        let t_base = self.makespan(cluster, base_cores);
+        let t = self.makespan(cluster, cores);
+        (t_base / t) / (cores as f64 / base_cores as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape() {
+        let s = SomScenario::paper_fig6(10);
+        assert_eq!(s.n_blocks(), 2048);
+        assert_eq!(s.codebook_bytes(), 2500 * 257 * 8);
+    }
+
+    #[test]
+    fn makespan_scales_down_with_cores() {
+        let cluster = ClusterModel::ranger();
+        let s = SomScenario::paper_fig6(10);
+        let mut prev = f64::INFINITY;
+        for cores in [32, 64, 128, 256, 512, 1024] {
+            let t = s.makespan(&cluster, cores);
+            assert!(t < prev, "makespan must shrink: {t} at {cores}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn efficiency_at_1024_matches_paper_ballpark() {
+        // Paper: "96% efficiency at 1024 cores relative to the 32 core run".
+        let cluster = ClusterModel::ranger();
+        let s = SomScenario::paper_fig6(10);
+        let eff = s.relative_efficiency(&cluster, 1024, 32);
+        assert!(
+            eff > 0.90 && eff <= 1.0,
+            "expected ≈0.96 efficiency at 1024 vs 32 cores, got {eff:.3}"
+        );
+    }
+
+    #[test]
+    fn block_size_40_vs_80_identical_timings() {
+        // Paper: "work units of 80 vectors each produced the identical
+        // timings" — with vectors dividing evenly, per-core work is equal.
+        let cluster = ClusterModel::ranger();
+        let a = SomScenario { block_size: 40, ..SomScenario::paper_fig6(10) };
+        let b = SomScenario { block_size: 80, ..SomScenario::paper_fig6(10) };
+        for cores in [32, 256, 1024] {
+            let ta = a.makespan(&cluster, cores);
+            let tb = b.makespan(&cluster, cores);
+            assert!(
+                (ta - tb).abs() / ta < 0.02,
+                "block 40 vs 80 at {cores} cores: {ta} vs {tb}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_core_is_serial_sum() {
+        let cluster = ClusterModel::ranger();
+        let s = SomScenario { epochs: 2, ..SomScenario::paper_fig6(2) };
+        let t = s.makespan(&cluster, 1);
+        let expected = 2.0
+            * (2048.0 * (40.0 * s.per_vector_s + s.io_per_block_s)
+                + 2048.0 * cluster.dispatch_latency_s);
+        assert!((t - expected).abs() < 1e-9, "{t} vs {expected}");
+    }
+
+    #[test]
+    fn communication_eventually_binds() {
+        // With absurdly cheap compute, scaling must flatten out.
+        let cluster = ClusterModel::ranger();
+        let s = SomScenario { per_vector_s: 1e-7, ..SomScenario::paper_fig6(5) };
+        let eff = s.relative_efficiency(&cluster, 1024, 32);
+        assert!(eff < 0.5, "communication-bound case must lose efficiency: {eff}");
+    }
+}

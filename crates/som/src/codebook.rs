@@ -1,0 +1,282 @@
+//! The codebook: a 2-D grid of weight vectors.
+//!
+//! "Each neuron is defined by its X,Y position in the map and by an
+//! n-dimensional vector assigned to it ('weight vector' or 'code-vector').
+//! The matrix of all K weight-vectors forms the complete description of the
+//! SOM called the codebook." (§II.D)
+
+use rand::Rng;
+
+/// A rows × cols grid of `dims`-dimensional weight vectors, stored row-major
+/// in one flat buffer (neuron `(x, y)` at index `y * cols + x`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Codebook {
+    /// Grid height.
+    pub rows: usize,
+    /// Grid width.
+    pub cols: usize,
+    /// Weight vector dimensionality.
+    pub dims: usize,
+    /// Flat weights, `rows * cols * dims` values.
+    pub weights: Vec<f64>,
+    /// Toroidal (wrap-around) grid topology. Planar by default; toroidal
+    /// maps avoid border effects on periodic data (a standard SOM option,
+    /// e.g. in somoclu).
+    pub torus: bool,
+}
+
+impl Codebook {
+    /// Zero-initialized codebook.
+    pub fn zeros(rows: usize, cols: usize, dims: usize) -> Self {
+        assert!(rows > 0 && cols > 0 && dims > 0, "degenerate codebook shape");
+        Codebook { rows, cols, dims, weights: vec![0.0; rows * cols * dims], torus: false }
+    }
+
+    /// Random initialization with weights uniform in `[lo, hi)` —
+    /// "initially all weight vectors are either assigned random values or
+    /// linearly generated from the first two PCA eigen-vectors".
+    pub fn random(rows: usize, cols: usize, dims: usize, rng: &mut impl Rng, lo: f64, hi: f64) -> Self {
+        let mut cb = Self::zeros(rows, cols, dims);
+        for w in cb.weights.iter_mut() {
+            *w = lo + (hi - lo) * rng.random::<f64>();
+        }
+        cb
+    }
+
+    /// Switch the grid to toroidal topology (chainable).
+    pub fn with_torus(mut self, torus: bool) -> Self {
+        self.torus = torus;
+        self
+    }
+
+    /// Number of neurons.
+    pub fn num_neurons(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Grid coordinates of neuron `idx`.
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        (idx % self.cols, idx / self.cols)
+    }
+
+    /// Weight vector of neuron `idx`.
+    #[inline]
+    pub fn neuron(&self, idx: usize) -> &[f64] {
+        &self.weights[idx * self.dims..(idx + 1) * self.dims]
+    }
+
+    /// Mutable weight vector of neuron `idx`.
+    #[inline]
+    pub fn neuron_mut(&mut self, idx: usize) -> &mut [f64] {
+        &mut self.weights[idx * self.dims..(idx + 1) * self.dims]
+    }
+
+    /// Squared Euclidean distance between neuron `idx` and `input` (Eq. 1;
+    /// the square root is monotone, so BMU selection uses squares).
+    #[inline]
+    pub fn dist_sq(&self, idx: usize, input: &[f64]) -> f64 {
+        debug_assert_eq!(input.len(), self.dims);
+        self.neuron(idx).iter().zip(input).map(|(w, x)| (w - x) * (w - x)).sum()
+    }
+
+    /// Best matching unit for `input` (Eq. 2). Ties resolve to the lowest
+    /// neuron index: the paper breaks ties randomly, but a deterministic rule
+    /// is required for the parallel == serial bit-for-bit tests, and with
+    /// continuous inputs ties have measure zero.
+    pub fn bmu(&self, input: &[f64]) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for i in 0..self.num_neurons() {
+            let d = self.dist_sq(i, input);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Squared distance between two neurons in *grid* space (respecting the
+    /// torus topology when enabled).
+    #[inline]
+    pub fn grid_dist_sq(&self, a: usize, b: usize) -> f64 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let mut dx = (ax as f64 - bx as f64).abs();
+        let mut dy = (ay as f64 - by as f64).abs();
+        if self.torus {
+            dx = dx.min(self.cols as f64 - dx);
+            dy = dy.min(self.rows as f64 - dy);
+        }
+        dx * dx + dy * dy
+    }
+
+    /// Half of the largest grid diagonal — the paper's starting width for
+    /// the neighborhood function.
+    pub fn half_diagonal(&self) -> f64 {
+        let w = (self.cols - 1) as f64;
+        let h = (self.rows - 1) as f64;
+        0.5 * (w * w + h * h).sqrt()
+    }
+
+    /// Save the codebook to a binary file (little-endian; shape header +
+    /// weights). Used for checkpointing and for shipping trained maps.
+    ///
+    /// # Errors
+    /// IO errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        w.write_all(b"SOMCBK01")?;
+        for v in [self.rows as u64, self.cols as u64, self.dims as u64] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.write_all(&[u8::from(self.torus)])?;
+        for x in &self.weights {
+            w.write_all(&x.to_le_bytes())?;
+        }
+        w.flush()
+    }
+
+    /// Load a codebook saved by [`Codebook::save`].
+    ///
+    /// # Errors
+    /// IO errors; `InvalidData` on a malformed file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Codebook> {
+        use std::io::Read;
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"SOMCBK01" {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "not a codebook file",
+            ));
+        }
+        let mut buf8 = [0u8; 8];
+        let mut next = || -> std::io::Result<u64> {
+            r.read_exact(&mut buf8)?;
+            Ok(u64::from_le_bytes(buf8))
+        };
+        let rows = next()? as usize;
+        let cols = next()? as usize;
+        let dims = next()? as usize;
+        let mut t = [0u8; 1];
+        r.read_exact(&mut t)?;
+        let mut cb = Codebook::zeros(rows.max(1), cols.max(1), dims.max(1));
+        if rows == 0 || cols == 0 || dims == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "degenerate codebook shape",
+            ));
+        }
+        cb.torus = t[0] != 0;
+        let mut wbuf = vec![0u8; rows * cols * dims * 8];
+        r.read_exact(&mut wbuf)?;
+        for (i, c) in wbuf.chunks_exact(8).enumerate() {
+            cb.weights[i] = f64::from_le_bytes(c.try_into().expect("8 bytes"));
+        }
+        Ok(cb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn shapes_and_indexing() {
+        let cb = Codebook::zeros(3, 5, 2);
+        assert_eq!(cb.num_neurons(), 15);
+        assert_eq!(cb.coords(0), (0, 0));
+        assert_eq!(cb.coords(4), (4, 0));
+        assert_eq!(cb.coords(5), (0, 1));
+        assert_eq!(cb.coords(14), (4, 2));
+        assert_eq!(cb.neuron(7).len(), 2);
+    }
+
+    #[test]
+    fn random_init_within_range() {
+        let cb = Codebook::random(4, 4, 3, &mut rng(), -1.0, 1.0);
+        assert!(cb.weights.iter().all(|&w| (-1.0..1.0).contains(&w)));
+        // And not all equal.
+        assert!(cb.weights.iter().any(|&w| w != cb.weights[0]));
+    }
+
+    #[test]
+    fn bmu_finds_nearest() {
+        let mut cb = Codebook::zeros(2, 2, 2);
+        cb.neuron_mut(0).copy_from_slice(&[0.0, 0.0]);
+        cb.neuron_mut(1).copy_from_slice(&[1.0, 0.0]);
+        cb.neuron_mut(2).copy_from_slice(&[0.0, 1.0]);
+        cb.neuron_mut(3).copy_from_slice(&[1.0, 1.0]);
+        assert_eq!(cb.bmu(&[0.1, 0.1]), 0);
+        assert_eq!(cb.bmu(&[0.9, 0.2]), 1);
+        assert_eq!(cb.bmu(&[0.2, 0.9]), 2);
+        assert_eq!(cb.bmu(&[0.8, 0.8]), 3);
+    }
+
+    #[test]
+    fn bmu_tie_breaks_to_lowest_index() {
+        let cb = Codebook::zeros(2, 2, 2); // all neurons identical
+        assert_eq!(cb.bmu(&[5.0, 5.0]), 0);
+    }
+
+    #[test]
+    fn grid_distance() {
+        let cb = Codebook::zeros(4, 4, 1);
+        let a = 0; // (0,0)
+        let b = 15; // (3,3)
+        assert_eq!(cb.grid_dist_sq(a, b), 18.0);
+        assert_eq!(cb.grid_dist_sq(a, a), 0.0);
+    }
+
+    #[test]
+    fn toroidal_distance_wraps() {
+        let cb = Codebook::zeros(4, 4, 1).with_torus(true);
+        // (0,0) to (3,3): planar 18, toroidal wraps both axes to (1,1) = 2.
+        assert_eq!(cb.grid_dist_sq(0, 15), 2.0);
+        // (0,0) to (2,0): no benefit from wrapping a 4-wide axis (2 == 4-2).
+        assert_eq!(cb.grid_dist_sq(0, 2), 4.0);
+        // Corners are neighbors on a torus.
+        assert_eq!(cb.grid_dist_sq(0, 3), 1.0);
+    }
+
+    #[test]
+    fn half_diagonal_matches_paper_definition() {
+        let cb = Codebook::zeros(50, 50, 1);
+        let d = cb.half_diagonal();
+        assert!((d - 0.5 * (2.0f64 * 49.0 * 49.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut cb = Codebook::random(5, 7, 3, &mut rng(), -2.0, 2.0).with_torus(true);
+        cb.neuron_mut(0)[0] = 123.456;
+        let path = std::env::temp_dir().join(format!("cb-test-{}.bin", std::process::id()));
+        cb.save(&path).unwrap();
+        let back = Codebook::load(&path).unwrap();
+        assert_eq!(back, cb);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join(format!("cb-bad-{}.bin", std::process::id()));
+        std::fs::write(&path, b"nonsense").unwrap();
+        assert!(Codebook::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_dims_rejected() {
+        let _ = Codebook::zeros(1, 1, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Online SOM training (Eqs. 1–4): the classic sequential formulation, kept
+//! as the baseline the paper contrasts with the batch algorithm ("unlike the
+//! online version, the batch algorithm is not influenced by the order in
+//! which the input vectors are presented").
+
+use crate::batch::init_codebook;
+use crate::codebook::Codebook;
+use crate::neighborhood::{alpha_schedule, gaussian, sigma_schedule, SomConfig};
+
+/// Train with the online rule: one weight update per presented input
+/// (Eq. 3). Inputs are presented in order, `config.epochs` passes.
+pub fn online_train(inputs: &[Vec<f64>], config: &SomConfig, alpha0: f64) -> Codebook {
+    let mut cb = init_codebook(config, inputs);
+    let sigma0 = config.sigma0_for(cb.half_diagonal());
+    let total_steps = config.epochs * inputs.len().max(1);
+    let mut step = 0usize;
+    for _ in 0..config.epochs {
+        for x in inputs {
+            let sigma = sigma_schedule(sigma0, config.sigma_end, total_steps, step);
+            let alpha = alpha_schedule(alpha0, total_steps, step);
+            online_step(&mut cb, x, sigma, alpha);
+            step += 1;
+        }
+    }
+    cb
+}
+
+/// One online update: find the BMU and move every neuron toward the input
+/// proportionally to `alpha · h(d, sigma)`.
+pub fn online_step(cb: &mut Codebook, input: &[f64], sigma: f64, alpha: f64) {
+    let bmu = cb.bmu(input);
+    for n in 0..cb.num_neurons() {
+        let h = gaussian(cb.grid_dist_sq(bmu, n), sigma);
+        if h < 1e-12 {
+            continue;
+        }
+        let step = alpha * h;
+        for (w, &x) in cb.neuron_mut(n).iter_mut().zip(input) {
+            *w += step * (x - *w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SomConfig {
+        SomConfig { rows: 4, cols: 4, dims: 2, epochs: 10, sigma0: None, sigma_end: 1.0, seed: 5, ..SomConfig::default() }
+    }
+
+    #[test]
+    fn single_step_moves_bmu_toward_input() {
+        let mut cb = Codebook::zeros(3, 3, 2);
+        let input = [1.0, 1.0];
+        online_step(&mut cb, &input, 0.5, 0.5);
+        let bmu = 0; // all-zero codebook ties to index 0
+        let w = cb.neuron(bmu);
+        assert!(w[0] > 0.4 && w[0] <= 0.5, "BMU moved halfway: {w:?}");
+    }
+
+    #[test]
+    fn neighbors_move_less_than_bmu() {
+        let mut cb = Codebook::zeros(3, 3, 2);
+        online_step(&mut cb, &[1.0, 1.0], 1.0, 0.5);
+        let bmu_delta = cb.neuron(0)[0];
+        let far_delta = cb.neuron(8)[0]; // grid distance sqrt(8)
+        assert!(bmu_delta > far_delta, "{bmu_delta} vs {far_delta}");
+    }
+
+    #[test]
+    fn online_is_order_dependent_unlike_batch() {
+        // The defining contrast drawn in the paper (§II.D).
+        let inputs: Vec<Vec<f64>> =
+            (0..30).map(|i| vec![(i % 7) as f64 / 7.0, (i % 3) as f64 / 3.0]).collect();
+        let mut reversed = inputs.clone();
+        reversed.reverse();
+        let a = online_train(&inputs, &config(), 0.4);
+        let b = online_train(&reversed, &config(), 0.4);
+        assert_ne!(a.weights, b.weights, "online training must depend on order");
+    }
+
+    #[test]
+    fn online_training_clusters() {
+        let mut inputs = Vec::new();
+        for i in 0..25 {
+            let e = i as f64 * 1e-3;
+            inputs.push(vec![0.05 + e, 0.05]);
+            inputs.push(vec![0.95 - e, 0.95]);
+        }
+        let cb = online_train(&inputs, &config(), 0.5);
+        let b1 = cb.bmu(&[0.05, 0.05]);
+        let b2 = cb.bmu(&[0.95, 0.95]);
+        assert_ne!(b1, b2);
+        assert!(cb.dist_sq(b1, &[0.05, 0.05]) < 0.05);
+        assert!(cb.dist_sq(b2, &[0.95, 0.95]) < 0.05);
+    }
+
+    #[test]
+    fn weights_stay_in_unit_cube() {
+        let inputs: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 10) as f64 / 10.0, 0.5]).collect();
+        let cb = online_train(&inputs, &config(), 0.3);
+        for &w in &cb.weights {
+            assert!((0.0..=1.0).contains(&w), "weight {w} out of hull");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Minimal PCA for codebook initialization.
+//!
+//! "Initially all weight vectors are either assigned random values or
+//! linearly generated from the first two PCA eigen-vectors" (§II.D). The
+//! top-2 eigenvectors of the input covariance are found by power iteration
+//! with deflation — plenty for an initialization heuristic.
+
+use crate::codebook::Codebook;
+
+/// Column means of the input matrix.
+pub fn mean(inputs: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!inputs.is_empty(), "PCA needs at least one input");
+    let dims = inputs[0].len();
+    let mut m = vec![0.0; dims];
+    for x in inputs {
+        for (mi, &xi) in m.iter_mut().zip(x) {
+            *mi += xi;
+        }
+    }
+    for mi in &mut m {
+        *mi /= inputs.len() as f64;
+    }
+    m
+}
+
+/// Multiply the (implicit) covariance matrix by vector `v` without forming
+/// the matrix: `C v = (1/n) Σ (x−μ) ((x−μ)·v)`.
+fn cov_mul(inputs: &[Vec<f64>], mu: &[f64], v: &[f64], out: &mut [f64]) {
+    out.iter_mut().for_each(|o| *o = 0.0);
+    for x in inputs {
+        let dot: f64 = x.iter().zip(mu).zip(v).map(|((xi, mi), vi)| (xi - mi) * vi).sum();
+        for ((o, xi), mi) in out.iter_mut().zip(x).zip(mu) {
+            *o += (xi - mi) * dot;
+        }
+    }
+    let n = inputs.len() as f64;
+    out.iter_mut().for_each(|o| *o /= n);
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-30 {
+        v.iter_mut().for_each(|x| *x /= norm);
+    }
+    norm
+}
+
+/// Top principal component by power iteration, with optional deflation
+/// against an earlier component. Returns `(eigenvector, eigenvalue)`.
+fn power_iterate(inputs: &[Vec<f64>], mu: &[f64], deflate: Option<&[f64]>) -> (Vec<f64>, f64) {
+    let dims = mu.len();
+    // Deterministic start vector.
+    let mut v: Vec<f64> = (0..dims).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    normalize(&mut v);
+    let mut tmp = vec![0.0; dims];
+    let mut eigenvalue = 0.0;
+    for _ in 0..100 {
+        if let Some(d) = deflate {
+            let proj: f64 = v.iter().zip(d).map(|(a, b)| a * b).sum();
+            for (vi, di) in v.iter_mut().zip(d) {
+                *vi -= proj * di;
+            }
+        }
+        cov_mul(inputs, mu, &v, &mut tmp);
+        std::mem::swap(&mut v, &mut tmp);
+        let norm = normalize(&mut v);
+        if (norm - eigenvalue).abs() < 1e-12 {
+            eigenvalue = norm;
+            break;
+        }
+        eigenvalue = norm;
+    }
+    if let Some(d) = deflate {
+        let proj: f64 = v.iter().zip(d).map(|(a, b)| a * b).sum();
+        for (vi, di) in v.iter_mut().zip(d) {
+            *vi -= proj * di;
+        }
+        normalize(&mut v);
+    }
+    (v, eigenvalue)
+}
+
+/// Initialize a codebook on the plane spanned by the first two principal
+/// components: neuron `(x, y)` gets `μ + s·(u·pc1) + t·(v·pc2)` with `u, v`
+/// spanning `[-1, 1]` across the grid and scales proportional to the
+/// component standard deviations.
+pub fn pca_init(inputs: &[Vec<f64>], rows: usize, cols: usize) -> Codebook {
+    let dims = inputs[0].len();
+    let mu = mean(inputs);
+    let (pc1, ev1) = power_iterate(inputs, &mu, None);
+    let (pc2, ev2) = power_iterate(inputs, &mu, Some(&pc1));
+    let s1 = ev1.max(0.0).sqrt();
+    let s2 = ev2.max(0.0).sqrt();
+
+    let mut cb = Codebook::zeros(rows, cols, dims);
+    for n in 0..cb.num_neurons() {
+        let (x, y) = cb.coords(n);
+        let u = if cols > 1 { 2.0 * x as f64 / (cols - 1) as f64 - 1.0 } else { 0.0 };
+        let v = if rows > 1 { 2.0 * y as f64 / (rows - 1) as f64 - 1.0 } else { 0.0 };
+        let w = cb.neuron_mut(n);
+        for d in 0..dims {
+            w[d] = mu[d] + u * s1 * pc1[d] + v * s2 * pc2[d];
+        }
+    }
+    cb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Inputs spread along a known axis.
+    fn line_inputs() -> Vec<Vec<f64>> {
+        (0..100).map(|i| {
+            let t = i as f64 / 99.0 - 0.5;
+            vec![3.0 * t + 0.5, 0.5 + 0.001 * (i % 7) as f64, 0.5]
+        })
+        .collect()
+    }
+
+    #[test]
+    fn mean_is_componentwise() {
+        let m = mean(&[vec![1.0, 2.0], vec![3.0, 6.0]]);
+        assert_eq!(m, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn first_component_finds_dominant_axis() {
+        let (pc1, ev1) = power_iterate(&line_inputs(), &mean(&line_inputs()), None);
+        assert!(pc1[0].abs() > 0.99, "pc1 should align with axis 0: {pc1:?}");
+        assert!(ev1 > 0.5);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let inputs: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let a = (i % 14) as f64 / 14.0;
+                let b = (i % 11) as f64 / 11.0;
+                vec![a, b, 0.3 * a + 0.1 * b]
+            })
+            .collect();
+        let mu = mean(&inputs);
+        let (pc1, _) = power_iterate(&inputs, &mu, None);
+        let (pc2, _) = power_iterate(&inputs, &mu, Some(&pc1));
+        let n1: f64 = pc1.iter().map(|x| x * x).sum();
+        let n2: f64 = pc2.iter().map(|x| x * x).sum();
+        let dot: f64 = pc1.iter().zip(&pc2).map(|(a, b)| a * b).sum();
+        assert!((n1 - 1.0).abs() < 1e-6);
+        assert!((n2 - 1.0).abs() < 1e-6);
+        assert!(dot.abs() < 1e-6, "components must be orthogonal, dot={dot}");
+    }
+
+    #[test]
+    fn pca_init_spans_dominant_axis() {
+        let cb = pca_init(&line_inputs(), 5, 5);
+        // Across a row (x varies), the first coordinate must vary widely.
+        let left = cb.neuron(0)[0];
+        let right = cb.neuron(4)[0];
+        assert!((right - left).abs() > 1.0, "grid should span pc1: {left} vs {right}");
+    }
+
+    #[test]
+    fn pca_init_centers_on_mean() {
+        let cb = pca_init(&line_inputs(), 5, 5);
+        let center = cb.neuron(12); // (2,2)
+        let mu = mean(&line_inputs());
+        for (c, m) in center.iter().zip(&mu) {
+            assert!((c - m).abs() < 0.05, "center neuron ≈ mean: {c} vs {m}");
+        }
+    }
+}

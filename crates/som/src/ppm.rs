@@ -1,0 +1,139 @@
+//! PPM/PGM image output for the paper's visual figures.
+//!
+//! Fig. 7 shows "clustering of input vectors viewed as RGB colors and
+//! U-Matrix of 50x50 SOM"; Fig. 8 a U-matrix rendered as grayscale. Binary
+//! PPM (P6) and PGM (P5) are the simplest formats every image viewer opens,
+//! and need no dependencies.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::codebook::Codebook;
+use crate::umatrix::normalize;
+
+/// Write a binary PPM (P6) from per-pixel RGB triples in `[0, 1]`.
+///
+/// # Errors
+/// IO errors.
+///
+/// # Panics
+/// Panics if `pixels.len() != width * height`.
+pub fn write_ppm(
+    path: impl AsRef<Path>,
+    width: usize,
+    height: usize,
+    pixels: &[[f64; 3]],
+) -> std::io::Result<()> {
+    assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(w, "P6\n{width} {height}\n255\n")?;
+    for px in pixels {
+        let bytes = [to_byte(px[0]), to_byte(px[1]), to_byte(px[2])];
+        w.write_all(&bytes)?;
+    }
+    w.flush()
+}
+
+/// Write a binary PGM (P5) from grayscale values in `[0, 1]`.
+///
+/// # Errors
+/// IO errors.
+///
+/// # Panics
+/// Panics if `values.len() != width * height`.
+pub fn write_pgm(
+    path: impl AsRef<Path>,
+    width: usize,
+    height: usize,
+    values: &[f64],
+) -> std::io::Result<()> {
+    assert_eq!(values.len(), width * height, "value count mismatch");
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(w, "P5\n{width} {height}\n255\n")?;
+    for &v in values {
+        w.write_all(&[to_byte(v)])?;
+    }
+    w.flush()
+}
+
+fn to_byte(v: f64) -> u8 {
+    (v.clamp(0.0, 1.0) * 255.0).round() as u8
+}
+
+/// Render an RGB codebook (dims == 3) as a PPM image, one pixel per neuron.
+///
+/// # Errors
+/// IO errors.
+///
+/// # Panics
+/// Panics if the codebook is not 3-dimensional.
+pub fn write_codebook_rgb(path: impl AsRef<Path>, cb: &Codebook) -> std::io::Result<()> {
+    assert_eq!(cb.dims, 3, "RGB rendering needs a 3-dimensional codebook");
+    let pixels: Vec<[f64; 3]> = (0..cb.num_neurons())
+        .map(|n| {
+            let w = cb.neuron(n);
+            [w[0], w[1], w[2]]
+        })
+        .collect();
+    write_ppm(path, cb.cols, cb.rows, &pixels)
+}
+
+/// Render a U-matrix (normalized to `[0, 1]`, dark valleys / bright ridges) as
+/// a PGM image.
+///
+/// # Errors
+/// IO errors.
+pub fn write_umatrix_pgm(
+    path: impl AsRef<Path>,
+    cb: &Codebook,
+    u: &[f64],
+) -> std::io::Result<()> {
+    write_pgm(path, cb.cols, cb.rows, &normalize(u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("som-ppm-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let path = tmpfile("a.ppm");
+        write_ppm(&path, 2, 3, &vec![[0.5, 0.0, 1.0]; 6]).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert!(data.starts_with(b"P6\n2 3\n255\n"));
+        assert_eq!(data.len(), 11 + 18);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pgm_values_clamped() {
+        let path = tmpfile("b.pgm");
+        write_pgm(&path, 2, 1, &[-1.0, 2.0]).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert_eq!(&data[data.len() - 2..], &[0, 255]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn codebook_rgb_rendering() {
+        let mut cb = Codebook::zeros(1, 2, 3);
+        cb.neuron_mut(0).copy_from_slice(&[1.0, 0.0, 0.0]);
+        cb.neuron_mut(1).copy_from_slice(&[0.0, 1.0, 0.0]);
+        let path = tmpfile("c.ppm");
+        write_codebook_rgb(&path, &cb).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert_eq!(&data[data.len() - 6..], &[255, 0, 0, 0, 255, 0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "3-dimensional")]
+    fn rgb_rendering_requires_3_dims() {
+        let cb = Codebook::zeros(2, 2, 4);
+        let _ = write_codebook_rgb(tmpfile("d.ppm"), &cb);
+    }
+}

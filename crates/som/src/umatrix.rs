@@ -1,0 +1,119 @@
+//! U-matrix computation (Figs. 7 and 8 of the paper).
+//!
+//! The unified distance matrix assigns every neuron the average Euclidean
+//! distance between its weight vector and those of its grid neighbors; high
+//! ridges separate clusters. The paper uses U-matrices of a 50×50 SOM as its
+//! correctness evidence, so we reproduce both the computation and the image
+//! rendering (see [`crate::ppm`]).
+
+use crate::codebook::Codebook;
+
+/// Compute the U-matrix: one value per neuron (row-major), the mean distance
+/// to the 4-connected grid neighbors.
+pub fn umatrix(cb: &Codebook) -> Vec<f64> {
+    let mut u = vec![0.0; cb.num_neurons()];
+    for n in 0..cb.num_neurons() {
+        let (x, y) = cb.coords(n);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        let mut visit = |nx: i64, ny: i64| {
+            if nx >= 0 && ny >= 0 && (nx as usize) < cb.cols && (ny as usize) < cb.rows {
+                let other = ny as usize * cb.cols + nx as usize;
+                total += cb.dist_sq(other, cb.neuron(n)).sqrt();
+                count += 1;
+            }
+        };
+        visit(x as i64 - 1, y as i64);
+        visit(x as i64 + 1, y as i64);
+        visit(x as i64, y as i64 - 1);
+        visit(x as i64, y as i64 + 1);
+        u[n] = if count > 0 { total / count as f64 } else { 0.0 };
+    }
+    u
+}
+
+/// Normalize values to `[0, 1]` (constant input maps to all zeros).
+pub fn normalize(values: &[f64]) -> Vec<f64> {
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !(hi > lo) {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| (v - lo) / (hi - lo)).collect()
+}
+
+/// Summary statistics of a U-matrix, used by the figure harness to report a
+/// "well-defined U-matrix" quantitatively: the ratio between the mean ridge
+/// (top decile) and the mean valley (bottom decile).
+pub fn ridge_valley_ratio(u: &[f64]) -> f64 {
+    if u.is_empty() {
+        return 1.0;
+    }
+    let mut sorted = u.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let decile = (sorted.len() / 10).max(1);
+    let valley: f64 = sorted[..decile].iter().sum::<f64>() / decile as f64;
+    let ridge: f64 = sorted[sorted.len() - decile..].iter().sum::<f64>() / decile as f64;
+    if valley <= 1e-30 {
+        f64::INFINITY
+    } else {
+        ridge / valley
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_codebook_has_zero_umatrix() {
+        let cb = Codebook::zeros(5, 5, 3);
+        let u = umatrix(&cb);
+        assert!(u.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn boundary_between_blocks_shows_ridge() {
+        // Left half at 0, right half at 1: ridge along the middle column.
+        let mut cb = Codebook::zeros(4, 4, 1);
+        for n in 0..cb.num_neurons() {
+            let (x, _) = cb.coords(n);
+            cb.neuron_mut(n)[0] = if x < 2 { 0.0 } else { 1.0 };
+        }
+        let u = umatrix(&cb);
+        // Neurons at x=1 and x=2 touch the boundary.
+        let boundary = u[1] + u[2];
+        let interior = u[0] + u[3];
+        assert!(boundary > interior, "boundary {boundary} vs interior {interior}");
+    }
+
+    #[test]
+    fn corner_neurons_average_fewer_neighbors() {
+        let mut cb = Codebook::zeros(3, 3, 1);
+        for n in 0..9 {
+            cb.neuron_mut(n)[0] = n as f64;
+        }
+        let u = umatrix(&cb);
+        assert!(u.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn normalize_bounds() {
+        let v = normalize(&[3.0, 1.0, 2.0]);
+        assert_eq!(v, vec![1.0, 0.0, 0.5]);
+        assert_eq!(normalize(&[5.0, 5.0]), vec![0.0, 0.0]);
+        assert!(normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn ridge_valley_ratio_detects_structure() {
+        // Flat U-matrix → ratio ≈ 1; structured → ratio >> 1.
+        let flat = vec![1.0; 100];
+        assert!((ridge_valley_ratio(&flat) - 1.0).abs() < 1e-9);
+        let mut structured = vec![0.1; 100];
+        for i in 0..10 {
+            structured[i * 10] = 2.0;
+        }
+        assert!(ridge_valley_ratio(&structured) > 10.0);
+    }
+}

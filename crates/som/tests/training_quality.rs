@@ -1,0 +1,171 @@
+//! Training-quality integration tests: PCA vs random initialization,
+//! online vs batch convergence, emergent-map behaviour at larger sizes —
+//! the properties behind the paper's §II.D/§II.E discussion.
+
+use som::batch::{batch_train, rand_seeded, BatchAccumulator};
+use som::codebook::Codebook;
+use som::neighborhood::{sigma_schedule, SomConfig};
+use som::online::online_train;
+use som::pca::pca_init;
+use som::quality::{quantization_error, topographic_error};
+use som::umatrix::{ridge_valley_ratio, umatrix};
+
+/// Inputs on a plane embedded in 10-D space, where PCA init should shine.
+fn planar_inputs(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let u = (i % 17) as f64 / 16.0;
+            let v = (i / 17) as f64 / ((n / 17).max(1)) as f64;
+            let mut x = vec![0.1; 10];
+            x[0] = u;
+            x[1] = v;
+            x[2] = 0.5 * u + 0.3 * v;
+            x
+        })
+        .collect()
+}
+
+fn batch_train_from(
+    mut cb: Codebook,
+    inputs: &[Vec<f64>],
+    epochs: usize,
+    sigma_end: f64,
+) -> Codebook {
+    let sigma0 = cb.half_diagonal();
+    for epoch in 0..epochs {
+        let sigma = sigma_schedule(sigma0, sigma_end, epochs, epoch);
+        let mut acc = BatchAccumulator::zeros(&cb);
+        acc.accumulate_block(&cb, inputs, sigma);
+        acc.apply(&mut cb);
+    }
+    cb
+}
+
+#[test]
+fn pca_init_converges_faster_than_random() {
+    let inputs = planar_inputs(170);
+    let epochs = 3; // few epochs: initialization quality dominates
+    let pca_cb = batch_train_from(pca_init(&inputs, 8, 8), &inputs, epochs, 1.0);
+    let mut rng = rand_seeded(4);
+    let rand_cb =
+        batch_train_from(Codebook::random(8, 8, 10, &mut rng, 0.0, 1.0), &inputs, epochs, 1.0);
+    let qe_pca = quantization_error(&pca_cb, &inputs);
+    let qe_rand = quantization_error(&rand_cb, &inputs);
+    assert!(
+        qe_pca <= qe_rand * 1.05,
+        "PCA init should not lose to random after {epochs} epochs: {qe_pca} vs {qe_rand}"
+    );
+}
+
+#[test]
+fn batch_and_online_reach_comparable_quality() {
+    // The two formulations optimize the same objective; after enough
+    // training their quantization errors should be in the same ballpark.
+    let inputs: Vec<Vec<f64>> = (0..200)
+        .map(|i| vec![(i % 20) as f64 / 19.0, (i / 20) as f64 / 9.0])
+        .collect();
+    let cfg = SomConfig {
+        rows: 6,
+        cols: 6,
+        dims: 2,
+        epochs: 30,
+        sigma0: None,
+        sigma_end: 0.8,
+        seed: 12,
+        ..SomConfig::default()
+    };
+    let batch = batch_train(&inputs, &cfg);
+    let online = online_train(&inputs, &cfg, 0.3);
+    let qe_b = quantization_error(&batch, &inputs);
+    let qe_o = quantization_error(&online, &inputs);
+    assert!(qe_b < 0.12, "batch QE {qe_b}");
+    assert!(qe_o < 0.15, "online QE {qe_o}");
+    assert!((qe_b / qe_o).max(qe_o / qe_b) < 3.0, "formulations diverged: {qe_b} vs {qe_o}");
+}
+
+#[test]
+fn larger_maps_resolve_finer_structure() {
+    // The paper cites Ultsch: large ("emergent") maps matter. A 10×10 map
+    // must quantize a fine-grained input set better than a 3×3 map.
+    let inputs: Vec<Vec<f64>> = (0..300)
+        .map(|i| {
+            let t = i as f64 / 299.0;
+            vec![t, (6.28 * t).sin() * 0.5 + 0.5]
+        })
+        .collect();
+    let small_cfg = SomConfig {
+        rows: 3,
+        cols: 3,
+        dims: 2,
+        epochs: 25,
+        sigma0: None,
+        sigma_end: 0.7,
+        seed: 1,
+        ..SomConfig::default()
+    };
+    let large_cfg = SomConfig { rows: 10, cols: 10, ..small_cfg };
+    let small = batch_train(&inputs, &small_cfg);
+    let large = batch_train(&inputs, &large_cfg);
+    let qe_small = quantization_error(&small, &inputs);
+    let qe_large = quantization_error(&large, &inputs);
+    assert!(
+        qe_large < 0.5 * qe_small,
+        "10x10 should quantize much better than 3x3: {qe_large} vs {qe_small}"
+    );
+}
+
+#[test]
+fn clustered_data_produces_structured_umatrix() {
+    // Three well-separated Gaussian-ish clusters → ridge/valley structure
+    // (the qualitative content of the paper's Figs. 7/8).
+    let mut inputs = Vec::new();
+    for c in 0..3 {
+        let center = [c as f64 * 0.4 + 0.1, (c % 2) as f64 * 0.6 + 0.2];
+        for i in 0..40 {
+            let jitter = (i as f64 % 7.0) * 0.004;
+            inputs.push(vec![center[0] + jitter, center[1] - jitter]);
+        }
+    }
+    let cfg = SomConfig {
+        rows: 9,
+        cols: 9,
+        dims: 2,
+        epochs: 30,
+        sigma0: None,
+        sigma_end: 0.6,
+        seed: 8,
+        ..SomConfig::default()
+    };
+    let cb = batch_train(&inputs, &cfg);
+    let u = umatrix(&cb);
+    let ratio = ridge_valley_ratio(&u);
+    assert!(ratio > 3.0, "clusters must carve ridges into the U-matrix, ratio {ratio}");
+    let te = topographic_error(&cb, &inputs);
+    assert!(te < 0.3, "topology must be mostly preserved, TE {te}");
+    // And the three clusters land on three distinct, mutually distant BMUs.
+    let bmus: Vec<usize> =
+        [[0.1, 0.2], [0.5, 0.8], [0.9, 0.2]].iter().map(|x| cb.bmu(&x[..])).collect();
+    assert_ne!(bmus[0], bmus[1]);
+    assert_ne!(bmus[1], bmus[2]);
+    assert_ne!(bmus[0], bmus[2]);
+}
+
+#[test]
+fn sigma_shrink_localizes_updates() {
+    // Early (wide sigma) epochs move the whole map; late (narrow) epochs
+    // only move the BMU's neighborhood.
+    let inputs = vec![vec![1.0, 0.0]];
+    let mut wide = Codebook::zeros(7, 7, 2);
+    let mut narrow = wide.clone();
+    let mut acc = BatchAccumulator::zeros(&wide);
+    acc.accumulate_block(&wide, &inputs, 10.0);
+    acc.apply(&mut wide);
+    let mut acc = BatchAccumulator::zeros(&narrow);
+    acc.accumulate_block(&narrow, &inputs, 0.5);
+    acc.apply(&mut narrow);
+    let moved = |cb: &Codebook| {
+        (0..cb.num_neurons()).filter(|&n| cb.neuron(n)[0] > 1e-6).count()
+    };
+    assert_eq!(moved(&wide), 49, "wide sigma touches every neuron");
+    assert!(moved(&narrow) < 15, "narrow sigma stays local: {}", moved(&narrow));
+}

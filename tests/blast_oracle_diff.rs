@@ -1,0 +1,161 @@
+//! Differential testing of the BLAST engine against the exact
+//! Smith–Waterman oracle: soundness (no reported score exceeds the optimal
+//! local alignment score) and sensitivity (strong homologies are found with
+//! near-optimal scores) over randomized workloads.
+
+use bioseq::alphabet::Alphabet;
+use bioseq::db::{partition_records, FormatDbConfig};
+use bioseq::gen::{self, WorkloadConfig};
+use blast::oracle::smith_waterman;
+use blast::search::{BlastSearcher, SearchMode};
+use blast::Scoring;
+
+#[test]
+fn engine_scores_never_exceed_sw_optimum_dna() {
+    let scoring = Scoring::blastn_default();
+    for seed in [1u64, 2, 3] {
+        let cfg = WorkloadConfig {
+            db_seqs: 6,
+            db_seq_len: 600,
+            queries: 10,
+            query_len: 200,
+            homolog_fraction: 0.6,
+            ..Default::default()
+        };
+        let w = gen::dna_workload(7000 + seed, &cfg);
+        let part = partition_records(&w.db, &FormatDbConfig::dna(usize::MAX))
+            .into_iter()
+            .next()
+            .expect("one partition");
+        let searcher = BlastSearcher::with_mode(SearchMode::Blastn);
+        let prepared = searcher.prepare_queries(&w.queries);
+        let hits = part
+            .sequences
+            .iter()
+            .map(|s| s.id.clone())
+            .collect::<Vec<_>>();
+        let _ = hits;
+        let found = searcher.search_partition(&prepared, &part, 3600, 6);
+
+        for hit in &found {
+            let query = w.queries.iter().find(|q| q.id == hit.query_id).expect("query");
+            let subject = w.db.iter().find(|s| s.id == hit.subject_id).expect("subject");
+            // Oracle on the aligned orientation.
+            let q_oriented = match hit.strand {
+                blast::Strand::Plus => query.seq.clone(),
+                blast::Strand::Minus => query.reverse_complement().seq,
+            };
+            let (opt, _, _) = smith_waterman(
+                &Alphabet::Dna.encode_seq(&q_oriented),
+                &Alphabet::Dna.encode_seq(&subject.seq),
+                &scoring,
+            );
+            assert!(
+                hit.raw_score <= opt,
+                "seed {seed}: hit {}→{} scored {} above SW optimum {opt}",
+                hit.query_id,
+                hit.subject_id,
+                hit.raw_score
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_finds_strong_homologies_with_near_optimal_scores() {
+    let scoring = Scoring::blastn_default();
+    let cfg = WorkloadConfig {
+        db_seqs: 5,
+        db_seq_len: 800,
+        queries: 20,
+        query_len: 300,
+        homolog_fraction: 0.8,
+        sub_rate: 0.05,
+        indel_rate: 0.005,
+        ..Default::default()
+    };
+    let w = gen::dna_workload(8088, &cfg);
+    let part = partition_records(&w.db, &FormatDbConfig::dna(usize::MAX))
+        .into_iter()
+        .next()
+        .expect("one partition");
+    let searcher = BlastSearcher::with_mode(SearchMode::Blastn);
+    let prepared = searcher.prepare_queries(&w.queries);
+    let found = searcher.search_partition(&prepared, &part, 4000, 5);
+
+    let mut strong_pairs = 0usize;
+    let mut recovered = 0usize;
+    for (qi, query) in w.queries.iter().enumerate() {
+        let Some(src) = &w.planted[qi] else { continue };
+        let subject = w.db.iter().find(|s| &s.id == src).expect("source");
+        let (opt, _, _) = smith_waterman(
+            &Alphabet::Dna.encode_seq(&query.seq),
+            &Alphabet::Dna.encode_seq(&subject.seq),
+            &scoring,
+        );
+        // "Strong" = comfortably above the seeding threshold (11-mer seed =
+        // 22 raw) and the gap trigger.
+        if opt < 100 {
+            continue;
+        }
+        strong_pairs += 1;
+        let best = found
+            .iter()
+            .filter(|h| h.query_id == query.id && &h.subject_id == src)
+            .map(|h| h.raw_score)
+            .max();
+        match best {
+            Some(score) => {
+                recovered += 1;
+                assert!(
+                    score * 10 >= opt * 8,
+                    "hit {}→{} scored {score}, below 80% of SW optimum {opt}",
+                    query.id,
+                    src
+                );
+            }
+            None => panic!("strong homolog {}→{src} (SW {opt}) not found", query.id),
+        }
+    }
+    assert!(strong_pairs >= 8, "fixture must plant enough strong pairs: {strong_pairs}");
+    assert_eq!(recovered, strong_pairs);
+}
+
+#[test]
+fn protein_engine_vs_oracle() {
+    let scoring = Scoring::blastp_default();
+    let cfg = WorkloadConfig {
+        db_seqs: 4,
+        db_seq_len: 400,
+        queries: 10,
+        query_len: 150,
+        homolog_fraction: 0.7,
+        sub_rate: 0.15,
+        ..Default::default()
+    };
+    let w = gen::protein_workload(9099, &cfg);
+    let part = partition_records(&w.db, &FormatDbConfig::protein(usize::MAX))
+        .into_iter()
+        .next()
+        .expect("one partition");
+    let searcher = BlastSearcher::with_mode(SearchMode::Blastp);
+    let prepared = searcher.prepare_queries(&w.queries);
+    let found = searcher.search_partition(&prepared, &part, 1600, 4);
+    assert!(!found.is_empty(), "planted protein homologs must produce hits");
+
+    for hit in &found {
+        let query = w.queries.iter().find(|q| q.id == hit.query_id).expect("query");
+        let subject = w.db.iter().find(|s| s.id == hit.subject_id).expect("subject");
+        let (opt, _, _) = smith_waterman(
+            &Alphabet::Protein.encode_seq(&query.seq),
+            &Alphabet::Protein.encode_seq(&subject.seq),
+            &scoring,
+        );
+        assert!(hit.raw_score <= opt, "protein hit exceeded oracle: {} > {opt}", hit.raw_score);
+        assert!(
+            hit.raw_score * 10 >= opt * 7,
+            "protein hit far below optimum: {} vs {opt}",
+            hit.raw_score
+        );
+    }
+}
