@@ -607,7 +607,7 @@ mod tests {
 
     #[test]
     fn blastx_finds_coding_region_in_forward_frame() {
-        let mut r = gen::rng(200);
+        let mut r = gen::rng(777);
         let protein_db = vec![SeqRecord::new("prot", gen::random_protein(&mut r, 300))];
         // DNA query: random flank + coding region for prot[100..180] + flank.
         let coding = reverse_translate(&protein_db[0].seq[100..180]);
@@ -633,7 +633,12 @@ mod tests {
             best.q_start,
             cds_start
         );
-        assert!((best.q_end as i64 - cds_end as i64).abs() <= 9);
+        assert!(
+            (best.q_end as i64 - cds_end as i64).abs() <= 9,
+            "q_end {} vs cds {}",
+            best.q_end,
+            cds_end
+        );
         // Subject coordinates near the planted protein range.
         assert!(best.s_start >= 95 && best.s_end <= 185);
         assert_eq!(best.strand, Strand::Plus);

@@ -1,0 +1,41 @@
+//! Fault-tolerance plumbing for the parallel drivers.
+//!
+//! The paper is explicit that MR-MPI inherits MPI's fail-stop behaviour:
+//! "the price for this extra flexibility and portability is a lack of
+//! fault-tolerance inherent in the underlying MPI execution model" (§II.A).
+//! This module is the configuration surface for the *recovering* drivers
+//! ([`crate::mrblast::run_mrblast_ft`], [`crate::mrsom::run_mrsom_ft`]) built
+//! on the fault-tolerant scheduler in [`mrmpi::sched`]:
+//!
+//! * worker deaths (injected deterministically via [`mpisim::FaultPlan`], or
+//!   real crashes in a native port) are detected and the dead worker's work
+//!   units — in flight *and* already completed, since their output died with
+//!   the rank — are re-dispatched to survivors;
+//! * every run ends in cross-rank reconciliation, so the result is either
+//!   provably complete (each unit contributed exactly once to the surviving
+//!   output) or a typed [`mrmpi::MrError`] on **every** live rank — never a
+//!   hang, never silent loss;
+//! * the master (rank 0) is the one assumed-alive rank, as in the original
+//!   library's master-worker mapstyle; if it dies, workers report
+//!   [`mrmpi::SchedError::MasterDied`].
+
+use mrmpi::FtConfig;
+
+/// Fault-tolerance knobs threaded through the parallel BLAST / SOM drivers.
+///
+/// The default tolerates any number of worker deaths (recovery is driven by
+/// death detection, not by a budgeted count) while bounding every blocking
+/// wait, so a run always terminates.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Scheduler timeouts and retry budgets (see [`FtConfig`]).
+    pub ft: FtConfig,
+}
+
+impl FaultConfig {
+    /// Defaults — equivalent to `FaultConfig::default()`, spelled out for
+    /// call sites that configure nothing else.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

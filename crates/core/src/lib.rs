@@ -73,6 +73,7 @@
 
 pub mod adaptive;
 pub mod cliargs;
+pub mod fault;
 pub mod htc;
 pub mod htcflow;
 pub mod matrixio;
@@ -81,7 +82,8 @@ pub mod mrsom;
 pub mod util;
 
 pub use adaptive::{run_mrblast_adaptive, AdaptiveConfig, AdaptiveReport};
+pub use fault::FaultConfig;
 pub use matrixio::VectorMatrix;
-pub use mrblast::{run_mrblast, MrBlastConfig, MrBlastRankReport};
-pub use mrsom::{run_mrsom, MrSomConfig, MrSomRankReport};
+pub use mrblast::{run_mrblast, run_mrblast_ft, MrBlastConfig, MrBlastRankReport};
+pub use mrsom::{run_mrsom, run_mrsom_ft, MrSomConfig, MrSomRankReport};
 pub use util::BusyTracker;

@@ -29,8 +29,9 @@ use blast::hsp::{sort_and_truncate, Hit};
 use blast::search::{BlastSearcher, PreparedQueries};
 use blast::SearchParams;
 use mpisim::Comm;
-use mrmpi::{MapReduce, MapStyle, Settings};
+use mrmpi::{MapReduce, MapStyle, MrError, Settings};
 
+use crate::fault::FaultConfig;
 use crate::util::BusyTracker;
 
 /// Configuration of one MR-MPI BLAST run.
@@ -241,6 +242,144 @@ pub fn run_mrblast(
     report
 }
 
+/// Run MR-MPI BLAST collectively with **worker-death recovery**: like
+/// [`run_mrblast`], but scheduled through the fault-tolerant master-worker
+/// protocol of [`mrmpi::sched`]. A worker that dies mid-run loses its cached
+/// state and every pair it emitted; the master re-dispatches all of its work
+/// units to survivors, and both the map and the shuffle end in cross-rank
+/// accounting, so the surviving ranks' combined output is **bit-for-bit the
+/// serial output** — or every live rank returns the same typed error.
+///
+/// `cfg.map_style` and `cfg.locality_aware` are ignored: fault tolerance
+/// requires the dynamic master (rank 0), which is the one rank assumed to
+/// stay alive.
+pub fn run_mrblast_ft(
+    comm: &Comm,
+    db: &BlastDb,
+    query_blocks: &[Vec<SeqRecord>],
+    cfg: &MrBlastConfig,
+    fault: &FaultConfig,
+) -> Result<MrBlastRankReport, MrError> {
+    let searcher = BlastSearcher::new(cfg.params);
+    let nparts = db.num_partitions();
+    let nblocks = query_blocks.len();
+    let per_iter = if cfg.blocks_per_iteration == 0 {
+        nblocks.max(1)
+    } else {
+        cfg.blocks_per_iteration
+    };
+
+    let mut report = MrBlastRankReport {
+        rank: comm.rank(),
+        hits: Vec::new(),
+        output_file: None,
+        map_calls: 0,
+        db_loads: 0,
+        busy: BusyTracker::new(),
+        finish_time: 0.0,
+    };
+
+    let mut out_file = match &cfg.output_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("create output dir");
+            let path = dir.join(format!("hits.rank{:04}.tsv", comm.rank()));
+            let f = std::fs::File::create(&path).expect("create rank output file");
+            report.output_file = Some(path);
+            Some(std::io::BufWriter::new(f))
+        }
+        None => None,
+    };
+
+    let db_cache: RefCell<Option<(usize, DbPartition)>> = RefCell::new(None);
+    let q_cache: RefCell<Option<(usize, PreparedQueries)>> = RefCell::new(None);
+    let counters: RefCell<(u64, u64)> = RefCell::new((0, 0)); // (map_calls, db_loads)
+    let busy: RefCell<BusyTracker> = RefCell::new(BusyTracker::new());
+
+    let mut iter_start = 0usize;
+    while iter_start < nblocks {
+        let iter_end = (iter_start + per_iter).min(nblocks);
+        let iter_blocks = &query_blocks[iter_start..iter_end];
+        let ntasks = iter_blocks.len() * nparts;
+
+        let mut mr = MapReduce::with_settings(comm, cfg.mr_settings.clone());
+        let nblocks_iter = iter_blocks.len();
+        mr.map_tasks_ft(ntasks, &fault.ft, &mut |task, kv| {
+            let part_idx = task / nblocks_iter;
+            let block_idx = task % nblocks_iter;
+
+            counters.borrow_mut().0 += 1;
+
+            let mut db_slot = db_cache.borrow_mut();
+            let reload = !matches!(&*db_slot, Some((idx, _)) if *idx == part_idx);
+            if reload {
+                let t0 = Instant::now();
+                let part = db.load_partition(part_idx).expect("load DB partition");
+                comm.charge(t0.elapsed().as_secs_f64());
+                counters.borrow_mut().1 += 1;
+                *db_slot = Some((part_idx, part));
+            }
+            let (_, part) = db_slot.as_ref().expect("cache just filled");
+
+            let global_block = iter_start + block_idx;
+            let mut q_slot = q_cache.borrow_mut();
+            let rebuild = !matches!(&*q_slot, Some((idx, _)) if *idx == global_block);
+            if rebuild {
+                let t0 = Instant::now();
+                let prepared = searcher.prepare_queries(&iter_blocks[block_idx]);
+                comm.charge(t0.elapsed().as_secs_f64());
+                *q_slot = Some((global_block, prepared));
+            }
+            let (_, prepared) = q_slot.as_ref().expect("cache just filled");
+
+            let clock_start = comm.now();
+            let t0 = Instant::now();
+            let hits =
+                searcher.search_partition(prepared, part, db.total_residues, db.total_sequences);
+            let elapsed = t0.elapsed().as_secs_f64();
+            comm.charge(elapsed);
+            busy.borrow_mut().record(clock_start, clock_start + elapsed);
+
+            for hit in hits {
+                if cfg.exclude_self && is_self_hit(&hit) {
+                    continue;
+                }
+                kv.emit(hit.query_id.as_bytes(), &hit.encode());
+            }
+        })?;
+
+        // Checked shuffle + local grouping (collate() with accounting).
+        mr.try_aggregate()?;
+        mr.convert();
+
+        let max_hits = cfg.params.max_hits_per_query;
+        mr.reduce(&mut |key, values, _out| {
+            let mut hits: Vec<Hit> = values.map(Hit::decode).collect();
+            sort_and_truncate(&mut hits, max_hits);
+            debug_assert!(hits.iter().all(|h| h.query_id.as_bytes() == key));
+            if let Some(f) = out_file.as_mut() {
+                for h in &hits {
+                    writeln!(f, "{}", tabular_line(h)).expect("write hit line");
+                }
+            }
+            report.hits.extend(hits);
+        });
+
+        iter_start = iter_end;
+    }
+
+    if let Some(mut f) = out_file {
+        f.flush().expect("flush rank output");
+    }
+    comm.barrier();
+
+    let (map_calls, db_loads) = *counters.borrow();
+    report.map_calls = map_calls;
+    report.db_loads = db_loads;
+    report.busy = busy.into_inner();
+    report.finish_time = comm.now();
+    Ok(report)
+}
+
 /// A shredded fragment `src/123-523` hitting subject `src` is a self-hit.
 pub(crate) fn is_self_hit(hit: &Hit) -> bool {
     match hit.query_id.split_once('/') {
@@ -447,6 +586,62 @@ mod tests {
         assert!(
             loc_loads <= plain_loads,
             "locality-aware master should not increase DB loads: {loc_loads} vs {plain_loads}"
+        );
+    }
+
+    #[test]
+    fn ft_driver_without_faults_matches_serial() {
+        let fx = Arc::new(fixture(41, "ftclean"));
+        let fx2 = fx.clone();
+        let reports = World::new(3).run(move |comm| {
+            run_mrblast_ft(
+                comm,
+                &fx2.db,
+                &fx2.blocks,
+                &MrBlastConfig::blastn(),
+                &FaultConfig::default(),
+            )
+            .expect("no faults injected")
+        });
+        let parallel: Vec<Hit> = reports.into_iter().flat_map(|r| r.hits).collect();
+        assert_eq!(
+            sorted(parallel),
+            sorted(fx.serial.clone()),
+            "fault-tolerant driver must match serial when nothing fails"
+        );
+    }
+
+    #[test]
+    fn ft_driver_survives_worker_death_bit_for_bit() {
+        use mpisim::{FaultPlan, RankOutcome};
+        let fx = Arc::new(fixture(42, "ftdeath"));
+        let fx2 = fx.clone();
+        let plan = FaultPlan::new(7).kill(2, 0.0);
+        let outcomes = World::new(4).with_faults(plan).run_faulty(move |comm| {
+            run_mrblast_ft(
+                comm,
+                &fx2.db,
+                &fx2.blocks,
+                &MrBlastConfig::blastn(),
+                &FaultConfig::default(),
+            )
+        });
+        assert!(outcomes[2].is_died(), "rank 2 was scheduled to die");
+        let mut hits = Vec::new();
+        for (rank, out) in outcomes.into_iter().enumerate() {
+            if rank == 2 {
+                continue;
+            }
+            match out {
+                RankOutcome::Done(Ok(rep)) => hits.extend(rep.hits),
+                RankOutcome::Done(Err(e)) => panic!("survivor rank {rank} failed: {e}"),
+                RankOutcome::Died { .. } => panic!("unexpected death on rank {rank}"),
+            }
+        }
+        assert_eq!(
+            sorted(hits),
+            sorted(fx.serial.clone()),
+            "output after a worker death must equal serial bit-for-bit"
         );
     }
 

@@ -22,11 +22,12 @@ use std::cell::RefCell;
 use std::time::Instant;
 
 use mpisim::{Comm, ReduceOp};
-use mrmpi::{MapReduce, MapStyle, Settings};
+use mrmpi::{MapReduce, MapStyle, MrError, Settings};
 use som::batch::{init_codebook, BatchAccumulator};
 use som::codebook::Codebook;
 use som::neighborhood::{sigma_schedule, SomConfig};
 
+use crate::fault::FaultConfig;
 use crate::matrixio::VectorMatrix;
 use crate::util::BusyTracker;
 
@@ -175,6 +176,125 @@ pub fn run_mrsom(
         finish_time: comm.now(),
     };
     (cb, report)
+}
+
+/// Run MR-MPI batch SOM collectively with **worker-death recovery**: like
+/// [`run_mrsom`], but each epoch's vector blocks are scheduled through the
+/// fault-tolerant master-worker protocol. A dead worker's accumulator dies
+/// with it; its blocks are re-accumulated by survivors, and the per-epoch
+/// `MPI_Reduce` carries a block-contribution count that the master validates
+/// against the expected total — a death in the window between the map and
+/// the reduce surfaces as [`MrError::DataLost`] on every live rank instead
+/// of silently skewing the codebook.
+///
+/// `cfg.map_style` is ignored (fault tolerance requires the dynamic master,
+/// rank 0, which is the one rank assumed to stay alive). Checkpoint/resume
+/// behaves as in [`run_mrsom`], so a run aborted by a typed error can be
+/// restarted from the last checkpointed epoch.
+pub fn run_mrsom_ft(
+    comm: &Comm,
+    matrix: &VectorMatrix,
+    cfg: &MrSomConfig,
+    fault: &FaultConfig,
+) -> Result<(Codebook, MrSomRankReport), MrError> {
+    let som = &cfg.som;
+    assert_eq!(matrix.dims, som.dims, "matrix dims must match SOM config");
+
+    let mut start_epoch = [0.0f64];
+    let mut cb = if comm.rank() == 0 {
+        match load_latest_checkpoint(cfg) {
+            Some((epoch, cb)) => {
+                start_epoch[0] = epoch as f64;
+                cb
+            }
+            None => master_init_codebook(som, matrix),
+        }
+    } else {
+        Codebook::zeros(som.rows, som.cols, som.dims).with_torus(som.torus)
+    };
+    comm.bcast_f64s(0, &mut start_epoch);
+    let start_epoch = start_epoch[0] as usize;
+    let sigma0 = som.sigma0_for(cb.half_diagonal());
+    let blocks = matrix.blocks(cfg.block_size);
+    let nn = cb.num_neurons();
+    let dims = cb.dims;
+
+    let busy: RefCell<BusyTracker> = RefCell::new(BusyTracker::new());
+    let blocks_processed: RefCell<u64> = RefCell::new(0);
+
+    for epoch in start_epoch..som.epochs {
+        comm.bcast_f64s(0, &mut cb.weights);
+        let sigma = sigma_schedule(sigma0, som.sigma_end, som.epochs, epoch);
+
+        let acc: RefCell<BatchAccumulator> = RefCell::new(BatchAccumulator::zeros(&cb));
+        let epoch_blocks: RefCell<u64> = RefCell::new(0);
+        let mut mr = MapReduce::with_settings(comm, cfg.mr_settings.clone());
+        mr.map_tasks_ft(blocks.len(), &fault.ft, &mut |b, _kv| {
+            let (start, end) = blocks[b];
+            let t_load = Instant::now();
+            let inputs = matrix.read_rows(start, end).expect("read vector block");
+            comm.charge(t_load.elapsed().as_secs_f64());
+
+            let clock_start = comm.now();
+            let t0 = Instant::now();
+            acc.borrow_mut().accumulate_block_with(&cb, &inputs, sigma, som.kernel);
+            let elapsed = t0.elapsed().as_secs_f64();
+            comm.charge(elapsed);
+            busy.borrow_mut().record(clock_start, clock_start + elapsed);
+            *blocks_processed.borrow_mut() += 1;
+            *epoch_blocks.borrow_mut() += 1;
+        })?;
+
+        // Direct MPI reduce of [numerator ‖ denominator ‖ block count]. The
+        // trailing count travels *with* the data, so any rank whose
+        // accumulator is missing from the sum is also missing from the
+        // count — the master's conservation check below catches it.
+        let acc = acc.into_inner();
+        let mut packed = acc.numerator;
+        packed.extend_from_slice(&acc.denominator);
+        packed.push(*epoch_blocks.borrow() as f64);
+        let mut summed = vec![0.0; packed.len()];
+        let is_root = comm.reduce_f64(0, &packed, &mut summed, ReduceOp::Sum);
+
+        // Echo the observed block count to everyone so all live ranks agree
+        // on the epoch's verdict.
+        let mut echo = [0.0f64];
+        if is_root {
+            echo[0] = summed[nn * dims + nn];
+        }
+        comm.bcast_f64s(0, &mut echo);
+        let got = echo[0].round() as u64;
+        if got != blocks.len() as u64 {
+            return Err(MrError::DataLost {
+                what: "SOM epoch block contributions",
+                expected: blocks.len() as u64,
+                got,
+            });
+        }
+
+        if is_root {
+            let merged = BatchAccumulator::from_parts(
+                summed[..nn * dims].to_vec(),
+                summed[nn * dims..nn * dims + nn].to_vec(),
+                dims,
+            );
+            merged.apply(&mut cb);
+            write_checkpoint(cfg, epoch + 1, &cb);
+        }
+        if cfg.stop_after_epochs.is_some_and(|stop| epoch + 1 >= stop) {
+            break;
+        }
+    }
+    comm.bcast_f64s(0, &mut cb.weights);
+    comm.barrier();
+
+    let report = MrSomRankReport {
+        rank: comm.rank(),
+        blocks_processed: blocks_processed.into_inner(),
+        busy: busy.into_inner(),
+        finish_time: comm.now(),
+    };
+    Ok((cb, report))
 }
 
 /// Checkpoint file layout: `som-epoch-<NNNN>.cbk` per completed epoch.
@@ -541,6 +661,56 @@ mod tests {
             "resumed codebook vs uninterrupted",
         );
         std::fs::remove_dir_all(&ckdir).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ft_som_without_faults_matches_serial() {
+        let (path, vectors) = matrix_fixture("ftclean", 100, 4, 41);
+        let som = som_cfg(4);
+        let serial = batch_train(&vectors, &som);
+        let p = path.clone();
+        let reports = World::new(3).run(move |comm| {
+            let matrix = VectorMatrix::open(&p).unwrap();
+            let cfg = MrSomConfig { block_size: 10, ..MrSomConfig::new(som) };
+            run_mrsom_ft(comm, &matrix, &cfg, &FaultConfig::default())
+                .expect("no faults injected")
+        });
+        for (cb, _) in &reports {
+            assert_close(&cb.weights, &serial.weights, 1e-9, "ft codebook, no faults");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ft_som_survives_worker_death() {
+        use mpisim::{FaultPlan, RankOutcome};
+        let (path, vectors) = matrix_fixture("ftdeath", 100, 4, 42);
+        let som = som_cfg(4);
+        let serial = batch_train(&vectors, &som);
+        let p = path.clone();
+        let outcomes =
+            World::new(4).with_faults(FaultPlan::new(9).kill(3, 0.0)).run_faulty(move |comm| {
+                let matrix = VectorMatrix::open(&p).unwrap();
+                let cfg = MrSomConfig { block_size: 10, ..MrSomConfig::new(som) };
+                run_mrsom_ft(comm, &matrix, &cfg, &FaultConfig::default())
+            });
+        assert!(outcomes[3].is_died(), "rank 3 was scheduled to die");
+        for (rank, out) in outcomes.into_iter().enumerate() {
+            if rank == 3 {
+                continue;
+            }
+            match out {
+                RankOutcome::Done(Ok((cb, _))) => assert_close(
+                    &cb.weights,
+                    &serial.weights,
+                    1e-9,
+                    &format!("rank {rank} ft codebook after a worker death"),
+                ),
+                RankOutcome::Done(Err(e)) => panic!("survivor rank {rank} failed: {e}"),
+                RankOutcome::Died { .. } => panic!("unexpected death on rank {rank}"),
+            }
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -13,6 +13,8 @@
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
+use crate::fault::FaultBoard;
+
 /// Reduction operator for `f64` element-wise reductions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
@@ -55,7 +57,11 @@ enum Phase {
 
 struct State {
     phase: Phase,
-    arrived: usize,
+    arrived: Vec<bool>,
+    arrived_count: usize,
+    /// Number of ranks that deposited into the published generation and must
+    /// therefore leave before the rendezvous can be reused.
+    expected_leavers: usize,
     left: usize,
     inputs: Vec<Vec<u8>>,
     clocks: Vec<f64>,
@@ -65,20 +71,36 @@ struct State {
 }
 
 /// A reusable all-gather rendezvous for a fixed set of `size` participants.
+///
+/// Death awareness: a collective completes once every rank has either
+/// deposited its contribution or died (per the shared [`FaultBoard`]). Dead
+/// ranks contribute an empty buffer and do not influence the synchronized
+/// clock, so survivors keep making progress across an unbounded sequence of
+/// collectives after any number of deaths.
 pub struct Rendezvous {
     size: usize,
+    board: Arc<FaultBoard>,
     state: Mutex<State>,
     cond: Condvar,
 }
 
 impl Rendezvous {
-    /// Create a rendezvous for `size` ranks.
+    /// Create a rendezvous for `size` ranks with no fault injection (a fresh
+    /// all-alive board).
     pub fn new(size: usize) -> Self {
+        Self::with_board(size, Arc::new(FaultBoard::new(size)))
+    }
+
+    /// Create a rendezvous sharing the world's liveness board.
+    pub fn with_board(size: usize, board: Arc<FaultBoard>) -> Self {
         Rendezvous {
             size,
+            board,
             state: Mutex::new(State {
                 phase: Phase::Collect,
-                arrived: 0,
+                arrived: vec![false; size],
+                arrived_count: 0,
+                expected_leavers: 0,
                 left: 0,
                 inputs: vec![Vec::new(); size],
                 clocks: vec![0.0; size],
@@ -88,6 +110,38 @@ impl Rendezvous {
             }),
             cond: Condvar::new(),
         }
+    }
+
+    /// All live ranks have deposited (and at least one rank is waiting).
+    fn collect_complete(&self, s: &State) -> bool {
+        s.arrived_count > 0
+            && (0..self.size).all(|r| s.arrived[r] || !self.board.is_alive(r))
+    }
+
+    /// Publish the current generation: dead non-arrived ranks contribute
+    /// empty buffers; the synchronized clock is the max over arrivers.
+    fn publish(&self, s: &mut State) {
+        let inputs = std::mem::replace(&mut s.inputs, vec![Vec::new(); self.size]);
+        s.max_clock = (0..self.size)
+            .filter(|&r| s.arrived[r])
+            .map(|r| s.clocks[r])
+            .fold(f64::NEG_INFINITY, f64::max);
+        s.expected_leavers = s.arrived_count;
+        s.output = Some(Arc::new(inputs));
+        s.phase = Phase::Distribute;
+        self.cond.notify_all();
+    }
+
+    /// Re-evaluate completion after a rank died: if everyone still alive has
+    /// already deposited, the waiters must be released now — the dead rank
+    /// will never arrive.
+    pub fn on_death(&self) {
+        let mut g = self.state.lock();
+        if g.phase == Phase::Collect && self.collect_complete(&g) {
+            self.publish(&mut g);
+        }
+        drop(g);
+        self.cond.notify_all();
     }
 
     /// Mark the rendezvous dead (world teardown after a rank panic) and
@@ -116,13 +170,10 @@ impl Rendezvous {
         assert!(!g.down, "world shut down during a collective on rank {rank}");
         g.inputs[rank] = data;
         g.clocks[rank] = clock;
-        g.arrived += 1;
-        if g.arrived == self.size {
-            let inputs = std::mem::replace(&mut g.inputs, vec![Vec::new(); self.size]);
-            g.max_clock = g.clocks.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            g.output = Some(Arc::new(inputs));
-            g.phase = Phase::Distribute;
-            self.cond.notify_all();
+        g.arrived[rank] = true;
+        g.arrived_count += 1;
+        if self.collect_complete(&g) {
+            self.publish(&mut g);
         } else {
             while g.phase != Phase::Distribute && !g.down {
                 self.cond.wait(&mut g);
@@ -132,8 +183,9 @@ impl Rendezvous {
         let out = g.output.as_ref().expect("output published").clone();
         let t = g.max_clock;
         g.left += 1;
-        if g.left == self.size {
-            g.arrived = 0;
+        if g.left == g.expected_leavers {
+            g.arrived.iter_mut().for_each(|a| *a = false);
+            g.arrived_count = 0;
             g.left = 0;
             g.output = None;
             g.phase = Phase::Collect;

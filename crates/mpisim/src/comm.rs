@@ -7,10 +7,12 @@
 
 use std::cell::RefCell;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::clock::{Clock, CostModel};
 use crate::collective::{ReduceOp, Rendezvous};
 use crate::error::MpiError;
+use crate::fault::{FaultBoard, FaultPlan, RankDeath, RankFaults};
 use crate::mailbox::{Mailbox, Packet};
 use crate::wire;
 use crate::{Rank, Tag};
@@ -45,6 +47,7 @@ pub(crate) struct Shared {
     pub(crate) mailboxes: Vec<Mailbox>,
     pub(crate) rendezvous: Rendezvous,
     pub(crate) cost: CostModel,
+    pub(crate) board: Arc<FaultBoard>,
 }
 
 /// Communicator for one rank of a running world.
@@ -53,11 +56,76 @@ pub struct Comm {
     rank: Rank,
     size: usize,
     clock: RefCell<Clock>,
+    faults: Option<RankFaults>,
 }
 
 impl Comm {
     pub(crate) fn new(shared: Arc<Shared>, rank: Rank, size: usize) -> Self {
-        Comm { shared, rank, size, clock: RefCell::new(Clock::new()) }
+        Comm { shared, rank, size, clock: RefCell::new(Clock::new()), faults: None }
+    }
+
+    pub(crate) fn with_faults(
+        shared: Arc<Shared>,
+        rank: Rank,
+        size: usize,
+        plan: Arc<FaultPlan>,
+    ) -> Self {
+        let faults = Some(RankFaults::new(plan, rank, size));
+        Comm { shared, rank, size, clock: RefCell::new(Clock::new()), faults }
+    }
+
+    // ------------------------------------------------------ fault plumbing
+
+    /// Check whether this rank's scheduled death time has been reached and,
+    /// if so, die. Called at every communication-operation entry and after
+    /// every compute charge, so deaths happen at operation boundaries — never
+    /// while blocked (a blocked rank's clock is frozen).
+    fn preflight(&self) {
+        if let Some(f) = &self.faults {
+            if let Some(at) = f.death_at {
+                if self.now() >= at && self.shared.board.is_alive(self.rank) {
+                    self.die(at);
+                }
+            }
+        }
+    }
+
+    /// Execute this rank's death: record it on the board, discard queued
+    /// messages (they die with the rank), wake every blocked peer so it can
+    /// re-examine liveness, and unwind with a [`RankDeath`] payload that
+    /// [`crate::World::run_faulty`] converts into a
+    /// [`RankOutcome::Died`](crate::RankOutcome::Died).
+    fn die(&self, at: f64) -> ! {
+        self.shared.board.mark_dead(self.rank, at);
+        self.shared.mailboxes[self.rank].purge();
+        for mb in &self.shared.mailboxes {
+            mb.nudge();
+        }
+        self.shared.rendezvous.on_death();
+        std::panic::panic_any(RankDeath { rank: self.rank, at });
+    }
+
+    /// Is `rank` still alive? Always true outside fault injection.
+    #[inline]
+    pub fn is_alive(&self, rank: Rank) -> bool {
+        self.shared.board.is_alive(rank)
+    }
+
+    /// Live ranks in rank order.
+    pub fn alive_ranks(&self) -> Vec<Rank> {
+        self.shared.board.alive_ranks()
+    }
+
+    /// `(rank, virtual_death_time)` pairs in death order.
+    pub fn failed_ranks(&self) -> Vec<(Rank, f64)> {
+        self.shared.board.failed_ranks()
+    }
+
+    /// Death-epoch counter: bumps once per death. Cheap to poll; lets a
+    /// master notice "something changed" without scanning all ranks.
+    #[inline]
+    pub fn death_epoch(&self) -> u64 {
+        self.shared.board.epoch()
     }
 
     /// This rank's index in `0..size`.
@@ -84,10 +152,13 @@ impl Comm {
         self.clock.borrow().now()
     }
 
-    /// Charge `dt` seconds of local computation to this rank's clock.
+    /// Charge `dt` seconds of local computation to this rank's clock. Under
+    /// fault injection, crossing this rank's scheduled death time inside the
+    /// charge kills it (models a node failing mid-computation).
     #[inline]
     pub fn charge(&self, dt: f64) {
         self.clock.borrow_mut().charge(dt);
+        self.preflight();
     }
 
     // ---------------------------------------------------------------- p2p
@@ -102,9 +173,20 @@ impl Comm {
     /// Panics if `dst` is out of range.
     pub fn send(&self, dst: Rank, tag: Tag, data: Vec<u8>) {
         assert!(dst < self.size, "send to rank {dst} in a world of {}", self.size);
+        self.preflight();
         let cost = self.shared.cost.p2p(data.len());
-        self.charge(cost);
-        let arrival = self.now();
+        self.charge(cost); // may kill this rank: a message in flight at death is lost
+        let mut arrival = self.now();
+        if let Some(f) = &self.faults {
+            let seq = f.next_seq(dst);
+            match f.plan.message_fate(self.rank, dst, seq) {
+                None => return, // dropped by the injected network fault
+                Some(extra) => arrival += extra,
+            }
+        }
+        if !self.shared.board.is_alive(dst) {
+            return; // messages to a dead rank vanish (its mailbox is purged anyway)
+        }
         self.shared.mailboxes[dst].push(Packet { src: self.rank, tag, data, arrival });
     }
 
@@ -133,8 +215,59 @@ impl Comm {
     }
 
     fn try_recv_blocking(&self, src: Rank, tag: Tag) -> Result<RecvMsg, MpiError> {
+        self.preflight();
         let pkt = self.shared.mailboxes[self.rank].recv(src, tag)?;
         self.clock.borrow_mut().sync_to(pkt.arrival);
+        self.preflight();
+        Ok(RecvMsg {
+            status: Status { source: pkt.src, tag: pkt.tag, len: pkt.data.len() },
+            data: pkt.data,
+        })
+    }
+
+    /// Blocking receive that surfaces faults as errors instead of hanging or
+    /// panicking: [`MpiError::RankDead`] when a specific source died with no
+    /// matching message left (or, for [`ANY_SOURCE`], when no other rank is
+    /// alive), [`MpiError::WorldDown`] on teardown.
+    pub fn recv_fallible(&self, src: Rank, tag: Tag) -> Result<RecvMsg, MpiError> {
+        self.preflight();
+        let pkt = self.shared.mailboxes[self.rank].recv_faulty(
+            self.rank,
+            src,
+            tag,
+            &self.shared.board,
+            None,
+        )?;
+        self.clock.borrow_mut().sync_to(pkt.arrival);
+        self.preflight();
+        Ok(RecvMsg {
+            status: Status { source: pkt.src, tag: pkt.tag, len: pkt.data.len() },
+            data: pkt.data,
+        })
+    }
+
+    /// Like [`Comm::recv_fallible`] but bounded by `timeout` of *wall-clock*
+    /// waiting: returns [`MpiError::TimedOut`] when it elapses and
+    /// [`MpiError::Interrupted`] as soon as any rank dies while waiting, so a
+    /// retrying caller reacts to failures promptly. The timeout is a
+    /// liveness backstop for fault-tolerant protocols and is deliberately
+    /// not charged to the virtual clock.
+    pub fn recv_timeout(
+        &self,
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<RecvMsg, MpiError> {
+        self.preflight();
+        let pkt = self.shared.mailboxes[self.rank].recv_faulty(
+            self.rank,
+            src,
+            tag,
+            &self.shared.board,
+            Some(timeout),
+        )?;
+        self.clock.borrow_mut().sync_to(pkt.arrival);
+        self.preflight();
         Ok(RecvMsg {
             status: Status { source: pkt.src, tag: pkt.tag, len: pkt.data.len() },
             data: pkt.data,
@@ -192,6 +325,7 @@ impl Comm {
     // --------------------------------------------------------- collectives
 
     fn exchange(&self, data: Vec<u8>) -> (Arc<Vec<Vec<u8>>>, f64) {
+        self.preflight();
         self.shared.rendezvous.exchange(self.rank, data, self.now())
     }
 
@@ -239,12 +373,7 @@ impl Comm {
         let (all, t) = self.exchange(wire::f64s_to_bytes(input));
         if self.rank == root {
             assert_eq!(output.len(), input.len(), "reduce output length mismatch");
-            wire::bytes_into_f64s(&all[0], output);
-            let mut scratch = vec![0.0; input.len()];
-            for contribution in all.iter().skip(1) {
-                wire::bytes_into_f64s(contribution, &mut scratch);
-                op.fold_into(output, &scratch);
-            }
+            Self::fold_contributions(&all, input.len(), output, op);
         }
         self.finish_collective(t, input.len() * 8);
         self.rank == root
@@ -254,13 +383,30 @@ impl Comm {
     pub fn allreduce_f64(&self, input: &[f64], output: &mut [f64], op: ReduceOp) {
         let (all, t) = self.exchange(wire::f64s_to_bytes(input));
         assert_eq!(output.len(), input.len(), "allreduce output length mismatch");
-        wire::bytes_into_f64s(&all[0], output);
-        let mut scratch = vec![0.0; input.len()];
-        for contribution in all.iter().skip(1) {
-            wire::bytes_into_f64s(contribution, &mut scratch);
-            op.fold_into(output, &scratch);
-        }
+        Self::fold_contributions(&all, input.len(), output, op);
         self.finish_collective(t, input.len() * 8);
+    }
+
+    /// Fold all contributions into `output`. Empty buffers are skipped: a
+    /// dead rank contributes nothing to a reduction (its partial state died
+    /// with it). Non-empty length mismatches still panic, as before.
+    fn fold_contributions(all: &[Vec<u8>], elems: usize, output: &mut [f64], op: ReduceOp) {
+        let mut scratch = vec![0.0; elems];
+        let mut first = true;
+        for contribution in all.iter() {
+            if contribution.is_empty() && elems != 0 {
+                continue;
+            }
+            if first {
+                wire::bytes_into_f64s(contribution, output);
+                first = false;
+            } else {
+                wire::bytes_into_f64s(contribution, &mut scratch);
+                op.fold_into(output, &scratch);
+            }
+        }
+        // The calling rank always contributed, so at least one buffer folded.
+        assert!(!first || elems == 0, "reduction with no live contributions");
     }
 
     /// Gather every rank's payload at `root`. Returns `Some(payloads)` (rank
@@ -301,6 +447,12 @@ impl Comm {
         let (all, t) = self.exchange(packed);
         let mut recvd = Vec::with_capacity(self.size);
         for src_buf in all.iter() {
+            // A dead rank's contribution is fully empty (a live rank always
+            // packs size length prefixes); it sent us nothing.
+            if src_buf.is_empty() {
+                recvd.push(Vec::new());
+                continue;
+            }
             let mut pos = 0;
             let mut segment = &[][..];
             for d in 0..=self.rank {

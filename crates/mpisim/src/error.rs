@@ -8,8 +8,10 @@
 
 use std::fmt;
 
+use crate::Rank;
+
 /// Errors surfaced by fallible `try_*` communication calls.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MpiError {
     /// The world was shut down while this rank was waiting for a message.
     /// This can only happen if another rank panicked.
@@ -23,6 +25,21 @@ pub enum MpiError {
         /// Bytes available in the caller's buffer.
         available: usize,
     },
+    /// A receive can never complete because the (specific) source rank died
+    /// with no matching message left in the queue. Fault injection only; see
+    /// [`crate::fault`].
+    RankDead {
+        /// The dead source rank, and its virtual death time.
+        rank: Rank,
+        /// Virtual time at which the rank died.
+        at: f64,
+    },
+    /// A `recv_timeout` expired with no matching message.
+    TimedOut,
+    /// A blocking receive was interrupted because some rank died while this
+    /// rank was waiting (the death epoch changed). The caller should
+    /// re-examine liveness and decide whether to keep waiting.
+    Interrupted,
 }
 
 impl fmt::Display for MpiError {
@@ -34,6 +51,13 @@ impl fmt::Display for MpiError {
                 f,
                 "receive buffer too small: message needs {needed} bytes, buffer holds {available}"
             ),
+            MpiError::RankDead { rank, at } => {
+                write!(f, "rank {rank} died at virtual time {at}s; receive can never complete")
+            }
+            MpiError::TimedOut => write!(f, "receive timed out with no matching message"),
+            MpiError::Interrupted => {
+                write!(f, "receive interrupted by a rank death; re-check liveness")
+            }
         }
     }
 }

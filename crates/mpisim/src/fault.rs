@@ -1,0 +1,328 @@
+//! Deterministic fault injection for the simulated runtime.
+//!
+//! Real MapReduce-MPI deployments on a thousand Ranger cores lose nodes; the
+//! paper's applications must finish anyway. This module lets a test kill a
+//! rank at a chosen *virtual-clock* time, drop or delay point-to-point
+//! messages with a seeded coin, and have every blocking operation surface a
+//! typed [`MpiError`](crate::MpiError) instead of hanging.
+//!
+//! Everything is reproducible: a [`FaultPlan`] is a pure value (seed plus
+//! rules), message fates are hashes of `(seed, src, dst, per-pair sequence
+//! number)`, and deaths trigger at virtual times, so the same plan against the
+//! same program produces the same failure schedule on every run regardless of
+//! thread interleaving.
+//!
+//! ## Failure model
+//!
+//! Fail-stop with a perfect in-simulation detector: a dead rank stops
+//! communicating forever (its mailbox is purged, its future sends never
+//! happen) and every survivor can observe the death through
+//! [`Comm::is_alive`](crate::Comm::is_alive) or through `RankDead` errors.
+//! Ranks die only at communication-operation entry or while charging compute
+//! time — never while blocked (a blocked rank's clock is frozen) and never
+//! midway through a collective rendezvous, which keeps collectives well
+//! defined: a dead rank simply contributes an empty buffer from then on.
+//!
+//! ```
+//! use mpisim::{FaultPlan, RankOutcome, World};
+//!
+//! // Rank 2 dies the moment its virtual clock reaches 1.0 s.
+//! let plan = FaultPlan::new(7).kill(2, 1.0);
+//! let outcomes = World::new(4).with_faults(plan).run_faulty(|comm| {
+//!     comm.charge(2.0); // rank 2 dies inside this charge
+//!     comm.barrier();   // survivors complete: dead ranks don't block collectives
+//!     comm.rank()
+//! });
+//! assert!(matches!(outcomes[2], RankOutcome::Died { .. }));
+//! assert!(matches!(outcomes[0], RankOutcome::Done(0)));
+//! ```
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::Rank;
+
+/// Wildcard rank for drop/delay rules: matches any source or destination.
+pub const ANY_RANK: Rank = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct DropRule {
+    src: Rank,
+    dst: Rank,
+    prob: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DelayRule {
+    src: Rank,
+    dst: Rank,
+    extra_s: f64,
+}
+
+/// A reproducible schedule of injected faults.
+///
+/// Built once, attached to a [`World`](crate::World) via
+/// [`World::with_faults`](crate::World::with_faults), and evaluated
+/// deterministically during the run.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    deaths: Vec<(Rank, f64)>,
+    drops: Vec<DropRule>,
+    delays: Vec<DelayRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan. `seed` drives the per-message drop coin.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, deaths: Vec::new(), drops: Vec::new(), delays: Vec::new() }
+    }
+
+    /// Kill `rank` when its virtual clock first reaches `at_s` seconds (at a
+    /// communication-operation boundary or compute charge). `at_s = 0.0`
+    /// kills the rank at its first operation.
+    pub fn kill(mut self, rank: Rank, at_s: f64) -> Self {
+        assert!(at_s >= 0.0, "death time must be non-negative");
+        self.deaths.push((rank, at_s));
+        self
+    }
+
+    /// Drop each message from `src` to `dst` independently with probability
+    /// `prob` (seeded, per-message deterministic). [`ANY_RANK`] wildcards
+    /// either side.
+    pub fn drop_p2p(mut self, src: Rank, dst: Rank, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "drop probability must be in [0,1]");
+        self.drops.push(DropRule { src, dst, prob });
+        self
+    }
+
+    /// Add `extra_s` seconds of virtual latency to every message from `src`
+    /// to `dst`. [`ANY_RANK`] wildcards either side.
+    pub fn delay_p2p(mut self, src: Rank, dst: Rank, extra_s: f64) -> Self {
+        assert!(extra_s >= 0.0, "delay must be non-negative");
+        self.delays.push(DelayRule { src, dst, extra_s });
+        self
+    }
+
+    /// The virtual death time scheduled for `rank`, if any (earliest wins
+    /// when a rank is killed twice).
+    pub fn death_time(&self, rank: Rank) -> Option<f64> {
+        self.deaths
+            .iter()
+            .filter(|(r, _)| *r == rank)
+            .map(|&(_, t)| t)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+
+    /// Ranks scheduled to die, deduplicated.
+    pub fn doomed_ranks(&self) -> Vec<Rank> {
+        let mut v: Vec<Rank> = self.deaths.iter().map(|&(r, _)| r).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn rule_matches(rule_src: Rank, rule_dst: Rank, src: Rank, dst: Rank) -> bool {
+        (rule_src == ANY_RANK || rule_src == src) && (rule_dst == ANY_RANK || rule_dst == dst)
+    }
+
+    /// Decide the fate of the `seq`-th message from `src` to `dst`:
+    /// `None` if dropped, `Some(extra_delay_s)` if delivered.
+    pub fn message_fate(&self, src: Rank, dst: Rank, seq: u64) -> Option<f64> {
+        for rule in &self.drops {
+            if Self::rule_matches(rule.src, rule.dst, src, dst) {
+                let h = fate_hash(self.seed, src as u64, dst as u64, seq);
+                // 53 high-quality bits -> uniform in [0,1).
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                if u < rule.prob {
+                    return None;
+                }
+            }
+        }
+        let mut extra = 0.0;
+        for rule in &self.delays {
+            if Self::rule_matches(rule.src, rule.dst, src, dst) {
+                extra += rule.extra_s;
+            }
+        }
+        Some(extra)
+    }
+}
+
+/// SplitMix64-style mixing of the message coordinates into one fate word.
+fn fate_hash(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut x = seed;
+    for w in [a, b, c] {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(w);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+    }
+    x
+}
+
+/// Shared liveness state: which ranks are alive, and a monotonically
+/// increasing epoch bumped on every death so blocked receivers can notice
+/// that the world changed underneath them.
+pub struct FaultBoard {
+    alive: Vec<AtomicBool>,
+    epoch: AtomicU64,
+    deaths: Mutex<Vec<(Rank, f64)>>,
+}
+
+impl FaultBoard {
+    /// A board with every rank alive.
+    pub fn new(size: usize) -> Self {
+        FaultBoard {
+            alive: (0..size).map(|_| AtomicBool::new(true)).collect(),
+            epoch: AtomicU64::new(0),
+            deaths: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Is `rank` still alive? Out-of-range ranks (e.g. `ANY_SOURCE`) report
+    /// alive so wildcard receives never spuriously fail.
+    #[inline]
+    pub fn is_alive(&self, rank: Rank) -> bool {
+        self.alive.get(rank).is_none_or(|a| a.load(Ordering::Acquire))
+    }
+
+    /// Record `rank`'s death at virtual time `at`. Idempotent.
+    pub fn mark_dead(&self, rank: Rank, at: f64) {
+        if self.alive[rank].swap(false, Ordering::AcqRel) {
+            self.deaths.lock().push((rank, at));
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Current death epoch (number of deaths observed so far).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Number of live ranks.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| a.load(Ordering::Acquire)).count()
+    }
+
+    /// Live ranks in rank order.
+    pub fn alive_ranks(&self) -> Vec<Rank> {
+        (0..self.alive.len()).filter(|&r| self.is_alive(r)).collect()
+    }
+
+    /// `(rank, virtual_death_time)` pairs in death order.
+    pub fn failed_ranks(&self) -> Vec<(Rank, f64)> {
+        self.deaths.lock().clone()
+    }
+
+    /// Virtual death time of `rank`, if it died.
+    pub fn death_time_of(&self, rank: Rank) -> Option<f64> {
+        self.deaths.lock().iter().find(|&&(r, _)| r == rank).map(|&(_, t)| t)
+    }
+
+    /// Is any rank other than `me` still alive? When false, a wildcard
+    /// receive with an empty queue can never be satisfied.
+    pub fn any_other_alive(&self, me: Rank) -> bool {
+        self.alive
+            .iter()
+            .enumerate()
+            .any(|(r, a)| r != me && a.load(Ordering::Acquire))
+    }
+}
+
+/// Panic payload carried by a dying rank; [`World::run_faulty`]
+/// (crate::World::run_faulty) downcasts it to distinguish an injected death
+/// from a genuine bug.
+#[derive(Debug, Clone, Copy)]
+pub struct RankDeath {
+    /// The rank that died.
+    pub rank: Rank,
+    /// Virtual time of death.
+    pub at: f64,
+}
+
+/// Per-rank fault evaluation state owned by a `Comm`.
+pub(crate) struct RankFaults {
+    pub(crate) plan: std::sync::Arc<FaultPlan>,
+    pub(crate) death_at: Option<f64>,
+    /// Per-destination send sequence numbers feeding the message-fate hash.
+    pub(crate) seq: RefCell<Vec<u64>>,
+}
+
+impl RankFaults {
+    pub(crate) fn new(plan: std::sync::Arc<FaultPlan>, rank: Rank, size: usize) -> Self {
+        let death_at = plan.death_time(rank);
+        RankFaults { plan, death_at, seq: RefCell::new(vec![0; size]) }
+    }
+
+    /// Next sequence number for a send to `dst`.
+    pub(crate) fn next_seq(&self, dst: Rank) -> u64 {
+        let mut seq = self.seq.borrow_mut();
+        let s = seq[dst];
+        seq[dst] += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn death_time_earliest_wins() {
+        let plan = FaultPlan::new(1).kill(3, 5.0).kill(3, 2.0).kill(1, 9.0);
+        assert_eq!(plan.death_time(3), Some(2.0));
+        assert_eq!(plan.death_time(1), Some(9.0));
+        assert_eq!(plan.death_time(0), None);
+        assert_eq!(plan.doomed_ranks(), vec![1, 3]);
+    }
+
+    #[test]
+    fn message_fate_is_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan::new(42).drop_p2p(ANY_RANK, ANY_RANK, 0.5);
+        let fates: Vec<bool> = (0..64).map(|s| plan.message_fate(1, 2, s).is_some()).collect();
+        let again: Vec<bool> = (0..64).map(|s| plan.message_fate(1, 2, s).is_some()).collect();
+        assert_eq!(fates, again, "same plan, same fates");
+        let dropped = fates.iter().filter(|d| !**d).count();
+        assert!(dropped > 10 && dropped < 54, "p=0.5 should drop roughly half, got {dropped}");
+        let other = FaultPlan::new(43).drop_p2p(ANY_RANK, ANY_RANK, 0.5);
+        let other_fates: Vec<bool> =
+            (0..64).map(|s| other.message_fate(1, 2, s).is_some()).collect();
+        assert_ne!(fates, other_fates, "different seed, different fates");
+    }
+
+    #[test]
+    fn drop_rules_respect_endpoints() {
+        let plan = FaultPlan::new(7).drop_p2p(1, 2, 1.0);
+        assert!(plan.message_fate(1, 2, 0).is_none(), "matching pair always dropped at p=1");
+        assert!(plan.message_fate(2, 1, 0).is_some(), "reverse direction unaffected");
+        assert!(plan.message_fate(0, 2, 0).is_some(), "other source unaffected");
+    }
+
+    #[test]
+    fn delays_accumulate() {
+        let plan = FaultPlan::new(0).delay_p2p(0, 1, 0.25).delay_p2p(ANY_RANK, 1, 0.5);
+        assert_eq!(plan.message_fate(0, 1, 0), Some(0.75));
+        assert_eq!(plan.message_fate(2, 1, 0), Some(0.5));
+        assert_eq!(plan.message_fate(0, 2, 0), Some(0.0));
+    }
+
+    #[test]
+    fn board_tracks_deaths_and_epoch() {
+        let b = FaultBoard::new(4);
+        assert!(b.is_alive(2));
+        assert_eq!(b.epoch(), 0);
+        b.mark_dead(2, 1.5);
+        b.mark_dead(2, 9.9); // idempotent
+        assert!(!b.is_alive(2));
+        assert_eq!(b.epoch(), 1);
+        assert_eq!(b.alive_count(), 3);
+        assert_eq!(b.alive_ranks(), vec![0, 1, 3]);
+        assert_eq!(b.failed_ranks(), vec![(2, 1.5)]);
+        // Wildcard/out-of-range ranks read as alive.
+        assert!(b.is_alive(crate::comm::ANY_SOURCE));
+    }
+}

@@ -52,6 +52,7 @@ pub mod clock;
 pub mod collective;
 pub mod comm;
 pub mod error;
+pub mod fault;
 pub mod mailbox;
 pub mod wire;
 pub mod world;
@@ -60,7 +61,8 @@ pub use clock::{Clock, CostModel};
 pub use collective::ReduceOp;
 pub use comm::{Comm, RecvMsg, RecvRequest, SendRequest, Status, ANY_SOURCE, ANY_TAG};
 pub use error::MpiError;
-pub use world::World;
+pub use fault::{FaultBoard, FaultPlan, RankDeath};
+pub use world::{RankOutcome, World};
 
 /// A rank index within a world. Mirrors MPI's `int` rank but kept as `usize`
 /// for indexing convenience.

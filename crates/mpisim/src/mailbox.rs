@@ -8,9 +8,11 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use crate::comm::{ANY_SOURCE, ANY_TAG};
 use crate::error::MpiError;
+use crate::fault::FaultBoard;
 use crate::{Rank, Tag};
 
 /// A message in flight: payload plus envelope and its modelled arrival time.
@@ -88,6 +90,75 @@ impl Mailbox {
             }
             self.cond.wait(&mut g);
         }
+    }
+
+    /// Death-aware blocking receive used by the fault-injection layer.
+    ///
+    /// Differences from [`Mailbox::recv`]:
+    /// * a receive from a *specific* dead source with no matching queued
+    ///   packet fails with [`MpiError::RankDead`] instead of hanging;
+    /// * a wildcard receive fails the same way once no other rank is alive;
+    /// * with `timeout = Some(d)`, the call fails with [`MpiError::TimedOut`]
+    ///   after `d` of wall-clock waiting, and with [`MpiError::Interrupted`]
+    ///   as soon as *any* rank dies while waiting (so a master can react to a
+    ///   worker death promptly rather than burning the full timeout).
+    ///
+    /// Queued packets always win: a message sent before the sender died is
+    /// still delivered.
+    pub fn recv_faulty(
+        &self,
+        me: Rank,
+        src: Rank,
+        tag: Tag,
+        board: &FaultBoard,
+        timeout: Option<Duration>,
+    ) -> Result<Packet, MpiError> {
+        let deadline = timeout.map(|d| Instant::now() + d);
+        let entry_epoch = board.epoch();
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(pos) = g.queue.iter().position(|p| Self::matches(p, src, tag)) {
+                return Ok(g.queue.remove(pos).expect("position just found"));
+            }
+            if g.down {
+                return Err(MpiError::WorldDown);
+            }
+            if src != ANY_SOURCE && !board.is_alive(src) {
+                let at = board.death_time_of(src).unwrap_or(0.0);
+                return Err(MpiError::RankDead { rank: src, at });
+            }
+            if src == ANY_SOURCE && !board.any_other_alive(me) {
+                return Err(MpiError::RankDead { rank: ANY_SOURCE, at: 0.0 });
+            }
+            match deadline {
+                Some(deadline) => {
+                    if board.epoch() != entry_epoch {
+                        return Err(MpiError::Interrupted);
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(MpiError::TimedOut);
+                    }
+                    // Wake periodically so an epoch bump missed between the
+                    // check above and parking is still noticed promptly.
+                    let slice = (deadline - now).min(Duration::from_millis(10));
+                    let _ = self.cond.wait_for(&mut g, slice);
+                }
+                None => self.cond.wait(&mut g),
+            }
+        }
+    }
+
+    /// Drop all queued packets (the owning rank died; its pending messages
+    /// die with it).
+    pub fn purge(&self) {
+        self.inner.lock().queue.clear();
+    }
+
+    /// Wake all blocked receivers without changing state, so they can
+    /// re-examine liveness after a death elsewhere.
+    pub fn nudge(&self) {
+        self.cond.notify_all();
     }
 
     /// Non-blocking receive. Returns [`MpiError::WouldBlock`] when nothing

@@ -5,12 +5,48 @@ use std::sync::Arc;
 use crate::clock::CostModel;
 use crate::collective::Rendezvous;
 use crate::comm::{Comm, Shared};
+use crate::fault::{FaultBoard, FaultPlan, RankDeath};
 use crate::mailbox::Mailbox;
 
 /// Stack size for rank threads. BLAST's banded DP and the MR-MPI page
 /// machinery are iterative, but FASTA parsing and sort recursions benefit
 /// from headroom.
 const RANK_STACK_BYTES: usize = 8 * 1024 * 1024;
+
+/// Per-rank result of a fault-injected run ([`World::run_faulty`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankOutcome<T> {
+    /// The rank ran the program to completion.
+    Done(T),
+    /// The rank was killed by the fault plan at virtual time `at`.
+    Died {
+        /// Virtual time of death.
+        at: f64,
+    },
+}
+
+impl<T> RankOutcome<T> {
+    /// The completed value, if the rank survived.
+    pub fn done(self) -> Option<T> {
+        match self {
+            RankOutcome::Done(v) => Some(v),
+            RankOutcome::Died { .. } => None,
+        }
+    }
+
+    /// The completed value by reference, if the rank survived.
+    pub fn as_done(&self) -> Option<&T> {
+        match self {
+            RankOutcome::Done(v) => Some(v),
+            RankOutcome::Died { .. } => None,
+        }
+    }
+
+    /// Did the fault plan kill this rank?
+    pub fn is_died(&self) -> bool {
+        matches!(self, RankOutcome::Died { .. })
+    }
+}
 
 /// A fixed-size set of ranks ready to execute an SPMD program.
 ///
@@ -21,6 +57,7 @@ const RANK_STACK_BYTES: usize = 8 * 1024 * 1024;
 pub struct World {
     size: usize,
     cost: CostModel,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl World {
@@ -30,12 +67,30 @@ impl World {
     /// Panics if `size` is zero.
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "a world needs at least one rank");
-        World { size, cost: CostModel::FREE }
+        World { size, cost: CostModel::FREE, faults: None }
     }
 
     /// Set the communication cost model used for virtual-clock accounting.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Attach a deterministic fault plan (see [`crate::fault`]). Run the
+    /// world with [`World::run_faulty`] to observe per-rank outcomes;
+    /// [`World::run`] panics if the plan actually kills a rank.
+    ///
+    /// # Panics
+    /// Panics if the plan kills a rank outside this world.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        for rank in plan.doomed_ranks() {
+            assert!(
+                rank < self.size,
+                "fault plan kills rank {rank} outside world of {}",
+                self.size
+            );
+        }
+        self.faults = Some(Arc::new(plan));
         self
     }
 
@@ -50,15 +105,47 @@ impl World {
     /// If any rank panics, the world is torn down (blocked receivers observe
     /// `WorldDown` and panic in turn) and the first panic is propagated to
     /// the caller.
+    ///
+    /// # Panics
+    /// Also panics if an attached fault plan killed a rank — a plain `run`
+    /// caller has no way to receive partial results; use
+    /// [`World::run_faulty`] instead.
     pub fn run<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send + 'static,
         F: Fn(&Comm) -> T + Send + Sync + 'static,
     {
+        self.run_faulty(f)
+            .into_iter()
+            .enumerate()
+            .map(|(rank, outcome)| match outcome {
+                RankOutcome::Done(v) => v,
+                RankOutcome::Died { at } => {
+                    panic!("rank {rank} died at {at}s; use World::run_faulty for fault plans")
+                }
+            })
+            .collect()
+    }
+
+    /// Run `f` on every rank and report a per-rank [`RankOutcome`]:
+    /// completed value or injected death.
+    ///
+    /// An injected death does **not** tear the world down — survivors keep
+    /// running (collectives complete without the dead rank, fallible
+    /// receives report `RankDead`). A genuine (non-injected) panic still
+    /// tears everything down and is propagated.
+    pub fn run_faulty<T, F>(&self, f: F) -> Vec<RankOutcome<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&Comm) -> T + Send + Sync + 'static,
+    {
+        silence_rank_death_panics();
+        let board = Arc::new(FaultBoard::new(self.size));
         let shared = Arc::new(Shared {
             mailboxes: (0..self.size).map(|_| Mailbox::new()).collect(),
-            rendezvous: Rendezvous::new(self.size),
+            rendezvous: Rendezvous::with_board(self.size, board.clone()),
             cost: self.cost,
+            board,
         });
         let f = Arc::new(f);
 
@@ -67,24 +154,38 @@ impl World {
                 let shared = shared.clone();
                 let f = f.clone();
                 let size = self.size;
+                let plan = self.faults.clone();
                 std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
                     .stack_size(RANK_STACK_BYTES)
                     .spawn(move || {
-                        let comm = Comm::new(shared.clone(), rank, size);
+                        let comm = match plan {
+                            Some(plan) => Comm::with_faults(shared.clone(), rank, size, plan),
+                            None => Comm::new(shared.clone(), rank, size),
+                        };
                         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             f(&comm)
                         }));
-                        if out.is_err() {
-                            // Wake everyone so they don't deadlock waiting on
-                            // a rank that will never send or join a
-                            // collective.
-                            for mb in &shared.mailboxes {
-                                mb.shutdown();
+                        match out {
+                            Ok(v) => Ok(RankOutcome::Done(v)),
+                            Err(payload) => {
+                                if let Some(death) = payload.downcast_ref::<RankDeath>() {
+                                    // An injected death: the dying rank
+                                    // already advertised it (board, mailbox
+                                    // purge, rendezvous); survivors continue.
+                                    Ok(RankOutcome::Died { at: death.at })
+                                } else {
+                                    // A real bug. Wake everyone so they don't
+                                    // deadlock waiting on a rank that will
+                                    // never send or join a collective.
+                                    for mb in &shared.mailboxes {
+                                        mb.shutdown();
+                                    }
+                                    shared.rendezvous.shutdown();
+                                    Err(payload)
+                                }
                             }
-                            shared.rendezvous.shutdown();
                         }
-                        out
                     })
                     .expect("spawn rank thread")
             })
@@ -110,9 +211,29 @@ impl World {
     }
 }
 
+/// Injected deaths unwind via a [`RankDeath`] panic that [`World::run_faulty`]
+/// always catches; the default panic hook would still print a spurious
+/// backtrace for each one. Wrap the hook (once, process-wide) to swallow
+/// exactly that payload type — every other panic keeps its normal report.
+fn silence_rank_death_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<RankDeath>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::MpiError;
+    use crate::{ReduceOp, ANY_SOURCE, ANY_TAG};
+    use std::time::Duration;
 
     #[test]
     fn ranks_are_distinct_and_sized() {
@@ -157,5 +278,183 @@ mod tests {
     fn results_in_rank_order() {
         let got = World::new(5).run(|comm| comm.rank() * comm.rank());
         assert_eq!(got, vec![0, 1, 4, 9, 16]);
+    }
+
+    // ------------------------------------------------------ fault injection
+
+    #[test]
+    fn killed_rank_reports_death_and_survivors_finish() {
+        let plan = FaultPlan::new(1).kill(2, 0.5);
+        let outcomes = World::new(4).with_faults(plan).run_faulty(|comm| {
+            comm.charge(1.0);
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(outcomes[2], RankOutcome::Died { at: 0.5 });
+        for r in [0usize, 1, 3] {
+            assert_eq!(outcomes[r], RankOutcome::Done(r));
+        }
+    }
+
+    #[test]
+    fn kill_at_zero_dies_on_first_operation() {
+        let plan = FaultPlan::new(9).kill(1, 0.0);
+        let outcomes = World::new(2).with_faults(plan).run_faulty(|comm| {
+            comm.barrier(); // rank 1 dies entering this
+            comm.rank()
+        });
+        assert!(outcomes[1].is_died());
+        assert_eq!(outcomes[0], RankOutcome::Done(0));
+    }
+
+    #[test]
+    fn recv_fallible_reports_dead_source() {
+        let plan = FaultPlan::new(3).kill(0, 0.0);
+        let outcomes = World::new(2).with_faults(plan).run_faulty(|comm| {
+            if comm.rank() == 1 {
+                match comm.recv_fallible(0, 7) {
+                    Err(MpiError::RankDead { rank: 0, .. }) => true,
+                    other => panic!("expected RankDead, got {other:?}"),
+                }
+            } else {
+                comm.barrier(); // never completes: rank 0 dies entering it
+                false
+            }
+        });
+        assert_eq!(outcomes[1], RankOutcome::Done(true));
+    }
+
+    #[test]
+    fn queued_message_still_delivered_after_sender_death() {
+        // The sender emits before dying; the receiver must get the queued
+        // packet, then see RankDead on the next receive.
+        let plan = FaultPlan::new(5).kill(0, 1.0);
+        let outcomes = World::new(2).with_faults(plan).run_faulty(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 4, vec![0xEE]);
+                comm.charge(2.0); // dies here
+                0
+            } else {
+                let msg = comm.recv_fallible(0, 4).expect("queued before death");
+                assert_eq!(msg.data, vec![0xEE]);
+                let saw_dead = loop {
+                    // The death may race the first receive; poll until the
+                    // board shows it.
+                    match comm.recv_timeout(0, 4, Duration::from_millis(50)) {
+                        Err(MpiError::RankDead { rank: 0, .. }) => break true,
+                        Err(MpiError::TimedOut) | Err(MpiError::Interrupted) => continue,
+                        other => panic!("unexpected: {other:?}"),
+                    }
+                };
+                assert!(saw_dead);
+                1
+            }
+        });
+        assert!(outcomes[0].is_died());
+        assert_eq!(outcomes[1], RankOutcome::Done(1));
+    }
+
+    #[test]
+    fn collectives_complete_and_skip_dead_contributions() {
+        // 4 ranks allreduce-sum their (rank+1); rank 3 dies first, so the
+        // survivors' total must be 1+2+3 = 6.
+        let plan = FaultPlan::new(2).kill(3, 0.0);
+        let outcomes = World::new(4).with_faults(plan).run_faulty(|comm| {
+            let mine = [comm.rank() as f64 + 1.0];
+            let mut total = [0.0];
+            comm.allreduce_f64(&mine, &mut total, ReduceOp::Sum);
+            total[0]
+        });
+        assert!(outcomes[3].is_died());
+        for r in 0..3 {
+            assert_eq!(outcomes[r], RankOutcome::Done(6.0));
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_after_death_keep_working() {
+        let plan = FaultPlan::new(4).kill(1, 0.0);
+        let outcomes = World::new(3).with_faults(plan).run_faulty(|comm| {
+            let mut acc = 0.0;
+            for _ in 0..20 {
+                let mine = [1.0];
+                let mut out = [0.0];
+                comm.allreduce_f64(&mine, &mut out, ReduceOp::Sum);
+                acc += out[0];
+            }
+            acc
+        });
+        assert!(outcomes[1].is_died());
+        assert_eq!(outcomes[0], RankOutcome::Done(40.0)); // 2 survivors × 20 rounds
+    }
+
+    #[test]
+    fn dropped_messages_are_deterministic() {
+        let run = || {
+            let plan = FaultPlan::new(77).drop_p2p(0, 1, 0.5);
+            World::new(2).with_faults(plan).run_faulty(|comm| {
+                if comm.rank() == 0 {
+                    for i in 0..32u8 {
+                        comm.send(1, 1, vec![i]);
+                    }
+                    comm.barrier();
+                    Vec::new()
+                } else {
+                    comm.barrier(); // all sends queued before we drain
+                    let mut got = Vec::new();
+                    while let Ok(msg) = comm.try_recv(ANY_SOURCE, ANY_TAG) {
+                        got.push(msg.data[0]);
+                    }
+                    got
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a[1], b[1], "same seed, same surviving messages");
+        let survivors = a[1].as_done().unwrap();
+        assert!(survivors.len() < 32, "p=0.5 must drop something");
+        assert!(!survivors.is_empty(), "p=0.5 must deliver something");
+    }
+
+    #[test]
+    fn delayed_messages_arrive_late_on_the_virtual_clock() {
+        let plan = FaultPlan::new(0).delay_p2p(0, 1, 3.5);
+        let outcomes = World::new(2).with_faults(plan).run_faulty(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 2, vec![1]);
+                comm.now()
+            } else {
+                let _ = comm.recv(0, 2);
+                comm.now()
+            }
+        });
+        assert_eq!(outcomes[0], RankOutcome::Done(0.0));
+        assert_eq!(outcomes[1], RankOutcome::Done(3.5));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_without_sender() {
+        let got = World::new(2).run(|comm| {
+            if comm.rank() == 1 {
+                matches!(
+                    comm.recv_timeout(0, 9, Duration::from_millis(30)),
+                    Err(MpiError::TimedOut)
+                )
+            } else {
+                true // sends nothing
+            }
+        });
+        assert!(got[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "use World::run_faulty")]
+    fn plain_run_rejects_actual_deaths() {
+        let plan = FaultPlan::new(0).kill(0, 0.0);
+        let _ = World::new(2).with_faults(plan).run(|comm| {
+            comm.barrier();
+            comm.rank()
+        });
     }
 }

@@ -22,19 +22,92 @@ pub(crate) fn encode_entry(buf: &mut Vec<u8>, key: &[u8], value: &[u8]) {
     buf.extend_from_slice(value);
 }
 
+/// A malformed KV page, e.g. one truncated or corrupted in transit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// The page ends inside an entry header or payload.
+    Truncated {
+        /// Offset of the entry whose decoding ran off the end.
+        at: usize,
+        /// Bytes the entry claimed to need from `at`.
+        need: usize,
+        /// Bytes actually present from `at`.
+        have: usize,
+    },
+    /// An entry's declared lengths overflow `usize` arithmetic — only
+    /// possible for adversarially corrupted headers.
+    Overflow {
+        /// Offset of the entry with the absurd header.
+        at: usize,
+    },
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Truncated { at, need, have } => write!(
+                f,
+                "KV page truncated: entry at byte {at} needs {need} bytes, page has {have}"
+            ),
+            KvError::Overflow { at } => {
+                write!(f, "KV entry at byte {at} declares lengths that overflow")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Decode the entry starting at `*pos`; advances `*pos` past it. Returns a
+/// typed error (never panics) on a truncated or corrupted page.
+pub fn try_decode_entry<'a>(
+    page: &'a [u8],
+    pos: &mut usize,
+) -> Result<(&'a [u8], &'a [u8]), KvError> {
+    let at = *pos;
+    let header_end = at.checked_add(8).ok_or(KvError::Overflow { at })?;
+    if header_end > page.len() {
+        return Err(KvError::Truncated { at, need: 8, have: page.len().saturating_sub(at) });
+    }
+    let klen = u32::from_le_bytes(page[at..at + 4].try_into().expect("4 bytes")) as usize;
+    let vlen = u32::from_le_bytes(page[at + 4..at + 8].try_into().expect("4 bytes")) as usize;
+    let need = klen
+        .checked_add(vlen)
+        .and_then(|n| n.checked_add(8))
+        .ok_or(KvError::Overflow { at })?;
+    let end = at.checked_add(need).ok_or(KvError::Overflow { at })?;
+    if end > page.len() {
+        return Err(KvError::Truncated { at, need, have: page.len().saturating_sub(at) });
+    }
+    let kstart = at + 8;
+    let vstart = kstart + klen;
+    let out = (&page[kstart..vstart], &page[vstart..end]);
+    *pos = end;
+    Ok(out)
+}
+
+/// Validate a whole page and return the number of entries it holds.
+///
+/// Used on pages received from other ranks during an `aggregate()` so a
+/// mangled message surfaces as a typed error instead of a panic (or, worse,
+/// silently wrong pairs) deep inside a later scan.
+pub fn validate_page(page: &[u8]) -> Result<u64, KvError> {
+    let mut pos = 0;
+    let mut n = 0u64;
+    while pos < page.len() {
+        try_decode_entry(page, &mut pos)?;
+        n += 1;
+    }
+    Ok(n)
+}
+
 /// Decode the entry starting at `*pos`; advances `*pos` past it.
 ///
 /// # Panics
-/// Panics on a malformed page.
+/// Panics on a malformed page — internal scans use this on pages this
+/// process encoded itself, where corruption is a bug, not an input error.
 pub(crate) fn decode_entry<'a>(page: &'a [u8], pos: &mut usize) -> (&'a [u8], &'a [u8]) {
-    let klen = u32::from_le_bytes(page[*pos..*pos + 4].try_into().expect("klen")) as usize;
-    let vlen = u32::from_le_bytes(page[*pos + 4..*pos + 8].try_into().expect("vlen")) as usize;
-    let kstart = *pos + 8;
-    let vstart = kstart + klen;
-    let end = vstart + vlen;
-    let out = (&page[kstart..vstart], &page[vstart..end]);
-    *pos = end;
-    out
+    try_decode_entry(page, pos).expect("malformed KV page")
 }
 
 /// A rank-local, paged, spillable sequence of key-value pairs.
@@ -279,5 +352,56 @@ mod tests {
         em.emit(b"a", b"1");
         em.emit(b"b", b"2");
         assert_eq!(em.emitted(), 2);
+    }
+
+    #[test]
+    fn validate_page_accepts_well_formed_pages() {
+        let mut page = Vec::new();
+        encode_entry(&mut page, b"key", b"value");
+        encode_entry(&mut page, b"", b"");
+        encode_entry(&mut page, b"k2", &[7u8; 100]);
+        assert_eq!(validate_page(&page), Ok(3));
+        assert_eq!(validate_page(&[]), Ok(0));
+    }
+
+    #[test]
+    fn truncated_page_yields_typed_error_not_panic() {
+        let mut page = Vec::new();
+        encode_entry(&mut page, b"key", b"value");
+        // Cut into the second entry's payload.
+        encode_entry(&mut page, b"second", b"payload");
+        let cut = page.len() - 3;
+        let err = validate_page(&page[..cut]).unwrap_err();
+        assert!(matches!(err, KvError::Truncated { .. }), "got {err:?}");
+        // Cut inside a header.
+        let err = validate_page(&page[..3]).unwrap_err();
+        assert_eq!(err, KvError::Truncated { at: 0, need: 8, have: 3 });
+    }
+
+    #[test]
+    fn corrupted_length_header_yields_typed_error_not_panic() {
+        let mut page = Vec::new();
+        encode_entry(&mut page, b"abc", b"xyz");
+        // Claim a key far larger than the page.
+        page[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = validate_page(&page).unwrap_err();
+        assert!(matches!(err, KvError::Truncated { at: 0, .. }), "got {err:?}");
+        // Lengths whose sum overflows usize on 32-bit targets are still a
+        // typed error via checked arithmetic (Truncated on 64-bit).
+        let mut pos = 0;
+        assert!(try_decode_entry(&page, &mut pos).is_err());
+        assert_eq!(pos, 0, "position must not advance past a bad entry");
+    }
+
+    #[test]
+    fn decode_entry_round_trips_what_encode_wrote() {
+        let mut page = Vec::new();
+        encode_entry(&mut page, b"k", b"v1");
+        let mut pos = 0;
+        let (k, v) = try_decode_entry(&page, &mut pos).unwrap();
+        assert_eq!((k, v), (&b"k"[..], &b"v1"[..]));
+        assert_eq!(pos, page.len());
+        // Reading past the end is a typed error, not a panic.
+        assert!(try_decode_entry(&page, &mut { page.len() + 1 }).is_err());
     }
 }

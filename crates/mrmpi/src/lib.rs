@@ -58,7 +58,7 @@ pub mod settings;
 pub mod spool;
 
 pub use kmv::KeyMultiValue;
-pub use kv::{KeyValue, KvEmitter};
-pub use mapreduce::{MapReduce, MultiValues};
-pub use sched::MapStyle;
+pub use kv::{KeyValue, KvEmitter, KvError};
+pub use mapreduce::{MapReduce, MrError, MultiValues};
+pub use sched::{FtConfig, MapStyle, SchedError};
 pub use settings::Settings;

@@ -12,12 +12,89 @@ use mpisim::Comm;
 
 use crate::hashfn::{fnv1a, key_owner};
 use crate::kmv::{KeyMultiValue, ValueCursor};
-use crate::kv::{decode_entry, encode_entry, KeyValue, KvEmitter};
-use crate::sched::{assign_and_run, MapStyle};
+use crate::kv::{decode_entry, encode_entry, validate_page, KeyValue, KvEmitter, KvError};
+use crate::sched::{assign_and_run, assign_and_run_ft, FtConfig, MapStyle, SchedError};
 use crate::settings::Settings;
 
 /// Alias for the value cursor handed to reduce callbacks.
 pub type MultiValues<'a> = ValueCursor<'a>;
+
+/// Typed failure of a fault-tolerant MapReduce operation.
+///
+/// The fault-tolerant entry points ([`MapReduce::map_tasks_ft`],
+/// [`MapReduce::try_aggregate`]) guarantee that every live rank returns the
+/// same success/failure verdict: error status is itself combined with an
+/// allreduce before any rank returns, so callers can bail out consistently
+/// without stranding a peer inside a collective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrError {
+    /// The fault-tolerant scheduler failed (worker/master deaths beyond
+    /// recovery, or a unit exhausted its attempt budget).
+    Sched(SchedError),
+    /// A KV page received from another rank failed validation.
+    Corrupt(KvError),
+    /// A cross-rank accounting check failed: data silently went missing
+    /// (e.g. a rank died after the master loop but before reconciliation,
+    /// taking completed output with it).
+    DataLost {
+        /// Which invariant was violated.
+        what: &'static str,
+        /// The count the invariant requires.
+        expected: u64,
+        /// The count actually observed.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for MrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrError::Sched(e) => write!(f, "scheduling failed: {e}"),
+            MrError::Corrupt(e) => write!(f, "corrupt KV page: {e}"),
+            MrError::DataLost { what, expected, got } => {
+                write!(f, "data lost ({what}): expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrError::Sched(e) => Some(e),
+            MrError::Corrupt(e) => Some(e),
+            MrError::DataLost { .. } => None,
+        }
+    }
+}
+
+impl From<SchedError> for MrError {
+    fn from(e: SchedError) -> Self {
+        MrError::Sched(e)
+    }
+}
+
+/// Wire encoding of a [`SchedError`] for the cross-rank error allreduce.
+fn sched_err_code(e: &SchedError) -> f64 {
+    match e {
+        SchedError::Aborted { .. } => 1.0,
+        SchedError::MasterUnreachable => 2.0,
+        SchedError::MasterDied => 3.0,
+        SchedError::AllWorkersDead => 4.0,
+    }
+}
+
+/// Inverse of [`sched_err_code`] for ranks that only learn of the failure
+/// through the allreduce (the unit detail, if any, stays on the rank that
+/// observed it).
+fn sched_err_decode(code: u32) -> SchedError {
+    match code {
+        1 => SchedError::Aborted { unit: u64::MAX },
+        2 => SchedError::MasterUnreachable,
+        3 => SchedError::MasterDied,
+        _ => SchedError::AllWorkersDead,
+    }
+}
 
 /// Counters reported by [`MapReduce::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -127,6 +204,73 @@ impl<'c> MapReduce<'c> {
         self.global_count(local)
     }
 
+    /// Collective. Like [`MapReduce::map_tasks`] with the master-worker
+    /// style, but scheduled **fault-tolerantly**: worker deaths are detected,
+    /// their units (in flight *and* already completed — the emitted pairs
+    /// died with the rank) are re-dispatched to survivors, and the run ends
+    /// with a cross-rank reconciliation proving every unit contributed to
+    /// the surviving output exactly once.
+    ///
+    /// Every live rank returns the same `Ok`/`Err` verdict. On `Err` the
+    /// engine holds no KV dataset.
+    ///
+    /// Returns the global number of emitted pairs on the surviving ranks.
+    pub fn map_tasks_ft(
+        &mut self,
+        ntasks: usize,
+        cfg: &FtConfig,
+        f: &mut dyn FnMut(usize, &mut KvEmitter<'_>),
+    ) -> Result<u64, MrError> {
+        if let Some(old) = self.kmv.take() {
+            self.retire_kmv(&old);
+        }
+        if let Some(old) = self.kv.take() {
+            self.retire_kv(&old);
+        }
+        let mut kv = KeyValue::new(&self.settings);
+        let sched = assign_and_run_ft(self.comm, ntasks, cfg, |task| {
+            let mut em = KvEmitter::new(&mut kv);
+            f(task, &mut em);
+        });
+        if self.comm.size() == 1 {
+            sched?;
+            let n = kv.npairs();
+            self.kv = Some(kv);
+            return Ok(n);
+        }
+        // Reconciliation: every rank participates in the same two
+        // allreduces regardless of its local verdict, so survivors cannot
+        // deadlock waiting for a rank that bailed out early. Dead ranks are
+        // skipped by the collective layer — which is exactly the check:
+        // units executed by a rank that died after the master loop vanish
+        // from the sum and surface as `DataLost`.
+        let (local_units, local_err) = match &sched {
+            Ok(units) => (units.len() as f64, 0.0),
+            Err(e) => (0.0, sched_err_code(e)),
+        };
+        let mut sums = [0.0f64; 2];
+        self.comm
+            .allreduce_f64(&[kv.npairs() as f64, local_units], &mut sums, mpisim::ReduceOp::Sum);
+        let mut err = [0.0f64];
+        self.comm.allreduce_f64(&[local_err], &mut err, mpisim::ReduceOp::Max);
+        if err[0] != 0.0 {
+            return Err(MrError::Sched(match sched {
+                Err(e) => e,
+                Ok(_) => sched_err_decode(err[0] as u32),
+            }));
+        }
+        let global_units = sums[1].round() as u64;
+        if global_units != ntasks as u64 {
+            return Err(MrError::DataLost {
+                what: "map units after fault recovery",
+                expected: ntasks as u64,
+                got: global_units,
+            });
+        }
+        self.kv = Some(kv);
+        Ok(sums[0] as u64)
+    }
+
     /// Collective. Transform the existing KV pair-by-pair into a new KV.
     /// Purely local (no communication). Returns the global pair count of the
     /// new dataset.
@@ -221,6 +365,135 @@ impl<'c> MapReduce<'c> {
         let local = incoming.npairs();
         self.kv = Some(incoming);
         self.global_count(local)
+    }
+
+    /// Collective. [`MapReduce::aggregate`] with end-to-end accounting:
+    /// every page received from a peer is validated before it is spliced in
+    /// (truncation/corruption surfaces as [`MrError::Corrupt`], never a
+    /// panic), and the global pair count must be conserved across the
+    /// shuffle ([`MrError::DataLost`] otherwise — e.g. a rank died between
+    /// the map and the exchange, taking its pairs with it).
+    ///
+    /// Every live rank returns the same `Ok`/`Err` verdict. On `Err` the
+    /// engine holds no KV dataset.
+    ///
+    /// # Panics
+    /// Panics if no KV dataset exists.
+    pub fn try_aggregate(&mut self) -> Result<u64, MrError> {
+        let size = self.comm.size();
+        let kv = self.kv.take().expect("aggregate requires a KV dataset");
+        if size == 1 {
+            let n = kv.npairs();
+            self.kv = Some(kv);
+            return Ok(n);
+        }
+
+        let before = self.global_count(kv.npairs());
+
+        // Agree on the set of live ranks (Min over everyone's liveness
+        // view), and partition keys over *that* — a pair hashed to a dead
+        // rank would silently vanish. A rank dying after this agreement is
+        // not recovered, but the conservation check below still catches it.
+        let my_view: Vec<f64> =
+            (0..size).map(|r| if self.comm.is_alive(r) { 1.0 } else { 0.0 }).collect();
+        let mut alive = vec![0.0f64; size];
+        self.comm.allreduce_f64(&my_view, &mut alive, mpisim::ReduceOp::Min);
+        let live: Vec<usize> = (0..size).filter(|&r| alive[r] == 1.0).collect();
+
+        let local_pages = kv.num_pages() as f64;
+        let mut max_pages = [0.0f64];
+        self.comm.allreduce_f64(&[local_pages], &mut max_pages, mpisim::ReduceOp::Max);
+        let rounds = max_pages[0] as usize;
+
+        let mut incoming = KeyValue::new(&self.settings);
+        // First problem seen locally; the exchange still runs to completion
+        // so every rank executes the same collective sequence.
+        let mut local_err: Option<MrError> = None;
+
+        for round in 0..rounds {
+            let mut sends: Vec<Vec<u8>> = vec![Vec::new(); size];
+            let mut counts: Vec<u64> = vec![0; size];
+            if let Some(page) = kv.page_at(round) {
+                let mut pos = 0;
+                while pos < page.len() {
+                    let (k, v) = decode_entry(&page, &mut pos);
+                    let owner = live[key_owner(k, live.len())];
+                    encode_entry(&mut sends[owner], k, v);
+                    counts[owner] += 1;
+                }
+            }
+            let sends: Vec<Vec<u8>> = sends
+                .into_iter()
+                .zip(&counts)
+                .map(|(buf, &n)| {
+                    let mut msg = Vec::with_capacity(8 + buf.len());
+                    msg.extend_from_slice(&n.to_le_bytes());
+                    msg.extend_from_slice(&buf);
+                    msg
+                })
+                .collect();
+            let received = self.comm.alltoallv(sends);
+            for msg in received {
+                if msg.is_empty() {
+                    continue; // a dead rank's non-contribution
+                }
+                if msg.len() < 8 {
+                    local_err.get_or_insert(MrError::DataLost {
+                        what: "aggregate message prefix",
+                        expected: 8,
+                        got: msg.len() as u64,
+                    });
+                    continue;
+                }
+                let declared = u64::from_le_bytes(msg[..8].try_into().expect("count"));
+                match validate_page(&msg[8..]) {
+                    Ok(actual) if actual == declared => {
+                        if actual > 0 {
+                            incoming.add_encoded_page(msg[8..].to_vec(), actual);
+                        }
+                    }
+                    Ok(actual) => {
+                        local_err.get_or_insert(MrError::DataLost {
+                            what: "aggregate page header count",
+                            expected: declared,
+                            got: actual,
+                        });
+                    }
+                    Err(e) => {
+                        local_err.get_or_insert(MrError::Corrupt(e));
+                    }
+                }
+            }
+        }
+
+        // Reconciliation: combine local verdicts and the post-shuffle pair
+        // count in one allreduce so every rank agrees on the outcome.
+        let mut sums = [0.0f64; 2];
+        let flag = if local_err.is_some() { 1.0 } else { 0.0 };
+        self.comm.allreduce_f64(
+            &[incoming.npairs() as f64, flag],
+            &mut sums,
+            mpisim::ReduceOp::Sum,
+        );
+        if sums[1] != 0.0 {
+            return Err(local_err.unwrap_or(MrError::DataLost {
+                what: "aggregate (corrupt page on another rank)",
+                expected: 0,
+                got: sums[1] as u64,
+            }));
+        }
+        let after = sums[0] as u64;
+        if after != before {
+            return Err(MrError::DataLost {
+                what: "aggregate pair conservation",
+                expected: before,
+                got: after,
+            });
+        }
+
+        self.retire_kv(&kv);
+        self.kv = Some(incoming);
+        Ok(before)
     }
 
     /// Local (but conventionally called on all ranks). Group the local KV by
@@ -729,5 +1002,88 @@ mod tests {
         });
         // Key "k" groups on one rank with both values.
         assert!(results.contains(&2));
+    }
+
+    // ---- fault-tolerant operations ----
+
+    use crate::sched::FtConfig;
+    use mpisim::{FaultPlan, RankOutcome};
+
+    #[test]
+    fn map_tasks_ft_without_faults_matches_map_tasks() {
+        let results = World::new(4).run(|comm| {
+            let mut mr = MapReduce::new(comm);
+            let n = mr
+                .map_tasks_ft(30, &FtConfig::default(), &mut |t, kv| {
+                    kv.emit(&(t as u64).to_le_bytes(), b"done");
+                })
+                .expect("no faults injected");
+            n
+        });
+        assert_eq!(results, vec![30, 30, 30, 30]);
+    }
+
+    #[test]
+    fn map_tasks_ft_recovers_all_pairs_after_a_worker_death() {
+        // Rank 2 dies on its first operation; every one of the 24 units must
+        // still contribute exactly one pair to the surviving global KV.
+        let plan = FaultPlan::new(17).kill(2, 0.0);
+        let outcomes = World::new(4).with_faults(plan).run_faulty(|comm| {
+            let mut mr = MapReduce::new(comm);
+            let n = mr.map_tasks_ft(24, &FtConfig::default(), &mut |t, kv| {
+                kv.emit(&(t as u64).to_le_bytes(), b"x");
+            })?;
+            // The shuffle must also conserve all 24 pairs.
+            let after = mr.try_aggregate()?;
+            Ok::<(u64, u64), MrError>((n, after))
+        });
+        assert!(outcomes[2].is_died());
+        for (rank, o) in outcomes.iter().enumerate() {
+            if rank == 2 {
+                continue;
+            }
+            match o {
+                RankOutcome::Done(Ok((n, after))) => {
+                    assert_eq!((*n, *after), (24, 24), "rank {rank}");
+                }
+                other => panic!("rank {rank}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn map_tasks_ft_reports_consistent_error_when_all_workers_die() {
+        let plan = FaultPlan::new(29).kill(1, 0.0).kill(2, 0.0);
+        let outcomes = World::new(3).with_faults(plan).run_faulty(|comm| {
+            let mut mr = MapReduce::new(comm);
+            mr.map_tasks_ft(8, &FtConfig::default(), &mut |_, kv| kv.emit(b"k", b"v"))
+        });
+        match &outcomes[0] {
+            RankOutcome::Done(Err(MrError::Sched(SchedError::AllWorkersDead))) => {}
+            other => panic!("master outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_aggregate_matches_aggregate_when_healthy() {
+        let results = World::new(3).run(|comm| {
+            let mut mr = MapReduce::new(comm);
+            mr.map_tasks(12, MapStyle::RoundRobin, &mut |t, kv| {
+                kv.emit(&[(t % 5) as u8], &(t as u64).to_le_bytes());
+            });
+            let n = mr.try_aggregate().expect("healthy world");
+            // All pairs for one key live on one rank now.
+            let mut local = std::collections::HashMap::<u8, usize>::new();
+            mr.kv_for_each(|k, _| *local.entry(k[0]).or_default() += 1);
+            (n, local)
+        });
+        assert!(results.iter().all(|(n, _)| *n == 12));
+        let mut merged = std::collections::HashMap::<u8, usize>::new();
+        for (_, local) in &results {
+            for (k, c) in local {
+                assert!(merged.insert(*k, *c).is_none(), "key {k} split across ranks");
+            }
+        }
+        assert_eq!(merged.values().sum::<usize>(), 12);
     }
 }

@@ -14,7 +14,9 @@
 //! In a world of one rank every style degenerates to running all tasks
 //! locally.
 
-use mpisim::{Comm, ANY_SOURCE};
+use std::time::Duration;
+
+use mpisim::{Comm, MpiError, ANY_SOURCE};
 
 /// Tag for a worker's "give me work" request.
 const TAG_REQ: u32 = 0x4D52_0001;
@@ -23,6 +25,20 @@ const TAG_TASK: u32 = 0x4D52_0002;
 
 /// Sentinel index meaning "no more tasks".
 const DONE: u64 = u64::MAX;
+/// Sentinel index meaning "the run is being abandoned" (fault-tolerant
+/// scheduler only).
+const ABORT: u64 = u64::MAX - 1;
+/// Sentinel for "no unit completed yet" in a worker's request.
+const NO_UNIT: u64 = u64::MAX - 2;
+/// Sentinel `completed` value confirming receipt of `DONE`/`ABORT`
+/// (fault-tolerant scheduler only). The master keeps answering
+/// retransmissions until every live worker has said farewell, so a dropped
+/// termination reply cannot strand a worker.
+const FAREWELL: u64 = u64::MAX - 3;
+/// Sentinel reply telling a parked worker "no work yet, but I am alive"
+/// (fault-tolerant scheduler only); resets the worker's retry budget so a
+/// long-running unit elsewhere cannot exhaust it.
+const WAIT: u64 = u64::MAX - 4;
 
 /// Task-to-rank assignment policy for [`crate::MapReduce::map_tasks`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,6 +226,401 @@ fn affinity_master_loop(comm: &Comm, affinity: &[usize]) {
     }
 }
 
+// ----------------------------------------------------------------------
+// Fault-tolerant master-worker scheduling
+// ----------------------------------------------------------------------
+
+/// Tuning knobs of the fault-tolerant scheduler ([`assign_and_run_ft`]).
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// Per-request wall-clock timeout for a worker waiting on the master's
+    /// reply (and for the master waiting on requests). This is the liveness
+    /// backstop that bounds every blocking wait; it is not charged to the
+    /// virtual clock.
+    pub rpc_timeout: Duration,
+    /// How many times a worker re-sends one request before concluding the
+    /// master is unreachable.
+    pub max_rpc_retries: usize,
+    /// How many times one work unit may be dispatched (first dispatch
+    /// included) before the master aborts the whole run.
+    pub max_attempts: usize,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            rpc_timeout: Duration::from_millis(200),
+            max_rpc_retries: 150,
+            max_attempts: 8,
+        }
+    }
+}
+
+/// Typed failure of a fault-tolerant scheduled run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The master exhausted [`FtConfig::max_attempts`] dispatches of `unit`
+    /// and abandoned the run.
+    Aborted {
+        /// The unit that kept failing.
+        unit: u64,
+    },
+    /// A worker could not reach the master within its retry budget.
+    MasterUnreachable,
+    /// The master rank died; workers cannot make progress.
+    MasterDied,
+    /// Every worker died before all units completed.
+    AllWorkersDead,
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::Aborted { unit } => {
+                write!(f, "work unit {unit} exceeded its dispatch-attempt budget; run aborted")
+            }
+            SchedError::MasterUnreachable => write!(f, "master did not answer within the retry budget"),
+            SchedError::MasterDied => write!(f, "master rank died"),
+            SchedError::AllWorkersDead => write!(f, "all workers died with work outstanding"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Dynamic master-worker scheduling that survives worker deaths.
+///
+/// Protocol (at-least-once RPC with master-side dedup, so dropped or delayed
+/// messages are harmless):
+///
+/// * a worker's request carries `[seq, last_completed]`; it re-sends the same
+///   request on timeout, and the master de-duplicates by `seq` (re-sending
+///   its cached reply), so a completion is recorded exactly once;
+/// * the master's reply carries `[seq_echo, code]` where `code` is a unit
+///   index, `DONE`, or `ABORT`; the worker discards replies whose echo does
+///   not match its current request.
+///
+/// Fault handling (fail-stop workers, perfect detection via the fault
+/// board):
+///
+/// * a unit is re-dispatched **only** when the worker that owns it is
+///   confirmed dead — never on mere timeout suspicion, which would duplicate
+///   the output of a slow-but-alive worker;
+/// * when a worker dies, *every* unit whose output lives on it (in flight
+///   **and** already completed — the emitted pairs died with the rank) goes
+///   back in the queue;
+/// * `DONE` is only sent once every unit is completed and owned by a live
+///   worker, so from the output's point of view each unit ran exactly once;
+/// * a unit dispatched more than [`FtConfig::max_attempts`] times aborts the
+///   run with a typed error on every rank — no hang, no silent loss.
+///
+/// The master rank itself is assumed to survive (rank 0 is the coordinator,
+/// as in the original MR-MPI master-worker mapstyle); if it dies, workers
+/// report [`SchedError::MasterDied`].
+///
+/// Returns the unit indices executed locally, in execution order.
+pub fn assign_and_run_ft(
+    comm: &Comm,
+    ntasks: usize,
+    cfg: &FtConfig,
+    mut run: impl FnMut(usize),
+) -> Result<Vec<usize>, SchedError> {
+    if comm.size() == 1 {
+        let mut mine = Vec::new();
+        for t in 0..ntasks {
+            run(t);
+            mine.push(t);
+        }
+        return Ok(mine);
+    }
+    if comm.rank() == 0 {
+        ft_master_loop(comm, ntasks, cfg).map(|()| Vec::new())
+    } else {
+        ft_worker_loop(comm, cfg, &mut run)
+    }
+}
+
+/// Master bookkeeping for one fault-tolerant run.
+struct FtMaster<'c> {
+    comm: &'c Comm,
+    max_attempts: usize,
+    pending: std::collections::VecDeque<u64>,
+    /// Completion flag per unit; a unit owned by a dead worker is un-done.
+    done: Vec<bool>,
+    ndone: usize,
+    /// Unit currently running on each worker.
+    inflight: std::collections::HashMap<usize, u64>,
+    /// Completed units whose output lives on each worker.
+    owned: std::collections::HashMap<usize, Vec<u64>>,
+    /// Dispatch attempts per unit.
+    attempts: Vec<usize>,
+    /// Highest request sequence number seen per worker, with the cached
+    /// reply for duplicate-request retransmission.
+    last: std::collections::HashMap<usize, (u64, Option<[u64; 2]>)>,
+    /// Workers waiting for work while the queue is empty but units are
+    /// still outstanding on other workers.
+    parked: Vec<(usize, u64)>,
+    retired: std::collections::HashSet<usize>,
+    known_dead: std::collections::HashSet<usize>,
+    abort: Option<u64>,
+}
+
+impl FtMaster<'_> {
+    fn reply(&mut self, worker: usize, payload: [u64; 2]) {
+        self.last.insert(worker, (payload[0], Some(payload)));
+        self.comm.send_u64s(worker, TAG_TASK, &payload);
+    }
+
+    /// Answer `worker`'s request `seq`: hand out a unit, tell it the run is
+    /// over, or park it until outstanding units resolve. Retirement is *not*
+    /// recorded here — only a [`FAREWELL`] confirms the worker actually
+    /// received a termination reply.
+    fn serve(&mut self, worker: usize, seq: u64) {
+        if self.abort.is_some() {
+            self.reply(worker, [seq, ABORT]);
+            return;
+        }
+        if let Some(unit) = self.pending.pop_front() {
+            self.attempts[unit as usize] += 1;
+            if self.attempts[unit as usize] > self.max_attempts {
+                self.abort = Some(unit);
+                self.reply(worker, [seq, ABORT]);
+                self.flush_parked();
+                return;
+            }
+            self.inflight.insert(worker, unit);
+            self.reply(worker, [seq, unit]);
+        } else if self.ndone == self.done.len() {
+            self.reply(worker, [seq, DONE]);
+        } else {
+            self.last.insert(worker, (seq, None));
+            self.parked.push((worker, seq));
+        }
+    }
+
+    /// Re-serve every parked worker after the queue or completion state
+    /// changed (requeue after a death, last unit completed, abort).
+    fn flush_parked(&mut self) {
+        let parked = std::mem::take(&mut self.parked);
+        for (worker, seq) in parked {
+            if self.known_dead.contains(&worker) {
+                continue;
+            }
+            self.serve(worker, seq);
+        }
+    }
+
+    /// Detect newly-dead workers and reclaim everything they owned: the
+    /// in-flight unit and all completed units (their output died with the
+    /// rank) go back to the pending queue.
+    fn reap_deaths(&mut self) {
+        for worker in 1..self.comm.size() {
+            if self.comm.is_alive(worker) || self.known_dead.contains(&worker) {
+                continue;
+            }
+            self.known_dead.insert(worker);
+            self.retired.remove(&worker);
+            self.parked.retain(|&(w, _)| w != worker);
+            let mut reclaimed = Vec::new();
+            if let Some(unit) = self.inflight.remove(&worker) {
+                reclaimed.push(unit);
+            }
+            for unit in self.owned.remove(&worker).unwrap_or_default() {
+                self.done[unit as usize] = false;
+                self.ndone -= 1;
+                reclaimed.push(unit);
+            }
+            self.pending.extend(reclaimed);
+        }
+        if !self.pending.is_empty() || self.ndone == self.done.len() {
+            self.flush_parked();
+        }
+    }
+
+    fn handle_request(&mut self, worker: usize, seq: u64, completed: u64) {
+        if self.known_dead.contains(&worker) {
+            return; // request queued before the death; its sender is gone
+        }
+        if let Some(&(last_seq, cached)) = self.last.get(&worker) {
+            if last_seq == seq {
+                // Duplicate of a request already seen: re-send the cached
+                // reply (the original may have been dropped). A parked
+                // worker has no reply yet; answer WAIT (uncached — the real
+                // assignment will come through `flush_parked`) so its retry
+                // budget survives arbitrarily long units elsewhere.
+                match cached {
+                    Some(payload) => self.comm.send_u64s(worker, TAG_TASK, &payload),
+                    None => self.comm.send_u64s(worker, TAG_TASK, &[seq, WAIT]),
+                }
+                return;
+            }
+        }
+        if completed == FAREWELL {
+            self.retired.insert(worker);
+            self.reply(worker, [seq, DONE]);
+            return;
+        }
+        self.last.insert(worker, (seq, None));
+        if completed != NO_UNIT && self.inflight.get(&worker) == Some(&completed) {
+            self.inflight.remove(&worker);
+            self.done[completed as usize] = true;
+            self.ndone += 1;
+            self.owned.entry(worker).or_default().push(completed);
+            if self.ndone == self.done.len() {
+                self.flush_parked();
+            }
+        }
+        self.serve(worker, seq);
+    }
+
+    fn live_workers_all_retired(&self) -> (usize, bool) {
+        let mut live = 0;
+        let mut all_retired = true;
+        for worker in 1..self.comm.size() {
+            if self.known_dead.contains(&worker) {
+                continue;
+            }
+            live += 1;
+            if !self.retired.contains(&worker) {
+                all_retired = false;
+            }
+        }
+        (live, all_retired)
+    }
+}
+
+fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<(), SchedError> {
+    let mut m = FtMaster {
+        comm,
+        max_attempts: cfg.max_attempts,
+        pending: (0..ntasks as u64).collect(),
+        done: vec![false; ntasks],
+        ndone: 0,
+        inflight: Default::default(),
+        owned: Default::default(),
+        attempts: vec![0; ntasks],
+        last: Default::default(),
+        parked: Vec::new(),
+        retired: Default::default(),
+        known_dead: Default::default(),
+        abort: None,
+    };
+    // Consecutive quiet ticks tolerated once no unit can still be running:
+    // a live worker retries at least once per `rpc_timeout`, so a longer
+    // silence means every unconfirmed worker is gone (e.g. its farewell and
+    // all retransmissions were dropped).
+    let quiet_limit = cfg.max_rpc_retries + 5;
+    let mut quiet = 0usize;
+    loop {
+        m.reap_deaths();
+        let (live, all_confirmed) = m.live_workers_all_retired();
+        let finish = |m: &FtMaster| match m.abort {
+            Some(unit) => Err(SchedError::Aborted { unit }),
+            None if m.ndone == ntasks => Ok(()),
+            // Outstanding units with nobody left to run them (workers died
+            // after confirming, taking completed output with them).
+            None => Err(SchedError::AllWorkersDead),
+        };
+        if live == 0 || all_confirmed {
+            return finish(&m);
+        }
+        // No unit can be mid-execution once every unit is done, or once the
+        // run aborted with nothing in flight — only (bounded) termination
+        // chatter remains, so prolonged silence is safe to act on.
+        let drained = m.ndone == ntasks || (m.abort.is_some() && m.inflight.is_empty());
+        if drained && quiet > quiet_limit {
+            return finish(&m);
+        }
+        match comm.recv_timeout(ANY_SOURCE, TAG_REQ, cfg.rpc_timeout) {
+            Ok(msg) => {
+                quiet = 0;
+                let req = mpisim::wire::bytes_to_u64s(&msg.data);
+                m.handle_request(msg.status.source, req[0], req[1]);
+            }
+            Err(MpiError::TimedOut) => quiet += 1,
+            // A death interrupted the wait or every worker is gone: loop
+            // back to reap and re-evaluate.
+            Err(MpiError::Interrupted) | Err(MpiError::RankDead { .. }) => quiet = 0,
+            Err(e) => panic!("ft master recv: {e}"),
+        }
+    }
+}
+
+/// One at-least-once request round: send `[seq, completed]`, resend on
+/// timeout (master-side dedup makes this harmless), and return the reply
+/// code whose sequence echo matches.
+fn ft_request(
+    comm: &Comm,
+    cfg: &FtConfig,
+    seq: u64,
+    completed: u64,
+) -> Result<u64, SchedError> {
+    let mut resends = 0usize;
+    let mut need_send = true;
+    loop {
+        if need_send {
+            comm.send_u64s(0, TAG_REQ, &[seq, completed]);
+            need_send = false;
+        }
+        match comm.recv_timeout(0, TAG_TASK, cfg.rpc_timeout) {
+            Ok(msg) => {
+                let reply = mpisim::wire::bytes_to_u64s(&msg.data);
+                if reply[0] != seq {
+                    continue; // stale echo of an earlier request: discard
+                }
+                if reply[1] == WAIT {
+                    // Master is alive but has nothing to hand out yet; the
+                    // real assignment will be pushed when one frees up.
+                    resends = 0;
+                    continue;
+                }
+                return Ok(reply[1]);
+            }
+            Err(MpiError::RankDead { .. }) => return Err(SchedError::MasterDied),
+            Err(MpiError::TimedOut) => {
+                resends += 1;
+                if resends > cfg.max_rpc_retries {
+                    return Err(SchedError::MasterUnreachable);
+                }
+                need_send = true;
+            }
+            // Another rank died; our request may still be answered.
+            Err(MpiError::Interrupted) => {}
+            Err(e) => panic!("ft worker recv: {e}"),
+        }
+    }
+}
+
+fn ft_worker_loop(
+    comm: &Comm,
+    cfg: &FtConfig,
+    run: &mut dyn FnMut(usize),
+) -> Result<Vec<usize>, SchedError> {
+    let mut mine = Vec::new();
+    let mut seq = 0u64;
+    let mut completed = NO_UNIT;
+    let outcome = loop {
+        seq += 1;
+        match ft_request(comm, cfg, seq, completed)? {
+            DONE => break Ok(mine),
+            // Workers don't learn which unit exhausted its budget; the
+            // master's own return value carries it.
+            ABORT => break Err(SchedError::Aborted { unit: u64::MAX }),
+            unit => {
+                run(unit as usize);
+                mine.push(unit as usize);
+                completed = unit;
+            }
+        }
+    };
+    // Confirm we saw the termination reply so the master can stop serving
+    // retransmissions. Best-effort: if the master is already gone (or the
+    // farewell keeps getting dropped), we still return our result.
+    seq += 1;
+    let _ = ft_request(comm, cfg, seq, FAREWELL);
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,5 +765,170 @@ mod tests {
         // most all work on one worker.
         assert!(makespan >= total / 2.0, "impossibly fast: {makespan}");
         assert!(makespan <= total + 1e-9, "worse than serial: {makespan}");
+    }
+
+    // ---- fault-tolerant scheduler ----
+
+    use mpisim::{FaultPlan, RankOutcome};
+    use std::sync::Arc as StdArc;
+
+    /// Run `assign_and_run_ft` under `plan` and return, per rank, either the
+    /// locally executed unit list or the death time.
+    fn ft_run(
+        size: usize,
+        ntasks: usize,
+        plan: Option<FaultPlan>,
+    ) -> Vec<RankOutcome<Result<Vec<usize>, SchedError>>> {
+        let mut world = World::new(size);
+        if let Some(p) = plan {
+            world = world.with_faults(p);
+        }
+        let world = world;
+        world.run_faulty(move |comm| {
+            assign_and_run_ft(comm, ntasks, &FtConfig::default(), |_| {})
+        })
+    }
+
+    /// Collect the union of executed units across surviving workers and
+    /// assert it is an exact partition of `0..ntasks`.
+    fn assert_exact_partition(
+        outcomes: &[RankOutcome<Result<Vec<usize>, SchedError>>],
+        ntasks: usize,
+    ) {
+        let mut count = vec![0usize; ntasks];
+        for o in outcomes {
+            if let RankOutcome::Done(Ok(units)) = o {
+                for &u in units {
+                    count[u] += 1;
+                }
+            }
+        }
+        for (u, &c) in count.iter().enumerate() {
+            assert_eq!(c, 1, "unit {u} executed {c} times from the survivors' view");
+        }
+    }
+
+    #[test]
+    fn ft_no_faults_matches_plain_master_worker_semantics() {
+        let outcomes = ft_run(4, 13, None);
+        for o in &outcomes {
+            assert!(matches!(o, RankOutcome::Done(Ok(_))));
+        }
+        assert_exact_partition(&outcomes, 13);
+    }
+
+    #[test]
+    fn ft_single_rank_runs_everything_locally() {
+        let outcomes = ft_run(1, 5, None);
+        match &outcomes[0] {
+            RankOutcome::Done(Ok(units)) => assert_eq!(units, &[0, 1, 2, 3, 4]),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ft_one_worker_death_redispatches_its_units() {
+        // Rank 2 dies almost immediately; its in-flight unit and anything it
+        // had completed must be re-run by the survivors.
+        let plan = FaultPlan::new(11).kill(2, 0.0);
+        let outcomes = ft_run(4, 20, Some(plan));
+        assert!(outcomes[2].is_died(), "rank 2 should have died");
+        assert!(matches!(&outcomes[0], RankOutcome::Done(Ok(_))));
+        assert_exact_partition(&outcomes, 20);
+    }
+
+    #[test]
+    fn ft_two_worker_deaths_still_complete_every_unit() {
+        let plan = FaultPlan::new(23).kill(1, 0.0).kill(3, 0.0);
+        let outcomes = ft_run(5, 24, Some(plan));
+        assert!(outcomes[1].is_died() && outcomes[3].is_died());
+        assert!(matches!(&outcomes[0], RankOutcome::Done(Ok(_))));
+        assert_exact_partition(&outcomes, 24);
+    }
+
+    #[test]
+    fn ft_death_mid_run_unwinds_completed_units_too() {
+        // Kill late enough (virtual time) that rank 1 has completed several
+        // units before dying: every one of them must be re-executed because
+        // its output died with the rank. Each unit charges 1 virtual second,
+        // so rank 1 dies after finishing a handful.
+        let plan = FaultPlan::new(7).kill(1, 5.5);
+        let world = World::new(3).with_faults(plan);
+        let outcomes = world.run_faulty(move |comm| {
+            assign_and_run_ft(comm, 12, &FtConfig::default(), |_| comm.charge(1.0))
+        });
+        assert!(outcomes[1].is_died());
+        assert_exact_partition(&outcomes, 12);
+    }
+
+    #[test]
+    fn ft_all_workers_dead_yields_typed_error_not_hang() {
+        let plan = FaultPlan::new(3).kill(1, 0.0).kill(2, 0.0);
+        let outcomes = ft_run(3, 9, Some(plan));
+        assert!(outcomes[1].is_died() && outcomes[2].is_died());
+        match &outcomes[0] {
+            RankOutcome::Done(Err(SchedError::AllWorkersDead)) => {}
+            other => panic!("master should report AllWorkersDead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ft_message_drops_are_survived_by_retransmission() {
+        // Drop half of all traffic in both directions between master and
+        // worker 1. The at-least-once RPC layer must still complete the run
+        // without duplicating any unit.
+        let plan = FaultPlan::new(99)
+            .drop_p2p(1, 0, 0.5)
+            .drop_p2p(0, 1, 0.5);
+        let outcomes = ft_run(3, 16, Some(plan));
+        for o in &outcomes {
+            assert!(matches!(o, RankOutcome::Done(Ok(_))), "outcome: {o:?}");
+        }
+        assert_exact_partition(&outcomes, 16);
+    }
+
+    #[test]
+    fn ft_zero_tasks_terminates_cleanly() {
+        let outcomes = ft_run(3, 0, None);
+        for o in &outcomes {
+            assert!(matches!(o, RankOutcome::Done(Ok(units)) if units.is_empty()));
+        }
+    }
+
+    #[test]
+    fn ft_run_is_deterministic_for_a_fixed_fault_seed() {
+        // Same plan, same seed: the set of survivors and the executed-unit
+        // partition invariant hold on every run (the *assignment* may differ
+        // across runs — only the output-visible contract is deterministic).
+        for _ in 0..3 {
+            let plan = FaultPlan::new(41).kill(2, 0.0).drop_p2p(1, 0, 0.3);
+            let outcomes = ft_run(4, 18, Some(plan));
+            assert!(outcomes[2].is_died());
+            assert_exact_partition(&outcomes, 18);
+        }
+    }
+
+    #[test]
+    fn ft_worker_reports_master_death() {
+        let plan = FaultPlan::new(5).kill(0, 0.0);
+        let world = World::new(3).with_faults(plan);
+        let outcomes = world.run_faulty(move |comm| {
+            assign_and_run_ft(comm, 6, &FtConfig::default(), |_| {})
+        });
+        assert!(outcomes[0].is_died());
+        for o in &outcomes[1..] {
+            match o {
+                RankOutcome::Done(Err(SchedError::MasterDied)) => {}
+                other => panic!("worker should report MasterDied, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ft_config_default_is_bounded() {
+        let cfg = FtConfig::default();
+        assert!(cfg.rpc_timeout > Duration::ZERO);
+        assert!(cfg.max_rpc_retries > 0 && cfg.max_attempts > 0);
+        let _ = StdArc::new(cfg); // Clone + Send across rank closures
     }
 }

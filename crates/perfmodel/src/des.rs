@@ -52,6 +52,9 @@ pub struct SimResult {
     pub warm_loads: u64,
     /// Total search seconds across workers (the "useful" work).
     pub total_search_s: f64,
+    /// Work units executed more than once because their worker died — the
+    /// re-dispatch cost of fault recovery (0 for the fault-free simulators).
+    pub redispatched: u64,
     /// Cores the run was charged for (workers + dedicated master if any).
     pub cores: usize,
 }
@@ -217,6 +220,7 @@ pub fn simulate_master_worker(
         cold_loads: cold,
         warm_loads: warm,
         total_search_s: total_search,
+        redispatched: 0,
         cores,
     }
 }
@@ -297,6 +301,163 @@ pub fn simulate_master_worker_affinity(
         cold_loads: cold,
         warm_loads: warm,
         total_search_s: total_search,
+        redispatched: 0,
+        cores,
+    }
+}
+
+/// A scheduled fail-stop worker failure for
+/// [`simulate_master_worker_faulty`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Failure {
+    /// Worker index (0-based over the `cores − 1` workers).
+    pub worker: usize,
+    /// Virtual time at which the worker dies, in seconds.
+    pub at_s: f64,
+}
+
+/// Simulate the master-worker schedule under fail-stop worker deaths with
+/// re-dispatch, mirroring the recovery protocol in `mrmpi::sched`:
+///
+/// * a worker that dies loses its in-flight unit **and every unit it had
+///   already completed** (the emitted key-values die with the rank), all of
+///   which the master re-dispatches to survivors once the death is detected
+///   `detect_s` seconds later;
+/// * deaths after the last unit completes change nothing (the run's output
+///   has already been reconciled);
+/// * `SimResult::redispatched` counts the units that had to be redone —
+///   the recovery cost on top of the fault-free makespan.
+///
+/// `total_search_s` and the busy intervals count *completed* executions
+/// only (re-runs included); compute cut short by a death is not charged.
+///
+/// # Panics
+/// Panics if fewer than 2 cores are requested, if a failure names a
+/// nonexistent worker, or if every worker dies with units unfinished (the
+/// protocol's `AllWorkersDead` outcome — the model has no makespan then).
+pub fn simulate_master_worker_faulty(
+    cluster: &ClusterModel,
+    cores: usize,
+    tasks: &[Task],
+    partition_gb: f64,
+    failures: &[Failure],
+    detect_s: f64,
+) -> SimResult {
+    assert!(cores >= 2, "master-worker needs >= 2 cores");
+    let workers = cores - 1;
+    let mut loads = LoadModel::new(cluster, cores, partition_gb);
+    let (mut cold, mut warm) = (0u64, 0u64);
+
+    // Event queue: (time, kind, worker). At equal times deaths precede
+    // completions; since a dead worker's completed units are re-dispatched
+    // anyway, the tie-break cannot change which work is redone — it only
+    // keeps the trace deterministic.
+    const EV_DEATH: u8 = 0;
+    const EV_FREE: u8 = 1;
+    const EV_WAKE: u8 = 2;
+    let mut events: std::collections::BinaryHeap<std::cmp::Reverse<(OrdF64, u8, usize)>> =
+        std::collections::BinaryHeap::new();
+    for f in failures {
+        assert!(f.worker < workers, "failure names worker {} of {workers}", f.worker);
+        events.push(std::cmp::Reverse((OrdF64(f.at_s), EV_DEATH, f.worker)));
+    }
+    events.push(std::cmp::Reverse((OrdF64(0.0), EV_WAKE, 0)));
+
+    // Unit pool ordered by (available-from, index): re-dispatched units
+    // only become available once the master has detected the death.
+    let mut pool: std::collections::BinaryHeap<std::cmp::Reverse<(OrdF64, usize)>> =
+        (0..tasks.len()).map(|i| std::cmp::Reverse((OrdF64(0.0), i))).collect();
+
+    let mut alive = vec![true; workers];
+    let mut idle: std::collections::BTreeSet<usize> = (0..workers).collect();
+    let mut inflight: Vec<Option<(usize, f64, f64)>> = vec![None; workers];
+    let mut completed: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut busy_intervals = vec![Vec::new(); workers];
+    let mut worker_busy = vec![0.0f64; workers];
+    let mut last_worker_cache: Vec<Option<usize>> = vec![None; workers];
+    let mut ndone = 0usize;
+    let mut redispatched = 0u64;
+    let mut makespan = 0.0f64;
+
+    while ndone < tasks.len() {
+        let Some(std::cmp::Reverse((OrdF64(now), kind, w))) = events.pop() else {
+            break; // every worker dead with units remaining
+        };
+        match kind {
+            EV_DEATH => {
+                if !alive[w] {
+                    continue;
+                }
+                alive[w] = false;
+                idle.remove(&w);
+                last_worker_cache[w] = None;
+                let mut lost = 0u64;
+                if let Some((task, _, _)) = inflight[w].take() {
+                    pool.push(std::cmp::Reverse((OrdF64(now + detect_s), task)));
+                    lost += 1;
+                }
+                for task in completed[w].drain(..) {
+                    pool.push(std::cmp::Reverse((OrdF64(now + detect_s), task)));
+                    ndone -= 1;
+                    lost += 1;
+                }
+                redispatched += lost;
+                if lost > 0 {
+                    events.push(std::cmp::Reverse((OrdF64(now + detect_s), EV_WAKE, 0)));
+                }
+            }
+            EV_FREE => {
+                if !alive[w] {
+                    continue; // this completion was preempted by the death
+                }
+                let (task, start, end) = inflight[w].take().expect("free without inflight");
+                completed[w].push(task);
+                ndone += 1;
+                busy_intervals[w].push((start, end));
+                worker_busy[w] += tasks[task].cost_s;
+                makespan = makespan.max(end);
+                idle.insert(w);
+            }
+            _ => {} // EV_WAKE: fall through to the dispatch sweep below
+        }
+        // Dispatch sweep: hand every currently available unit to an idle
+        // worker (idle set iterates in worker order — deterministic).
+        while let Some(&std::cmp::Reverse((OrdF64(avail), task))) = pool.peek() {
+            if avail > now {
+                break;
+            }
+            let Some(&w) = idle.iter().next() else { break };
+            pool.pop();
+            idle.remove(&w);
+            let t = now + cluster.dispatch_latency_s;
+            let load = if last_worker_cache[w] == Some(tasks[task].part) {
+                0.0
+            } else {
+                last_worker_cache[w] = Some(tasks[task].part);
+                loads.load(w + 1, tasks[task].part, &mut cold, &mut warm)
+            };
+            let start = t + load;
+            let end = start + tasks[task].cost_s;
+            inflight[w] = Some((task, start, end));
+            events.push(std::cmp::Reverse((OrdF64(end), EV_FREE, w)));
+        }
+    }
+    assert!(
+        ndone == tasks.len(),
+        "all {workers} workers dead with {} of {} units unfinished",
+        tasks.len() - ndone,
+        tasks.len()
+    );
+
+    let total_search: f64 = worker_busy.iter().sum();
+    SimResult {
+        makespan_s: makespan,
+        worker_busy,
+        busy_intervals,
+        cold_loads: cold,
+        warm_loads: warm,
+        total_search_s: total_search,
+        redispatched,
         cores,
     }
 }
@@ -346,6 +507,7 @@ pub fn simulate_static(
         cold_loads: cold,
         warm_loads: warm,
         total_search_s: total_search,
+        redispatched: 0,
         cores,
     }
 }
@@ -535,6 +697,104 @@ mod tests {
             assert_eq!(r.total_search_s, 13.0);
             assert!(r.makespan_s >= 13.0 / 4.0);
         }
+    }
+
+    #[test]
+    fn faulty_sim_with_no_failures_matches_plain() {
+        let cluster = ClusterModel {
+            cold_load_s_per_gb: 3.0,
+            warm_load_s_per_gb: 0.5,
+            dispatch_latency_s: 0.01,
+            ..ClusterModel::ranger()
+        };
+        let mut tasks = vec![Task { part: 0, cost_s: 9.0 }];
+        tasks.extend((0..30).map(|i| Task { part: i % 4, cost_s: 1.0 + (i % 3) as f64 }));
+        let plain = simulate_master_worker(&cluster, 5, &tasks, 1.0);
+        let faulty = simulate_master_worker_faulty(&cluster, 5, &tasks, 1.0, &[], 0.5);
+        assert!((plain.makespan_s - faulty.makespan_s).abs() < 1e-9);
+        assert_eq!(plain.cold_loads, faulty.cold_loads);
+        assert_eq!(plain.warm_loads, faulty.warm_loads);
+        assert_eq!(faulty.redispatched, 0);
+    }
+
+    #[test]
+    fn dead_worker_at_t0_gives_reduced_ceil_distribution() {
+        // 12 unit tasks, 4 cores (3 workers), one dead at t=0: the closed
+        // form is ceil(12/2) = 6 on the two survivors.
+        let fails = [Failure { worker: 1, at_s: 0.0 }];
+        let r = simulate_master_worker_faulty(
+            &cheap_cluster(),
+            4,
+            &uniform_tasks(12, 1.0),
+            0.0,
+            &fails,
+            0.25,
+        );
+        assert!((r.makespan_s - 6.0).abs() < 1e-9, "makespan {}", r.makespan_s);
+        assert_eq!(r.redispatched, 0, "a worker that never got a unit loses none");
+    }
+
+    #[test]
+    fn mid_run_death_redispatches_completed_units_and_stretches_makespan() {
+        // 3 workers, 12 unit tasks. Worker 0 dies at t=2.5: it has finished
+        // units at t=1 and t=2 and is mid-unit — all 3 must be redone.
+        let fails = [Failure { worker: 0, at_s: 2.5 }];
+        let r = simulate_master_worker_faulty(
+            &cheap_cluster(),
+            4,
+            &uniform_tasks(12, 1.0),
+            0.0,
+            &fails,
+            0.0,
+        );
+        assert_eq!(r.redispatched, 3);
+        // 12 final + 2 re-runs of completed units = 14 completed executions
+        // (the killed in-flight unit's first attempt never finished).
+        assert!((r.total_search_s - 14.0).abs() < 1e-9, "search {}", r.total_search_s);
+        // Fault-free on 3 workers would be 4.0; losing a worker and 3 units
+        // must cost extra, and the survivors' bound still holds.
+        assert!(r.makespan_s > 4.0 + 1e-9, "makespan {}", r.makespan_s);
+        assert!(r.makespan_s >= 12.0 / 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn detection_delay_is_paid_once_per_death() {
+        // Single task, 2 workers; worker 0 dies mid-unit at t=1, detection
+        // takes 2s, then worker 1 reruns the 3s unit: makespan = 1+2+3.
+        let tasks = vec![Task { part: 0, cost_s: 3.0 }];
+        let fails = [Failure { worker: 0, at_s: 1.0 }];
+        let r = simulate_master_worker_faulty(&cheap_cluster(), 3, &tasks, 0.0, &fails, 2.0);
+        assert!((r.makespan_s - 6.0).abs() < 1e-9, "makespan {}", r.makespan_s);
+        assert_eq!(r.redispatched, 1);
+    }
+
+    #[test]
+    fn death_after_completion_changes_nothing() {
+        let fails = [Failure { worker: 0, at_s: 1e6 }];
+        let r = simulate_master_worker_faulty(
+            &cheap_cluster(),
+            3,
+            &uniform_tasks(10, 1.0),
+            0.0,
+            &fails,
+            0.5,
+        );
+        assert!((r.makespan_s - 5.0).abs() < 1e-9);
+        assert_eq!(r.redispatched, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "workers dead")]
+    fn all_workers_dead_panics_with_units_unfinished() {
+        let fails = [Failure { worker: 0, at_s: 0.0 }, Failure { worker: 1, at_s: 0.0 }];
+        simulate_master_worker_faulty(
+            &cheap_cluster(),
+            3,
+            &uniform_tasks(4, 1.0),
+            0.0,
+            &fails,
+            0.1,
+        );
     }
 
     #[test]

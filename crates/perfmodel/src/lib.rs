@@ -47,6 +47,7 @@ pub mod somsim;
 pub use blastsim::{BlastScenario, WorkUnitCosts};
 pub use cluster::ClusterModel;
 pub use des::{
-    simulate_master_worker, simulate_master_worker_affinity, simulate_static, Schedule, SimResult,
+    simulate_master_worker, simulate_master_worker_affinity, simulate_master_worker_faulty,
+    simulate_static, Failure, Schedule, SimResult,
 };
 pub use somsim::SomScenario;

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 pre-merge gate: release build, the full default test suite, and the
+# two fastest fault-injection smoke tests run explicitly by name so a filter
+# or harness change can never silently drop them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q (root package: integration + property tests) =="
+cargo test -q
+
+echo "== fault-mode smoke: 2 of 8 workers killed mid-map, bit-for-bit BLAST =="
+cargo test -q --test parallel_equivalence blast_equivalence_with_two_of_eight_workers_killed_mid_map
+
+echo "== fault-mode smoke: DES dead-worker closed form =="
+cargo test -q --test perfmodel_validation faulty_des_matches_reduced_worker_closed_form
+
+echo "check.sh: all green"

@@ -1,0 +1,156 @@
+//! Offline stand-in for the subset of the `criterion` 0.7 API this
+//! workspace uses. Benchmarks run `sample_size` samples after a short
+//! warm-up and print min/mean per-iteration times — no statistics engine,
+//! no HTML reports, no CLI filtering. Good enough to keep `cargo bench`
+//! compiling and producing comparable numbers in an offline container.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver: collects samples and prints one line per benchmark.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Target total measurement time across all samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark and print its per-iteration timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the routine until the warm-up budget is spent, and
+        // estimate the per-iteration cost to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        while warm_start.elapsed() < self.warm_up_time {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = if warm_iters > 0 {
+            warm_start.elapsed() / warm_iters as u32
+        } else {
+            Duration::from_millis(1)
+        };
+
+        // Size each sample so the whole measurement fits the budget.
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1000
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            b.iters = iters_per_sample;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            let per = b.elapsed / iters_per_sample as u32;
+            if per < best {
+                best = per;
+            }
+            total += b.elapsed;
+            total_iters += iters_per_sample;
+        }
+        let mean = if total_iters > 0 { total / total_iters as u32 } else { Duration::ZERO };
+        println!("bench {id:<48} min {best:>12.3?}  mean {mean:>12.3?}  ({} samples x {} iters)",
+            self.sample_size, iters_per_sample);
+        self
+    }
+}
+
+/// Per-benchmark timing harness passed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Group benchmark functions under one entry point, mirroring criterion's
+/// two macro grammars (with and without an explicit config).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the subset of the `parking_lot` 0.12 API this
+//! workspace uses (`Mutex`, `MutexGuard`, `Condvar` with the by-&mut-guard
+//! `wait`/`wait_for` calling convention), backed by `std::sync`.
+//!
+//! Poisoning is deliberately swallowed: like real parking_lot, `lock()`
+//! succeeds even if another thread panicked while holding the lock. The
+//! mpisim runtime relies on that to keep mailboxes usable during world
+//! teardown after a rank panic.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// Mutual exclusion without lock poisoning.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available. Never fails.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// RAII guard for [`Mutex::lock`].
+///
+/// The inner `Option` is only ever `None` transiently inside
+/// [`Condvar::wait`]/[`Condvar::wait_for`], which must move the std guard by
+/// value while the caller holds it by `&mut`.
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// Condition variable using the parking_lot calling convention: the guard is
+/// passed by `&mut` and remains valid after the wait.
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing the lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present outside wait");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present outside wait");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r)
+            }
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Wake one waiter. Returns whether a thread was woken (always `false`
+    /// here: std does not report it; callers in this workspace ignore it).
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        false
+    }
+
+    /// Wake all waiters. Returns the number woken (always 0 here: std does
+    /// not report it; callers in this workspace ignore it).
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Result of a timed wait.
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn mutex_guard_read_write() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            *ready = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        assert!(*ready);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let start = Instant::now();
+        let r = cv.wait_for(&mut g, Duration::from_millis(20));
+        assert!(r.timed_out());
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn lock_survives_panicking_holder() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("die holding lock");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Sampling strategies: `select` from a fixed pool.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly select one element of `pool` (cloned) per case.
+pub fn select<T: Clone>(pool: Vec<T>) -> Select<T> {
+    assert!(!pool.is_empty(), "select pool must be non-empty");
+    Select { pool }
+}
+
+/// See [`select`].
+pub struct Select<T: Clone> {
+    pool: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.pool[rng.below(self.pool.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_draws_from_pool() {
+        let mut rng = TestRng::from_seed(5);
+        let pool = b"ACGT".to_vec();
+        for _ in 0..100 {
+            let c = select(pool.clone()).generate(&mut rng);
+            assert!(pool.contains(&c));
+        }
+    }
+}

@@ -15,8 +15,11 @@ use bioseq::shred::query_blocks;
 use blast::hsp::Hit;
 use blast::search::BlastSearcher;
 use blast::SearchParams;
-use mpisim::World;
-use mrbio::{run_mrblast, run_mrsom, MrBlastConfig, MrSomConfig, VectorMatrix};
+use mpisim::{FaultPlan, RankOutcome, World};
+use mrbio::{
+    run_mrblast, run_mrblast_ft, run_mrsom, run_mrsom_ft, FaultConfig, MrBlastConfig, MrSomConfig,
+    VectorMatrix,
+};
 use mrmpi::{MapStyle, Settings};
 use som::batch::batch_train;
 use som::neighborhood::SomConfig;
@@ -208,6 +211,115 @@ fn blastx_parallel_equals_serial() {
         assert_eq!(got, sorted_keys(serial.clone()), "blastx ranks={ranks}");
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sort full hits (not just keys) for bit-for-bit output comparison.
+fn sorted_hits(mut hits: Vec<Hit>) -> Vec<Hit> {
+    hits.sort_by(|a, b| hit_key(a).cmp(&hit_key(b)));
+    hits
+}
+
+/// Run the recovering driver under a fault plan; panic if any survivor
+/// errors, return the survivors' combined hits and the death count.
+fn run_parallel_ft(fx: &BlastFixture, ranks: usize, plan: FaultPlan) -> (Vec<Hit>, usize) {
+    let db = fx.db.clone();
+    let blocks = fx.blocks.clone();
+    let outcomes = World::new(ranks).with_faults(plan).run_faulty(move |comm| {
+        run_mrblast_ft(comm, &db, &blocks, &MrBlastConfig::blastn(), &FaultConfig::default())
+    });
+    let mut hits = Vec::new();
+    let mut died = 0;
+    for (rank, out) in outcomes.into_iter().enumerate() {
+        match out {
+            RankOutcome::Done(Ok(rep)) => hits.extend(rep.hits),
+            RankOutcome::Done(Err(e)) => panic!("surviving rank {rank} failed: {e}"),
+            RankOutcome::Died { .. } => died += 1,
+        }
+    }
+    (hits, died)
+}
+
+#[test]
+fn blast_equivalence_with_one_injected_worker_death() {
+    let fx = blast_fixture(1007, "ft1");
+    // The kill fires on worker 2's first operation: it never completes a
+    // unit, and the survivors take over its share.
+    let (hits, died) = run_parallel_ft(&fx, 4, FaultPlan::new(90).kill(2, 0.0));
+    assert_eq!(died, 1, "the planned death must fire");
+    assert_eq!(
+        sorted_hits(hits),
+        sorted_hits(fx.serial.clone()),
+        "1 worker death: output must equal serial bit-for-bit"
+    );
+}
+
+#[test]
+fn blast_equivalence_with_two_of_eight_workers_killed_mid_map() {
+    let fx = blast_fixture(1008, "ft2");
+    // 9 ranks: dedicated master + 8 workers. The BLAST map charges real
+    // engine time to the virtual clock, so these strike times fire after
+    // the doomed workers have completed (and therefore own) work units —
+    // mid-map deaths whose finished output dies with them, the worst case
+    // for the recovery protocol.
+    let plan = FaultPlan::new(91).kill(3, 1e-4).kill(6, 2e-4);
+    let (hits, died) = run_parallel_ft(&fx, 9, plan);
+    assert_eq!(died, 2, "both planned deaths must fire");
+    assert_eq!(
+        sorted_hits(hits),
+        sorted_hits(fx.serial.clone()),
+        "2 of 8 workers killed mid-map: output must equal serial bit-for-bit"
+    );
+}
+
+#[test]
+fn som_equivalence_with_injected_worker_deaths() {
+    let vectors = gen::random_vectors(2022, 160, 8);
+    let som = SomConfig {
+        rows: 6,
+        cols: 5,
+        dims: 8,
+        epochs: 7,
+        sigma0: None,
+        sigma_end: 1.0,
+        seed: 13,
+        ..SomConfig::default()
+    };
+    let serial = batch_train(&vectors, &som);
+    let path = std::env::temp_dir().join(format!("it-som-ft-{}.bin", std::process::id()));
+    VectorMatrix::create(&path, &vectors).expect("write matrix");
+
+    for (deaths, plan) in [
+        (1usize, FaultPlan::new(92).kill(2, 0.0)),
+        (2, FaultPlan::new(93).kill(1, 0.0).kill(3, 1e-5)),
+    ] {
+        let p = path.clone();
+        let outcomes = World::new(5).with_faults(plan).run_faulty(move |comm| {
+            let matrix = VectorMatrix::open(&p).expect("open");
+            let cfg = MrSomConfig { block_size: 16, ..MrSomConfig::new(som) };
+            run_mrsom_ft(comm, &matrix, &cfg, &FaultConfig::default())
+        });
+        let mut died = 0;
+        for (rank, out) in outcomes.iter().enumerate() {
+            match out {
+                RankOutcome::Died { .. } => died += 1,
+                RankOutcome::Done(Ok((cb, _))) => {
+                    let max_dev = cb
+                        .weights
+                        .iter()
+                        .zip(&serial.weights)
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0, f64::max);
+                    assert!(
+                        max_dev < 1e-9,
+                        "{deaths} deaths, rank {rank}: codebook deviates by {max_dev}"
+                    );
+                }
+                RankOutcome::Done(Err(e)) => panic!("surviving rank {rank} failed: {e}"),
+            }
+        }
+        assert_eq!(died, deaths, "planned deaths must fire");
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
