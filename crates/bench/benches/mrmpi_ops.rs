@@ -95,6 +95,7 @@ fn bench_out_of_core(c: &mut Criterion) {
                 page_size: 16 * 1024,
                 mem_budget: 64 * 1024,
                 tmpdir: std::env::temp_dir(),
+                ..Settings::default()
             };
             let mut kv = KeyValue::new(&settings);
             let value = [0u8; 100];

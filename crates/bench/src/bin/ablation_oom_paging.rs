@@ -48,15 +48,15 @@ fn main() {
         ("unlimited", Settings::default()),
         (
             "1 MiB",
-            Settings { page_size: 64 * 1024, mem_budget: 1 << 20, tmpdir: tmp.clone() },
+            Settings { page_size: 64 * 1024, mem_budget: 1 << 20, tmpdir: tmp.clone(), ..Settings::default() },
         ),
         (
             "256 KiB",
-            Settings { page_size: 32 * 1024, mem_budget: 256 * 1024, tmpdir: tmp.clone() },
+            Settings { page_size: 32 * 1024, mem_budget: 256 * 1024, tmpdir: tmp.clone(), ..Settings::default() },
         ),
         (
             "64 KiB",
-            Settings { page_size: 16 * 1024, mem_budget: 64 * 1024, tmpdir: tmp.clone() },
+            Settings { page_size: 16 * 1024, mem_budget: 64 * 1024, tmpdir: tmp.clone(), ..Settings::default() },
         ),
     ];
     let mut reference = None;

@@ -1,0 +1,293 @@
+//! Durable restart checkpoints for the MR-MPI BLAST driver.
+//!
+//! The BLAST outer loop over query-block iterations (the paper's device for
+//! bounding the intermediate key-value working set, §III.A) is a natural
+//! checkpoint boundary: after an iteration's `reduce()` lands in the
+//! per-rank output files, the whole iteration is reproducible-or-done. Rank 0
+//! records, through [`mrmpi::durable`]'s atomic CRC-framed writes:
+//!
+//! * a **fingerprint** of the run (query blocks, DB partitions, blocks per
+//!   iteration, world size) so a checkpoint is never replayed against a
+//!   different workload;
+//! * the number of query blocks fully reduced and flushed;
+//! * every rank's output-file byte offset at that point.
+//!
+//! On restart, finished iterations are skipped and each rank truncates its
+//! output file back to the recorded offset — the **output-truncation
+//! invariant**: bytes before the offset are final, bytes after it belong to
+//! an iteration that did not complete and are recomputed. A missing, torn,
+//! or corrupt checkpoint (typed errors from the durable layer) degrades to
+//! an earlier restart point or a clean start, never to wrong output.
+
+use std::path::{Path, PathBuf};
+
+use mpisim::Comm;
+use mrmpi::durable::{self, DiskFaultPlan, DurableError};
+
+/// File name of the BLAST checkpoint inside the checkpoint directory.
+pub const BLAST_CKPT_FILE: &str = "blast.ckpt";
+
+/// Identity of a BLAST run; a checkpoint only applies to an identical setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunFingerprint {
+    /// Total query blocks.
+    pub nblocks: u64,
+    /// Database partitions.
+    pub nparts: u64,
+    /// Query blocks per MapReduce iteration.
+    pub per_iter: u64,
+    /// World size (per-rank output offsets only make sense at the same P).
+    pub nranks: u64,
+}
+
+/// One durable BLAST checkpoint record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlastCheckpoint {
+    /// The run this checkpoint belongs to.
+    pub fingerprint: RunFingerprint,
+    /// Query blocks fully reduced and flushed to the output files.
+    pub completed_blocks: u64,
+    /// Output-file byte offset of each rank at that point (all zero when the
+    /// run writes no files).
+    pub offsets: Vec<u64>,
+}
+
+impl BlastCheckpoint {
+    /// Checkpoint file path inside `dir`.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join(BLAST_CKPT_FILE)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48 + self.offsets.len() * 8);
+        for v in [
+            self.fingerprint.nblocks,
+            self.fingerprint.nparts,
+            self.fingerprint.per_iter,
+            self.fingerprint.nranks,
+            self.completed_blocks,
+            self.offsets.len() as u64,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &o in &self.offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let u64_at = |i: usize| -> Option<u64> {
+            bytes.get(i * 8..i * 8 + 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        };
+        let noffsets = u64_at(5)? as usize;
+        if bytes.len() != 48 + noffsets * 8 {
+            return None;
+        }
+        Some(BlastCheckpoint {
+            fingerprint: RunFingerprint {
+                nblocks: u64_at(0)?,
+                nparts: u64_at(1)?,
+                per_iter: u64_at(2)?,
+                nranks: u64_at(3)?,
+            },
+            completed_blocks: u64_at(4)?,
+            offsets: (0..noffsets).map(|i| u64_at(6 + i).unwrap()).collect(),
+        })
+    }
+
+    /// Atomically replace the checkpoint in `dir` with this state.
+    pub fn store(&self, dir: &Path, faults: Option<&DiskFaultPlan>) -> Result<(), DurableError> {
+        std::fs::create_dir_all(dir).map_err(|e| DurableError::Io {
+            kind: e.kind(),
+            what: format!("create checkpoint dir {}: {e}", dir.display()),
+        })?;
+        durable::write_record_file(&Self::path(dir), &[&self.encode()], faults)
+    }
+
+    /// Load and verify the checkpoint in `dir`. `None` when absent, torn,
+    /// corrupt, or structurally invalid — every such case restarts cleanly
+    /// from scratch rather than risking wrong output.
+    pub fn load(dir: &Path) -> Option<Self> {
+        let path = Self::path(dir);
+        if !path.exists() {
+            return None;
+        }
+        let payloads = durable::read_record_file(&path).ok()?;
+        let [payload] = payloads.as_slice() else { return None };
+        let ck = Self::decode(payload)?;
+        (ck.offsets.len() as u64 == ck.fingerprint.nranks
+            && ck.completed_blocks <= ck.fingerprint.nblocks)
+            .then_some(ck)
+    }
+}
+
+/// Where a (re)started run begins, as agreed by every rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPoint {
+    /// First query block index that still needs computing.
+    pub start_block: usize,
+    /// Byte offset this rank must truncate its output file back to.
+    pub my_offset: u64,
+}
+
+impl RestartPoint {
+    /// A clean start.
+    pub fn fresh() -> Self {
+        RestartPoint { start_block: 0, my_offset: 0 }
+    }
+}
+
+/// Collective. Rank 0 loads the checkpoint from `dir` (if any) and validates
+/// it against `fp`; the agreed restart point is broadcast so every rank
+/// resumes at the same iteration with its own recorded offset. Any
+/// invalid/corrupt checkpoint yields a clean start on every rank.
+pub fn plan_restart(comm: &Comm, dir: &Path, fp: &RunFingerprint) -> RestartPoint {
+    let mut payload = Vec::new();
+    if comm.rank() == 0 {
+        if let Some(ck) = BlastCheckpoint::load(dir) {
+            if ck.fingerprint == *fp {
+                payload.extend_from_slice(&ck.completed_blocks.to_le_bytes());
+                for &o in &ck.offsets {
+                    payload.extend_from_slice(&o.to_le_bytes());
+                }
+            }
+        }
+    }
+    comm.bcast(0, &mut payload);
+    let expect = 8 + fp.nranks as usize * 8;
+    if payload.len() != expect {
+        return RestartPoint::fresh();
+    }
+    let start_block = u64::from_le_bytes(payload[..8].try_into().unwrap()) as usize;
+    let at = 8 + comm.rank() * 8;
+    let my_offset = u64::from_le_bytes(payload[at..at + 8].try_into().unwrap());
+    RestartPoint { start_block, my_offset }
+}
+
+/// Collective. Record that query blocks `0..completed_blocks` are fully
+/// reduced and each rank's output file is final up to its current offset:
+/// offsets are gathered to rank 0, which writes the checkpoint atomically.
+///
+/// Best-effort by design: a checkpoint that fails to persist (typed error
+/// returned to the caller) costs recomputation on restart, never
+/// correctness — the previous checkpoint stays valid because the write is
+/// atomic.
+pub fn record_iteration(
+    comm: &Comm,
+    dir: &Path,
+    fp: &RunFingerprint,
+    completed_blocks: u64,
+    my_offset: u64,
+    faults: Option<&DiskFaultPlan>,
+) -> Result<(), DurableError> {
+    let gathered = comm.gather(0, my_offset.to_le_bytes().to_vec());
+    if comm.rank() == 0 {
+        let mut offsets = vec![0u64; fp.nranks as usize];
+        if let Some(parts) = gathered {
+            for (r, bytes) in parts.iter().enumerate().take(offsets.len()) {
+                if bytes.len() == 8 {
+                    offsets[r] = u64::from_le_bytes(bytes.as_slice().try_into().unwrap());
+                }
+            }
+        }
+        let ck = BlastCheckpoint { fingerprint: *fp, completed_blocks, offsets };
+        ck.store(dir, faults)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mrbio-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn fp() -> RunFingerprint {
+        RunFingerprint { nblocks: 6, nparts: 3, per_iter: 2, nranks: 4 }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_disk() {
+        let dir = tmp("roundtrip");
+        let ck = BlastCheckpoint {
+            fingerprint: fp(),
+            completed_blocks: 4,
+            offsets: vec![10, 0, 333, 7],
+        };
+        ck.store(&dir, None).unwrap();
+        assert_eq!(BlastCheckpoint::load(&dir), Some(ck));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_loads_as_none() {
+        let dir = tmp("corrupt");
+        let ck = BlastCheckpoint { fingerprint: fp(), completed_blocks: 2, offsets: vec![0; 4] };
+        ck.store(&dir, None).unwrap();
+        let path = BlastCheckpoint::path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(BlastCheckpoint::load(&dir), None, "bit flip must not decode");
+        // Truncation too.
+        ck.store(&dir, None).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert_eq!(BlastCheckpoint::load(&dir), None);
+    }
+
+    #[test]
+    fn torn_checkpoint_write_keeps_previous_state() {
+        let dir = tmp("torn");
+        let v1 = BlastCheckpoint { fingerprint: fp(), completed_blocks: 2, offsets: vec![1; 4] };
+        v1.store(&dir, None).unwrap();
+        let v2 = BlastCheckpoint { fingerprint: fp(), completed_blocks: 4, offsets: vec![2; 4] };
+        let plan = DiskFaultPlan::new(11).torn_at(0, 10);
+        v2.store(&dir, Some(&plan)).unwrap();
+        assert_eq!(BlastCheckpoint::load(&dir), Some(v1), "torn write must not replace");
+    }
+
+    #[test]
+    fn restart_plan_agrees_across_ranks() {
+        use mpisim::World;
+        let dir = tmp("plan");
+        let f = fp();
+        let ck = BlastCheckpoint {
+            fingerprint: f,
+            completed_blocks: 4,
+            offsets: vec![11, 22, 33, 44],
+        };
+        ck.store(&dir, None).unwrap();
+        let d2 = dir.clone();
+        let points = World::new(4).run(move |comm| plan_restart(comm, &d2, &f));
+        for (r, p) in points.iter().enumerate() {
+            assert_eq!(p.start_block, 4);
+            assert_eq!(p.my_offset, [11, 22, 33, 44][r]);
+        }
+        // A different fingerprint must be refused on every rank.
+        let other = RunFingerprint { nblocks: 9, ..f };
+        let d3 = dir.clone();
+        let points = World::new(4).run(move |comm| plan_restart(comm, &d3, &other));
+        assert!(points.iter().all(|p| *p == RestartPoint::fresh()));
+    }
+
+    #[test]
+    fn record_iteration_gathers_offsets_to_rank_zero() {
+        use mpisim::World;
+        let dir = tmp("record");
+        let f = fp();
+        let d2 = dir.clone();
+        World::new(4).run(move |comm| {
+            let my_offset = (comm.rank() as u64 + 1) * 100;
+            record_iteration(comm, &d2, &f, 2, my_offset, None).unwrap();
+        });
+        let ck = BlastCheckpoint::load(&dir).unwrap();
+        assert_eq!(ck.completed_blocks, 2);
+        assert_eq!(ck.offsets, vec![100, 200, 300, 400]);
+    }
+}

@@ -18,8 +18,21 @@
 //! * the master (rank 0) is the one assumed-alive rank, as in the original
 //!   library's master-worker mapstyle; if it dies, workers report
 //!   [`mrmpi::SchedError::MasterDied`].
+//!
+//! **Disk faults** are the other half of the fault story. Process deaths are
+//! injected with [`mpisim::FaultPlan`]; storage misbehaviour — torn writes,
+//! bit rot, transient and persistent EIO — is injected with
+//! [`mrmpi::DiskFaultPlan`], threaded through
+//! [`mrmpi::Settings::disk_faults`] into every durable write the engine and
+//! the drivers perform: KV spill pages, SOM epoch checkpoints
+//! ([`crate::mrsom::write_checkpoint`]) and the BLAST restart checkpoint
+//! ([`crate::ckpt`]). The two planes compose: a run can lose a worker *and*
+//! tear its next checkpoint write, and must still restart into bit-for-bit
+//! output. See [`disk_faults`] for the wiring shortcut.
 
-use mrmpi::FtConfig;
+use std::sync::Arc;
+
+use mrmpi::{DiskFaultPlan, FtConfig, Settings};
 
 /// Fault-tolerance knobs threaded through the parallel BLAST / SOM drivers.
 ///
@@ -37,5 +50,29 @@ impl FaultConfig {
     /// call sites that configure nothing else.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Engine settings with a seeded disk-fault plan attached: every durable
+/// write the run performs (spill pages, checkpoints, output replacement)
+/// consults `plan`. The returned settings share one fault plan — attempts
+/// are counted globally across ranks, matching how a single flaky disk
+/// serves the whole node.
+pub fn disk_faults(base: Settings, plan: DiskFaultPlan) -> Settings {
+    Settings { disk_faults: Some(Arc::new(plan)), ..base }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_faults_attaches_a_shared_plan() {
+        let s = disk_faults(Settings::default(), DiskFaultPlan::new(3).eio_at(0));
+        let plan = s.disk_faults.as_ref().expect("plan attached");
+        assert_eq!(plan.writes_attempted(), 0);
+        let s2 = s.clone();
+        // Clones observe the same attempt counter (one disk, many users).
+        assert!(Arc::ptr_eq(plan, s2.disk_faults.as_ref().unwrap()));
     }
 }

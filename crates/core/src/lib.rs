@@ -72,6 +72,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod ckpt;
 pub mod cliargs;
 pub mod fault;
 pub mod htc;
@@ -82,8 +83,12 @@ pub mod mrsom;
 pub mod util;
 
 pub use adaptive::{run_mrblast_adaptive, AdaptiveConfig, AdaptiveReport};
-pub use fault::FaultConfig;
+pub use ckpt::{BlastCheckpoint, RestartPoint, RunFingerprint};
+pub use fault::{disk_faults, FaultConfig};
 pub use matrixio::VectorMatrix;
 pub use mrblast::{run_mrblast, run_mrblast_ft, MrBlastConfig, MrBlastRankReport};
-pub use mrsom::{run_mrsom, run_mrsom_ft, MrSomConfig, MrSomRankReport};
+pub use mrsom::{
+    checkpoint_path, load_latest_checkpoint, run_mrsom, run_mrsom_ft, write_checkpoint,
+    MrSomConfig, MrSomRankReport,
+};
 pub use util::BusyTracker;

@@ -31,6 +31,7 @@ use blast::SearchParams;
 use mpisim::Comm;
 use mrmpi::{MapReduce, MapStyle, MrError, Settings};
 
+use crate::ckpt::{self, RestartPoint, RunFingerprint};
 use crate::fault::FaultConfig;
 use crate::util::BusyTracker;
 
@@ -59,6 +60,17 @@ pub struct MrBlastConfig {
     pub exclude_self: bool,
     /// MapReduce engine settings (page size, memory budget, spill dir).
     pub mr_settings: Settings,
+    /// Directory for the durable restart checkpoint (`None` = no
+    /// checkpointing). After every completed iteration, rank 0 atomically
+    /// records the finished query blocks and each rank's output-file offset;
+    /// a restarted run with the same configuration skips finished iterations
+    /// and truncates partial output back to the last consistent offset, so
+    /// the final files are bit-for-bit those of an uninterrupted run.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Stop (cleanly, on every rank) after this many iterations have been
+    /// executed *by this run* — a deterministic simulated crash for
+    /// checkpoint/restart tests. `None` = run to completion.
+    pub stop_after_iterations: Option<usize>,
 }
 
 impl MrBlastConfig {
@@ -72,6 +84,8 @@ impl MrBlastConfig {
             output_dir: None,
             exclude_self: false,
             mr_settings: Settings::default(),
+            checkpoint_dir: None,
+            stop_after_iterations: None,
         }
     }
 
@@ -79,6 +93,29 @@ impl MrBlastConfig {
     pub fn blastp() -> Self {
         MrBlastConfig { params: SearchParams::blastp(), ..Self::blastn() }
     }
+}
+
+/// Open (or reopen) this rank's output file, truncated back to
+/// `resume_offset` — the output-truncation invariant: bytes past the last
+/// checkpointed offset belong to an unfinished iteration and are discarded
+/// before recomputation appends them again.
+fn open_rank_output(
+    dir: &std::path::Path,
+    rank: usize,
+    resume_offset: u64,
+) -> (PathBuf, std::io::BufWriter<std::fs::File>) {
+    use std::io::Seek;
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let path = dir.join(format!("hits.rank{rank:04}.tsv"));
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .open(&path)
+        .expect("open rank output file");
+    f.set_len(resume_offset).expect("truncate rank output to checkpoint offset");
+    f.seek(std::io::SeekFrom::End(0)).expect("seek rank output");
+    (path, std::io::BufWriter::new(f))
 }
 
 /// Per-rank outcome of a run.
@@ -129,16 +166,28 @@ pub fn run_mrblast(
         finish_time: 0.0,
     };
 
+    // Restart protocol: rank 0 loads the durable checkpoint (if any) and all
+    // ranks agree on the first unfinished block and their output offsets.
+    let fp = RunFingerprint {
+        nblocks: nblocks as u64,
+        nparts: nparts as u64,
+        per_iter: per_iter as u64,
+        nranks: comm.size() as u64,
+    };
+    let restart = match &cfg.checkpoint_dir {
+        Some(dir) => ckpt::plan_restart(comm, dir, &fp),
+        None => RestartPoint::fresh(),
+    };
+
     let mut out_file = match &cfg.output_dir {
         Some(dir) => {
-            std::fs::create_dir_all(dir).expect("create output dir");
-            let path = dir.join(format!("hits.rank{:04}.tsv", comm.rank()));
-            let f = std::fs::File::create(&path).expect("create rank output file");
+            let (path, f) = open_rank_output(dir, comm.rank(), restart.my_offset);
             report.output_file = Some(path);
-            Some(std::io::BufWriter::new(f))
+            Some(f)
         }
         None => None,
     };
+    let mut out_offset: u64 = restart.my_offset;
 
     // Caches living across map() invocations on this rank (§III.A: "The DB
     // object is cached between map() invocations on a given rank, and only
@@ -148,7 +197,8 @@ pub fn run_mrblast(
     let counters: RefCell<(u64, u64)> = RefCell::new((0, 0)); // (map_calls, db_loads)
     let busy: RefCell<BusyTracker> = RefCell::new(BusyTracker::new());
 
-    let mut iter_start = 0usize;
+    let mut iters_this_run = 0usize;
+    let mut iter_start = restart.start_block;
     while iter_start < nblocks {
         let iter_end = (iter_start + per_iter).min(nblocks);
         let iter_blocks = &query_blocks[iter_start..iter_end];
@@ -220,13 +270,32 @@ pub fn run_mrblast(
             debug_assert!(hits.iter().all(|h| h.query_id.as_bytes() == key));
             if let Some(f) = out_file.as_mut() {
                 for h in &hits {
-                    writeln!(f, "{}", tabular_line(h)).expect("write hit line");
+                    let line = tabular_line(h);
+                    out_offset += line.len() as u64 + 1;
+                    writeln!(f, "{line}").expect("write hit line");
                 }
             }
             report.hits.extend(hits);
         });
 
         iter_start = iter_end;
+        iters_this_run += 1;
+
+        if let Some(dir) = &cfg.checkpoint_dir {
+            // The iteration's output must be durable before the checkpoint
+            // claims it is: flush + fsync, then record collectively. The
+            // store itself is best-effort — a failed checkpoint only costs
+            // recomputation on restart, never correctness.
+            if let Some(f) = out_file.as_mut() {
+                f.flush().expect("flush rank output");
+                f.get_ref().sync_all().expect("sync rank output");
+            }
+            let faults = cfg.mr_settings.disk_faults.as_deref();
+            let _ = ckpt::record_iteration(comm, dir, &fp, iter_end as u64, out_offset, faults);
+        }
+        if cfg.stop_after_iterations == Some(iters_this_run) {
+            break; // Deterministic on every rank: the simulated crash point.
+        }
     }
 
     if let Some(mut f) = out_file {
@@ -279,23 +348,34 @@ pub fn run_mrblast_ft(
         finish_time: 0.0,
     };
 
+    let fp = RunFingerprint {
+        nblocks: nblocks as u64,
+        nparts: nparts as u64,
+        per_iter: per_iter as u64,
+        nranks: comm.size() as u64,
+    };
+    let restart = match &cfg.checkpoint_dir {
+        Some(dir) => ckpt::plan_restart(comm, dir, &fp),
+        None => RestartPoint::fresh(),
+    };
+
     let mut out_file = match &cfg.output_dir {
         Some(dir) => {
-            std::fs::create_dir_all(dir).expect("create output dir");
-            let path = dir.join(format!("hits.rank{:04}.tsv", comm.rank()));
-            let f = std::fs::File::create(&path).expect("create rank output file");
+            let (path, f) = open_rank_output(dir, comm.rank(), restart.my_offset);
             report.output_file = Some(path);
-            Some(std::io::BufWriter::new(f))
+            Some(f)
         }
         None => None,
     };
+    let mut out_offset: u64 = restart.my_offset;
 
     let db_cache: RefCell<Option<(usize, DbPartition)>> = RefCell::new(None);
     let q_cache: RefCell<Option<(usize, PreparedQueries)>> = RefCell::new(None);
     let counters: RefCell<(u64, u64)> = RefCell::new((0, 0)); // (map_calls, db_loads)
     let busy: RefCell<BusyTracker> = RefCell::new(BusyTracker::new());
 
-    let mut iter_start = 0usize;
+    let mut iters_this_run = 0usize;
+    let mut iter_start = restart.start_block;
     while iter_start < nblocks {
         let iter_end = (iter_start + per_iter).min(nblocks);
         let iter_blocks = &query_blocks[iter_start..iter_end];
@@ -358,13 +438,28 @@ pub fn run_mrblast_ft(
             debug_assert!(hits.iter().all(|h| h.query_id.as_bytes() == key));
             if let Some(f) = out_file.as_mut() {
                 for h in &hits {
-                    writeln!(f, "{}", tabular_line(h)).expect("write hit line");
+                    let line = tabular_line(h);
+                    out_offset += line.len() as u64 + 1;
+                    writeln!(f, "{line}").expect("write hit line");
                 }
             }
             report.hits.extend(hits);
         });
 
         iter_start = iter_end;
+        iters_this_run += 1;
+
+        if let Some(dir) = &cfg.checkpoint_dir {
+            if let Some(f) = out_file.as_mut() {
+                f.flush().expect("flush rank output");
+                f.get_ref().sync_all().expect("sync rank output");
+            }
+            let faults = cfg.mr_settings.disk_faults.as_deref();
+            let _ = ckpt::record_iteration(comm, dir, &fp, iter_end as u64, out_offset, faults);
+        }
+        if cfg.stop_after_iterations == Some(iters_this_run) {
+            break;
+        }
     }
 
     if let Some(mut f) = out_file {

@@ -297,36 +297,57 @@ pub fn run_mrsom_ft(
     Ok((cb, report))
 }
 
-/// Checkpoint file layout: `som-epoch-<NNNN>.cbk` per completed epoch.
-fn checkpoint_path(dir: &std::path::Path, epoch: usize) -> std::path::PathBuf {
+/// Checkpoint file layout: `som-epoch-<NNNN>.cbk` per completed epoch. Each
+/// file is one CRC-framed [`mrmpi::durable`] record holding
+/// [`Codebook::to_bytes`], written atomically (tmp file + fsync + rename).
+pub fn checkpoint_path(dir: &std::path::Path, epoch: usize) -> std::path::PathBuf {
     dir.join(format!("som-epoch-{epoch:04}.cbk"))
 }
 
-fn write_checkpoint(cfg: &MrSomConfig, completed_epochs: usize, cb: &Codebook) {
+/// Write the epoch checkpoint durably. **Best-effort**: a checkpoint that
+/// cannot be persisted (scratch disk full, persistent EIO, injected fault)
+/// never kills a healthy training run — the atomic write leaves any older
+/// checkpoint intact, so the only cost is a longer recompute on restart.
+pub fn write_checkpoint(cfg: &MrSomConfig, completed_epochs: usize, cb: &Codebook) {
     let Some(dir) = &cfg.checkpoint_dir else { return };
     if cfg.checkpoint_every == 0 || completed_epochs % cfg.checkpoint_every != 0 {
         return;
     }
-    std::fs::create_dir_all(dir).expect("create checkpoint dir");
-    cb.save(checkpoint_path(dir, completed_epochs)).expect("write checkpoint");
+    let faults = cfg.mr_settings.disk_faults.as_deref();
+    let _ = std::fs::create_dir_all(dir);
+    let _ = mrmpi::durable::write_record_file(
+        &checkpoint_path(dir, completed_epochs),
+        &[&cb.to_bytes()],
+        faults,
+    );
 }
 
-fn load_latest_checkpoint(cfg: &MrSomConfig) -> Option<(usize, Codebook)> {
+/// Find the newest *valid* checkpoint in `cfg.checkpoint_dir`. Candidates
+/// are scanned newest-first; a checkpoint that fails CRC verification,
+/// is truncated, or does not decode as a codebook is skipped in favour of
+/// the next-older one — corruption of the newest checkpoint costs some
+/// recomputed epochs, never a panic and never a garbage codebook.
+pub fn load_latest_checkpoint(cfg: &MrSomConfig) -> Option<(usize, Codebook)> {
     let dir = cfg.checkpoint_dir.as_ref()?;
-    let mut best: Option<(usize, std::path::PathBuf)> = None;
+    let mut found: Vec<(usize, std::path::PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(dir).ok()? {
-        let entry = entry.ok()?;
+        let Ok(entry) = entry else { continue };
         let name = entry.file_name().to_string_lossy().into_owned();
         if let Some(num) = name.strip_prefix("som-epoch-").and_then(|n| n.strip_suffix(".cbk")) {
             if let Ok(epoch) = num.parse::<usize>() {
-                if best.as_ref().is_none_or(|(b, _)| epoch > *b) {
-                    best = Some((epoch, entry.path()));
-                }
+                found.push((epoch, entry.path()));
             }
         }
     }
-    let (epoch, path) = best?;
-    Some((epoch, Codebook::load(path).expect("read checkpoint")))
+    found.sort_by(|a, b| b.0.cmp(&a.0)); // newest first
+    for (epoch, path) in found {
+        let Ok(payloads) = mrmpi::durable::read_record_file(&path) else { continue };
+        let [payload] = payloads.as_slice() else { continue };
+        if let Some(cb) = Codebook::from_bytes(payload) {
+            return Some((epoch, cb));
+        }
+    }
+    None
 }
 
 /// Rows used for PCA-plane initialization when the input matrix is large:

@@ -61,6 +61,8 @@ pub fn external_sort(
     ) {
         run.sort_by(|a, b| cmp(pair_field(a, by), pair_field(b, by)));
         let seq = RUN_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // The per-run spill dir is created lazily (see `Settings::tmpdir`).
+        let _ = std::fs::create_dir_all(&settings.tmpdir);
         let path = settings
             .tmpdir
             .join(format!("mrmpi-sortrun-{}-{}.run", std::process::id(), seq));
@@ -172,7 +174,7 @@ mod tests {
     use super::*;
 
     fn settings(budget: usize) -> Settings {
-        Settings { page_size: 256, mem_budget: budget, tmpdir: std::env::temp_dir() }
+        Settings { page_size: 256, mem_budget: budget, tmpdir: std::env::temp_dir(), ..Settings::default() }
     }
 
     fn build_kv(pairs: &[(u64, u64)], s: &Settings) -> KeyValue {

@@ -12,6 +12,7 @@
 //! query whose hits from all database partitions exceed the page size is
 //! still representable (the BLAST application depends on this).
 
+use crate::kv::KvError;
 use crate::settings::Settings;
 use crate::spool::Spool;
 
@@ -28,7 +29,7 @@ impl KeyMultiValue {
     /// An empty KMV store.
     pub fn new(settings: &Settings) -> Self {
         KeyMultiValue {
-            spool: Spool::new(settings.mem_budget, settings.tmpdir.clone()),
+            spool: Spool::with_settings(settings),
             open: Vec::new(),
             ngroups: 0,
             nvalues: 0,
@@ -85,9 +86,13 @@ impl KeyMultiValue {
         self.spool.spill_count()
     }
 
-    /// Visit every group in insertion order. The callback receives the key
-    /// and a cursor over the group's values.
-    pub fn for_each_group(&self, mut f: impl FnMut(&[u8], ValueCursor<'_>)) {
+    /// Visit every group in insertion order, propagating spill read-back
+    /// failures as typed errors. The callback receives the key and a cursor
+    /// over the group's values.
+    pub fn try_for_each_group(
+        &self,
+        mut f: impl FnMut(&[u8], ValueCursor<'_>),
+    ) -> Result<(), KvError> {
         let mut walk = |page: &[u8]| {
             let mut pos = 0;
             while pos < page.len() {
@@ -111,11 +116,21 @@ impl KeyMultiValue {
             }
         };
         for i in 0..self.spool.num_pages() {
-            walk(&self.spool.page(i));
+            walk(&self.spool.page(i)?);
         }
         if !self.open.is_empty() {
             walk(&self.open);
         }
+        Ok(())
+    }
+
+    /// Visit every group in insertion order.
+    ///
+    /// # Panics
+    /// Panics if a spilled page cannot be read back; fault-aware callers use
+    /// [`KeyMultiValue::try_for_each_group`].
+    pub fn for_each_group(&self, f: impl FnMut(&[u8], ValueCursor<'_>)) {
+        self.try_for_each_group(f).unwrap_or_else(|e| panic!("KMV scan failed: {e}"));
     }
 }
 
@@ -242,7 +257,8 @@ mod tests {
 
     #[test]
     fn spilled_kmv_reads_back() {
-        let s = Settings { page_size: 32, mem_budget: 32, tmpdir: std::env::temp_dir() };
+        let s =
+            Settings { page_size: 32, mem_budget: 32, tmpdir: std::env::temp_dir(), ..Settings::default() };
         let mut kmv = KeyMultiValue::new(&s);
         for i in 0..20u8 {
             kmv.add_group(&[i], [[i; 8].as_slice()].into_iter());

@@ -11,6 +11,7 @@
 //! An entry larger than the page size gets a dedicated oversized page, so
 //! arbitrarily large values (e.g. a full hit list) are representable.
 
+use crate::durable::DurableError;
 use crate::settings::Settings;
 use crate::spool::Spool;
 
@@ -22,8 +23,9 @@ pub(crate) fn encode_entry(buf: &mut Vec<u8>, key: &[u8], value: &[u8]) {
     buf.extend_from_slice(value);
 }
 
-/// A malformed KV page, e.g. one truncated or corrupted in transit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A malformed KV page, e.g. one truncated or corrupted in transit, or a
+/// spill page the scratch disk damaged.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KvError {
     /// The page ends inside an entry header or payload.
     Truncated {
@@ -40,6 +42,15 @@ pub enum KvError {
         /// Offset of the entry with the absurd header.
         at: usize,
     },
+    /// A spilled page failed its durable read-back: missing or truncated
+    /// spill file, CRC mismatch (bit rot), or an I/O error.
+    Disk(DurableError),
+}
+
+impl From<DurableError> for KvError {
+    fn from(e: DurableError) -> Self {
+        KvError::Disk(e)
+    }
 }
 
 impl std::fmt::Display for KvError {
@@ -52,6 +63,7 @@ impl std::fmt::Display for KvError {
             KvError::Overflow { at } => {
                 write!(f, "KV entry at byte {at} declares lengths that overflow")
             }
+            KvError::Disk(e) => write!(f, "KV spill page unreadable: {e}"),
         }
     }
 }
@@ -122,7 +134,7 @@ impl KeyValue {
     /// An empty KV store with the given engine settings.
     pub fn new(settings: &Settings) -> Self {
         KeyValue {
-            spool: Spool::new(settings.mem_budget, settings.tmpdir.clone()),
+            spool: Spool::with_settings(settings),
             open: Vec::new(),
             npairs: 0,
             page_size: settings.page_size,
@@ -180,61 +192,99 @@ impl KeyValue {
         self.spool.num_pages() + usize::from(!self.open.is_empty())
     }
 
-    /// Visit every pair in insertion order.
-    pub fn for_each(&self, mut f: impl FnMut(&[u8], &[u8])) {
+    /// Visit every pair in insertion order, propagating spill read-back
+    /// failures (missing/rotted spill files) as typed errors.
+    pub fn try_for_each(&self, mut f: impl FnMut(&[u8], &[u8])) -> Result<(), KvError> {
         for i in 0..self.spool.num_pages() {
-            let page = self.spool.page(i);
+            let page = self.spool.page(i)?;
             let mut pos = 0;
             while pos < page.len() {
-                let (k, v) = decode_entry(&page, &mut pos);
+                let (k, v) = try_decode_entry(&page, &mut pos)?;
                 f(k, v);
             }
         }
         let mut pos = 0;
         while pos < self.open.len() {
-            let (k, v) = decode_entry(&self.open, &mut pos);
+            let (k, v) = try_decode_entry(&self.open, &mut pos)?;
             f(k, v);
+        }
+        Ok(())
+    }
+
+    /// Visit every pair in insertion order.
+    ///
+    /// # Panics
+    /// Panics if a spilled page cannot be read back; fault-aware callers use
+    /// [`KeyValue::try_for_each`].
+    pub fn for_each(&self, f: impl FnMut(&[u8], &[u8])) {
+        self.try_for_each(f).unwrap_or_else(|e| panic!("KV scan failed: {e}"));
+    }
+
+    /// Borrow page `i` (closed pages first, then the open page last).
+    /// Returns `Ok(None)` past the end; spilled pages are loaded and
+    /// CRC-verified, surfacing damage as a typed error.
+    pub fn try_page_at(&self, i: usize) -> Result<Option<crate::spool::PageRef<'_>>, KvError> {
+        let closed = self.spool.num_pages();
+        if i < closed {
+            Ok(Some(self.spool.page(i)?))
+        } else if i == closed && !self.open.is_empty() {
+            Ok(Some(crate::spool::PageRef::Borrowed(&self.open)))
+        } else {
+            Ok(None)
         }
     }
 
     /// Borrow page `i` (closed pages first, then the open page last).
-    /// Returns `None` past the end. Spilled pages are loaded transparently.
+    ///
+    /// # Panics
+    /// Panics if a spilled page cannot be read back.
     pub fn page_at(&self, i: usize) -> Option<crate::spool::PageRef<'_>> {
-        let closed = self.spool.num_pages();
-        if i < closed {
-            Some(self.spool.page(i))
-        } else if i == closed && !self.open.is_empty() {
-            Some(crate::spool::PageRef::Borrowed(&self.open))
-        } else {
-            None
-        }
+        self.try_page_at(i).unwrap_or_else(|e| panic!("KV page {i} unreadable: {e}"))
     }
 
     /// Visit every page (closed pages first, then the open page), yielding
     /// raw encoded bytes. Used by operations that process page-at-a-time to
     /// bound memory.
-    pub fn for_each_page(&self, mut f: impl FnMut(&[u8])) {
+    pub fn try_for_each_page(&self, mut f: impl FnMut(&[u8])) -> Result<(), KvError> {
         for i in 0..self.spool.num_pages() {
-            f(&self.spool.page(i));
+            f(&self.spool.page(i)?);
         }
         if !self.open.is_empty() {
             f(&self.open);
         }
+        Ok(())
+    }
+
+    /// Infallible version of [`KeyValue::try_for_each_page`].
+    ///
+    /// # Panics
+    /// Panics if a spilled page cannot be read back.
+    pub fn for_each_page(&self, f: impl FnMut(&[u8])) {
+        self.try_for_each_page(f).unwrap_or_else(|e| panic!("KV page scan failed: {e}"));
+    }
+
+    /// Consume the store, returning all pairs as owned vectors, or a typed
+    /// error if a spilled page was lost or damaged.
+    pub fn try_into_pairs(mut self) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
+        self.close_page();
+        let mut out = Vec::with_capacity(self.npairs as usize);
+        for page in self.spool.drain_pages()? {
+            let mut pos = 0;
+            while pos < page.len() {
+                let (k, v) = try_decode_entry(&page, &mut pos)?;
+                out.push((k.to_vec(), v.to_vec()));
+            }
+        }
+        Ok(out)
     }
 
     /// Consume the store, returning all pairs as owned vectors. Convenience
     /// for tests and small datasets.
-    pub fn into_pairs(mut self) -> Vec<(Vec<u8>, Vec<u8>)> {
-        self.close_page();
-        let mut out = Vec::with_capacity(self.npairs as usize);
-        for page in self.spool.drain_pages() {
-            let mut pos = 0;
-            while pos < page.len() {
-                let (k, v) = decode_entry(&page, &mut pos);
-                out.push((k.to_vec(), v.to_vec()));
-            }
-        }
-        out
+    ///
+    /// # Panics
+    /// Panics if a spilled page cannot be read back.
+    pub fn into_pairs(self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.try_into_pairs().unwrap_or_else(|e| panic!("KV drain failed: {e}"))
     }
 }
 
@@ -330,7 +380,7 @@ mod tests {
     #[test]
     fn spilled_kv_iterates_identically() {
         let dir = std::env::temp_dir();
-        let settings = Settings { page_size: 32, mem_budget: 64, tmpdir: dir };
+        let settings = Settings { page_size: 32, mem_budget: 64, tmpdir: dir, ..Settings::default() };
         let mut kv = KeyValue::new(&settings);
         for i in 0..50u8 {
             kv.add(&[i], &[i, i, i]);

@@ -48,6 +48,7 @@
 //! assert_eq!(all, vec![(0, 3), (1, 3), (2, 2)]);
 //! ```
 
+pub mod durable;
 pub mod extsort;
 pub mod hashfn;
 pub mod kmv;
@@ -57,6 +58,7 @@ pub mod sched;
 pub mod settings;
 pub mod spool;
 
+pub use durable::{DiskFaultPlan, DurableError};
 pub use kmv::KeyMultiValue;
 pub use kv::{KeyValue, KvEmitter, KvError};
 pub use mapreduce::{MapReduce, MrError, MultiValues};

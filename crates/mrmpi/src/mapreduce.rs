@@ -10,6 +10,7 @@ use std::collections::HashMap;
 
 use mpisim::Comm;
 
+use crate::durable::DurableError;
 use crate::hashfn::{fnv1a, key_owner};
 use crate::kmv::{KeyMultiValue, ValueCursor};
 use crate::kv::{decode_entry, encode_entry, validate_page, KeyValue, KvEmitter, KvError};
@@ -31,8 +32,12 @@ pub enum MrError {
     /// The fault-tolerant scheduler failed (worker/master deaths beyond
     /// recovery, or a unit exhausted its attempt budget).
     Sched(SchedError),
-    /// A KV page received from another rank failed validation.
+    /// A KV page received from another rank failed validation, or a local
+    /// spill page failed its durable read-back.
     Corrupt(KvError),
+    /// Durable storage failed: a checkpoint could not be written or read
+    /// (I/O error after bounded retries, torn or corrupt record).
+    Disk(DurableError),
     /// A cross-rank accounting check failed: data silently went missing
     /// (e.g. a rank died after the master loop but before reconciliation,
     /// taking completed output with it).
@@ -51,6 +56,7 @@ impl std::fmt::Display for MrError {
         match self {
             MrError::Sched(e) => write!(f, "scheduling failed: {e}"),
             MrError::Corrupt(e) => write!(f, "corrupt KV page: {e}"),
+            MrError::Disk(e) => write!(f, "durable storage failed: {e}"),
             MrError::DataLost { what, expected, got } => {
                 write!(f, "data lost ({what}): expected {expected}, got {got}")
             }
@@ -63,6 +69,7 @@ impl std::error::Error for MrError {
         match self {
             MrError::Sched(e) => Some(e),
             MrError::Corrupt(e) => Some(e),
+            MrError::Disk(e) => Some(e),
             MrError::DataLost { .. } => None,
         }
     }
@@ -71,6 +78,18 @@ impl std::error::Error for MrError {
 impl From<SchedError> for MrError {
     fn from(e: SchedError) -> Self {
         MrError::Sched(e)
+    }
+}
+
+impl From<DurableError> for MrError {
+    fn from(e: DurableError) -> Self {
+        MrError::Disk(e)
+    }
+}
+
+impl From<KvError> for MrError {
+    fn from(e: KvError) -> Self {
+        MrError::Corrupt(e)
     }
 }
 
@@ -413,13 +432,21 @@ impl<'c> MapReduce<'c> {
         for round in 0..rounds {
             let mut sends: Vec<Vec<u8>> = vec![Vec::new(); size];
             let mut counts: Vec<u64> = vec![0; size];
-            if let Some(page) = kv.page_at(round) {
-                let mut pos = 0;
-                while pos < page.len() {
-                    let (k, v) = decode_entry(&page, &mut pos);
-                    let owner = live[key_owner(k, live.len())];
-                    encode_entry(&mut sends[owner], k, v);
-                    counts[owner] += 1;
+            match kv.try_page_at(round) {
+                Ok(Some(page)) => {
+                    let mut pos = 0;
+                    while pos < page.len() {
+                        let (k, v) = decode_entry(&page, &mut pos);
+                        let owner = live[key_owner(k, live.len())];
+                        encode_entry(&mut sends[owner], k, v);
+                        counts[owner] += 1;
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // A rotted spill page: still run the full collective
+                    // sequence (peers are mid-exchange), report after.
+                    local_err.get_or_insert(MrError::Corrupt(e));
                 }
             }
             let sends: Vec<Vec<u8>> = sends

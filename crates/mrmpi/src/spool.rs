@@ -7,11 +7,21 @@
 //! the original library's "out-of-core processing", whose performance cost on
 //! clusters without node-local scratch is discussed in the paper (§III.A) and
 //! measured by the `ablation_oom_paging` bench.
+//!
+//! Robustness (PR 2): spill pages are CRC32-framed through [`crate::durable`]
+//! so bit rot or truncation on the scratch disk surfaces as a typed
+//! [`DurableError`] on read-back — never as silently wrong key-values. Spill
+//! *writes* degrade gracefully: if the scratch disk is full or failing after
+//! bounded retries, the page simply stays in memory over budget (counted in
+//! [`Spool::degraded_spills`]) instead of aborting the run.
 
 use std::fs;
-use std::io::{Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::durable::{self, DiskFaultPlan, DurableError};
+use crate::settings::Settings;
 
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -21,6 +31,7 @@ enum Page {
 }
 
 /// A page either borrowed from memory or loaded back from a spill file.
+#[derive(Debug)]
 pub enum PageRef<'a> {
     /// Page resident in memory.
     Borrowed(&'a [u8]),
@@ -44,23 +55,43 @@ pub struct Spool {
     mem_budget: usize,
     mem_in_use: usize,
     tmpdir: PathBuf,
+    dir_created: bool,
     spilled: usize,
+    degraded: usize,
+    last_spill_error: Option<DurableError>,
     total_bytes: usize,
+    faults: Option<Arc<DiskFaultPlan>>,
 }
 
 impl Spool {
     /// An empty spool spilling to `tmpdir` once in-memory pages exceed
     /// `mem_budget` bytes.
     pub fn new(mem_budget: usize, tmpdir: PathBuf) -> Self {
-        Spool { pages: Vec::new(), mem_budget, mem_in_use: 0, tmpdir, spilled: 0, total_bytes: 0 }
+        Spool {
+            pages: Vec::new(),
+            mem_budget,
+            mem_in_use: 0,
+            tmpdir,
+            dir_created: false,
+            spilled: 0,
+            degraded: 0,
+            last_spill_error: None,
+            total_bytes: 0,
+            faults: None,
+        }
+    }
+
+    /// A spool configured from engine [`Settings`] (budget, spill directory,
+    /// disk-fault plan).
+    pub fn with_settings(settings: &Settings) -> Self {
+        let mut s = Spool::new(settings.mem_budget, settings.tmpdir.clone());
+        s.faults = settings.disk_faults.clone();
+        s
     }
 
     /// Append a closed page, spilling the oldest in-memory pages if the
-    /// budget is now exceeded.
-    ///
-    /// # Panics
-    /// Panics if a spill file cannot be written (no graceful degradation:
-    /// the original library aborts too).
+    /// budget is now exceeded. Never panics: a failing scratch disk leaves
+    /// pages in memory and increments [`Spool::degraded_spills`].
     pub fn push(&mut self, page: Vec<u8>) {
         self.total_bytes += page.len();
         self.mem_in_use += page.len();
@@ -70,7 +101,23 @@ impl Spool {
         }
     }
 
+    fn ensure_dir(&mut self) -> Result<(), DurableError> {
+        if !self.tmpdir.exists() {
+            fs::create_dir_all(&self.tmpdir).map_err(|e| DurableError::Io {
+                kind: e.kind(),
+                what: format!("create spill dir {}: {e}", self.tmpdir.display()),
+            })?;
+            self.dir_created = true;
+        }
+        Ok(())
+    }
+
     fn spill_down(&mut self) {
+        if let Err(e) = self.ensure_dir() {
+            self.degraded += 1;
+            self.last_spill_error = Some(e);
+            return;
+        }
         for page in self.pages.iter_mut() {
             if self.mem_in_use <= self.mem_budget {
                 break;
@@ -80,13 +127,21 @@ impl Spool {
                 let path = self
                     .tmpdir
                     .join(format!("mrmpi-spill-{}-{}.page", std::process::id(), seq));
-                let mut f = fs::File::create(&path)
-                    .unwrap_or_else(|e| panic!("create spill file {}: {e}", path.display()));
-                f.write_all(data).expect("write spill page");
-                let len = data.len();
-                self.mem_in_use -= len;
-                self.spilled += 1;
-                *page = Page::Disk { path, len };
+                match durable::write_framed(&path, data, self.faults.as_deref()) {
+                    Ok(()) => {
+                        let len = data.len();
+                        self.mem_in_use -= len;
+                        self.spilled += 1;
+                        *page = Page::Disk { path, len };
+                    }
+                    Err(e) => {
+                        // Scratch disk is failing: keep this page (and the
+                        // rest) in memory over budget and carry on.
+                        self.degraded += 1;
+                        self.last_spill_error = Some(e);
+                        break;
+                    }
+                }
             }
         }
     }
@@ -106,45 +161,68 @@ impl Spool {
         self.spilled
     }
 
-    /// Borrow (or load) page `i`.
+    /// How many spill attempts were abandoned (page kept in memory) because
+    /// the scratch disk failed after bounded retries.
+    pub fn degraded_spills(&self) -> usize {
+        self.degraded
+    }
+
+    /// The most recent spill failure, if any.
+    pub fn last_spill_error(&self) -> Option<&DurableError> {
+        self.last_spill_error.as_ref()
+    }
+
+    /// Borrow (or load and CRC-verify) page `i`.
     ///
-    /// # Panics
-    /// Panics if `i` is out of range or a spill file has gone missing.
-    pub fn page(&self, i: usize) -> PageRef<'_> {
+    /// A missing, truncated, or bit-rotted spill file yields a typed
+    /// [`DurableError`]; only an out-of-range index panics.
+    pub fn page(&self, i: usize) -> Result<PageRef<'_>, DurableError> {
         match &self.pages[i] {
-            Page::Mem(data) => PageRef::Borrowed(data),
+            Page::Mem(data) => Ok(PageRef::Borrowed(data)),
             Page::Disk { path, len } => {
-                let mut buf = Vec::with_capacity(*len);
-                fs::File::open(path)
-                    .unwrap_or_else(|e| panic!("open spill file {}: {e}", path.display()))
-                    .read_to_end(&mut buf)
-                    .expect("read spill page");
-                assert_eq!(buf.len(), *len, "spill file {} truncated", path.display());
-                PageRef::Owned(buf)
+                let buf = durable::read_framed(path)?;
+                if buf.len() != *len {
+                    return Err(DurableError::Truncated { at: 0, need: *len, have: buf.len() });
+                }
+                Ok(PageRef::Owned(buf))
             }
         }
     }
 
-    /// Remove and return all pages in order, loading spilled ones.
-    pub fn drain_pages(&mut self) -> Vec<Vec<u8>> {
+    /// Remove and return all pages in order, loading and verifying spilled
+    /// ones. On error the spool is left empty (remaining spill files are
+    /// deleted) — the dataset is already lost, so there is nothing to keep.
+    pub fn drain_pages(&mut self) -> Result<Vec<Vec<u8>>, DurableError> {
         let pages = std::mem::take(&mut self.pages);
         self.mem_in_use = 0;
         self.total_bytes = 0;
-        pages
-            .into_iter()
-            .map(|p| match p {
-                Page::Mem(data) => data,
+        let mut out = Vec::with_capacity(pages.len());
+        let mut first_err = None;
+        for p in pages {
+            match p {
+                Page::Mem(data) => out.push(data),
                 Page::Disk { path, len } => {
-                    let mut buf = Vec::with_capacity(len);
-                    fs::File::open(&path)
-                        .unwrap_or_else(|e| panic!("open spill file {}: {e}", path.display()))
-                        .read_to_end(&mut buf)
-                        .expect("read spill page");
+                    if first_err.is_none() {
+                        match durable::read_framed(&path) {
+                            Ok(buf) if buf.len() == len => out.push(buf),
+                            Ok(buf) => {
+                                first_err = Some(DurableError::Truncated {
+                                    at: 0,
+                                    need: len,
+                                    have: buf.len(),
+                                })
+                            }
+                            Err(e) => first_err = Some(e),
+                        }
+                    }
                     let _ = fs::remove_file(&path);
-                    buf
                 }
-            })
-            .collect()
+            }
+        }
+        match first_err {
+            None => Ok(out),
+            Some(e) => Err(e),
+        }
     }
 }
 
@@ -154,6 +232,19 @@ impl Drop for Spool {
             if let Page::Disk { path, .. } = p {
                 let _ = fs::remove_file(path);
             }
+        }
+        // Reap the per-run spill directory once it is empty. Only attempted
+        // for directories this spool created itself or that follow the
+        // run-unique naming scheme of `Settings::unique_spill_dir`, so a
+        // user-supplied directory is never touched; `remove_dir` is
+        // non-recursive and fails harmlessly while siblings still spill.
+        let run_named = self
+            .tmpdir
+            .file_name()
+            .and_then(|s| s.to_str())
+            .is_some_and(|n| n.starts_with("mrmpi-run-"));
+        if self.dir_created || run_named {
+            let _ = fs::remove_dir(&self.tmpdir);
         }
     }
 }
@@ -175,8 +266,8 @@ mod tests {
         s.push(vec![4]);
         assert_eq!(s.num_pages(), 2);
         assert_eq!(s.total_bytes(), 4);
-        assert_eq!(&*s.page(0), &[1, 2, 3]);
-        assert_eq!(&*s.page(1), &[4]);
+        assert_eq!(&*s.page(0).unwrap(), &[1, 2, 3]);
+        assert_eq!(&*s.page(1).unwrap(), &[4]);
         assert_eq!(s.spill_count(), 0);
     }
 
@@ -186,8 +277,8 @@ mod tests {
         s.push(vec![0xa; 8]);
         s.push(vec![0xb; 8]); // 16 > 10: first page spills
         assert_eq!(s.spill_count(), 1);
-        assert_eq!(&*s.page(0), &[0xa; 8][..]);
-        assert_eq!(&*s.page(1), &[0xb; 8][..]);
+        assert_eq!(&*s.page(0).unwrap(), &[0xa; 8][..]);
+        assert_eq!(&*s.page(1).unwrap(), &[0xb; 8][..]);
     }
 
     #[test]
@@ -197,7 +288,7 @@ mod tests {
             s.push(vec![i; 3]);
         }
         assert!(s.spill_count() >= 3, "most pages should spill");
-        let pages = s.drain_pages();
+        let pages = s.drain_pages().unwrap();
         assert_eq!(pages.len(), 5);
         for (i, p) in pages.iter().enumerate() {
             assert_eq!(p, &vec![i as u8; 3]);
@@ -217,5 +308,93 @@ mod tests {
             assert!(fs::read_dir(&dir).unwrap().count() > before);
         }
         assert_eq!(fs::read_dir(&dir).unwrap().count(), before);
+    }
+
+    #[test]
+    fn lazily_created_run_dir_is_removed_on_drop() {
+        let settings = Settings { mem_budget: 0, ..Settings::default() };
+        let dir = settings.tmpdir.clone();
+        assert!(!dir.exists(), "run dir must not exist before first spill");
+        {
+            let mut s = Spool::with_settings(&settings);
+            s.push(vec![1; 64]);
+            assert_eq!(s.spill_count(), 1);
+            assert!(dir.exists(), "first spill creates the run dir");
+        }
+        assert!(!dir.exists(), "empty run dir is reaped on drop");
+    }
+
+    #[test]
+    fn bit_rot_in_spill_file_is_a_typed_error() {
+        let dir = tmp();
+        let mut s = Spool::new(0, dir.clone());
+        s.push(vec![7; 200]);
+        assert_eq!(s.spill_count(), 1);
+        // Flip one bit of the newest spill file on disk.
+        let newest = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "page"))
+            .max_by_key(|p| fs::metadata(p).unwrap().modified().unwrap())
+            .unwrap();
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&newest, &bytes).unwrap();
+        let err = s.page(0).unwrap_err();
+        assert!(
+            matches!(err, DurableError::CorruptRecord { .. } | DurableError::Truncated { .. }),
+            "{err:?}"
+        );
+        let err = s.drain_pages().unwrap_err();
+        assert!(
+            matches!(err, DurableError::CorruptRecord { .. } | DurableError::Truncated { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn unwritable_scratch_degrades_instead_of_panicking() {
+        // A file where the spill dir should be: create_dir_all fails, the
+        // page stays in memory, and reads still work.
+        let bad = std::env::temp_dir()
+            .join(format!("mrmpi-spool-notadir-{}", std::process::id()));
+        fs::write(&bad, b"occupied").unwrap();
+        let mut s = Spool::new(0, bad.clone());
+        s.push(vec![5; 32]);
+        assert_eq!(s.spill_count(), 0);
+        assert_eq!(s.degraded_spills(), 1);
+        assert!(s.last_spill_error().is_some());
+        assert_eq!(&*s.page(0).unwrap(), &[5; 32][..]);
+        drop(s);
+        fs::remove_file(&bad).unwrap();
+    }
+
+    #[test]
+    fn persistent_injected_eio_degrades_gracefully() {
+        let settings = Settings {
+            mem_budget: 0,
+            disk_faults: Some(
+                DiskFaultPlan::new(5)
+                    .eio_at(0)
+                    .eio_at(1)
+                    .eio_at(2)
+                    .eio_at(3)
+                    .shared(),
+            ),
+            ..Settings::default()
+        };
+        let mut s = Spool::with_settings(&settings);
+        s.push(vec![8; 50]);
+        assert_eq!(s.spill_count(), 0, "spill must fail after bounded retries");
+        assert_eq!(s.degraded_spills(), 1);
+        assert!(matches!(s.last_spill_error(), Some(DurableError::Io { .. })));
+        // The page is still readable from memory; later pushes retry disk.
+        assert_eq!(&*s.page(0).unwrap(), &[8; 50][..]);
+        s.push(vec![9; 50]); // plan exhausted: this spill succeeds
+        assert!(s.spill_count() >= 1);
+        let pages = s.drain_pages().unwrap();
+        assert_eq!(pages.len(), 2);
     }
 }

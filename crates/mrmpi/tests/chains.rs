@@ -123,6 +123,7 @@ fn paged_chain_equals_unpaged() {
         page_size: 128,
         mem_budget: 256,
         tmpdir: std::env::temp_dir(),
+        ..Settings::default()
     })
     .concat();
     a.sort();

@@ -120,23 +120,58 @@ impl Codebook {
         0.5 * (w * w + h * h).sqrt()
     }
 
-    /// Save the codebook to a binary file (little-endian; shape header +
-    /// weights). Used for checkpointing and for shipping trained maps.
+    /// Serialize to the codebook wire format (little-endian; magic + shape
+    /// header + torus flag + weights). The inverse of
+    /// [`Codebook::from_bytes`]; this is what [`Codebook::save`] writes and
+    /// what durable checkpoint records carry.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(33 + self.weights.len() * 8);
+        out.extend_from_slice(b"SOMCBK01");
+        for v in [self.rows as u64, self.cols as u64, self.dims as u64] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.push(u8::from(self.torus));
+        for x in &self.weights {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a codebook serialized by [`Codebook::to_bytes`]. `None` on any
+    /// malformed input: wrong magic, degenerate shape, or a length that does
+    /// not match the header exactly (no trailing bytes tolerated).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Codebook> {
+        let rest = bytes.strip_prefix(b"SOMCBK01")?;
+        if rest.len() < 25 {
+            return None;
+        }
+        let u64_at = |i: usize| -> usize {
+            u64::from_le_bytes(rest[i * 8..i * 8 + 8].try_into().expect("8 bytes")) as usize
+        };
+        let (rows, cols, dims) = (u64_at(0), u64_at(1), u64_at(2));
+        if rows == 0 || cols == 0 || dims == 0 {
+            return None;
+        }
+        let nweights = rows.checked_mul(cols)?.checked_mul(dims)?;
+        let wbuf = &rest[25..];
+        if wbuf.len() != nweights.checked_mul(8)? {
+            return None;
+        }
+        let mut cb = Codebook::zeros(rows, cols, dims);
+        cb.torus = rest[24] != 0;
+        for (i, c) in wbuf.chunks_exact(8).enumerate() {
+            cb.weights[i] = f64::from_le_bytes(c.try_into().expect("8 bytes"));
+        }
+        Some(cb)
+    }
+
+    /// Save the codebook to a binary file (the [`Codebook::to_bytes`]
+    /// format). Used for checkpointing and for shipping trained maps.
     ///
     /// # Errors
     /// IO errors.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        use std::io::Write;
-        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-        w.write_all(b"SOMCBK01")?;
-        for v in [self.rows as u64, self.cols as u64, self.dims as u64] {
-            w.write_all(&v.to_le_bytes())?;
-        }
-        w.write_all(&[u8::from(self.torus)])?;
-        for x in &self.weights {
-            w.write_all(&x.to_le_bytes())?;
-        }
-        w.flush()
+        std::fs::write(path, self.to_bytes())
     }
 
     /// Load a codebook saved by [`Codebook::save`].
@@ -144,40 +179,10 @@ impl Codebook {
     /// # Errors
     /// IO errors; `InvalidData` on a malformed file.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Codebook> {
-        use std::io::Read;
-        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != b"SOMCBK01" {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "not a codebook file",
-            ));
-        }
-        let mut buf8 = [0u8; 8];
-        let mut next = || -> std::io::Result<u64> {
-            r.read_exact(&mut buf8)?;
-            Ok(u64::from_le_bytes(buf8))
-        };
-        let rows = next()? as usize;
-        let cols = next()? as usize;
-        let dims = next()? as usize;
-        let mut t = [0u8; 1];
-        r.read_exact(&mut t)?;
-        let mut cb = Codebook::zeros(rows.max(1), cols.max(1), dims.max(1));
-        if rows == 0 || cols == 0 || dims == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "degenerate codebook shape",
-            ));
-        }
-        cb.torus = t[0] != 0;
-        let mut wbuf = vec![0u8; rows * cols * dims * 8];
-        r.read_exact(&mut wbuf)?;
-        for (i, c) in wbuf.chunks_exact(8).enumerate() {
-            cb.weights[i] = f64::from_le_bytes(c.try_into().expect("8 bytes"));
-        }
-        Ok(cb)
+        let bytes = std::fs::read(path)?;
+        Codebook::from_bytes(&bytes).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "not a codebook file")
+        })
     }
 }
 
@@ -278,5 +283,24 @@ mod tests {
     #[should_panic(expected = "degenerate")]
     fn zero_dims_rejected() {
         let _ = Codebook::zeros(1, 1, 0);
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_reject_malformed() {
+        let cb = Codebook::random(3, 4, 2, &mut rng(), -1.0, 1.0).with_torus(true);
+        let bytes = cb.to_bytes();
+        assert_eq!(Codebook::from_bytes(&bytes), Some(cb));
+        // Truncation at any boundary is rejected, never misread.
+        assert_eq!(Codebook::from_bytes(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(Codebook::from_bytes(&bytes[..10]), None);
+        assert_eq!(Codebook::from_bytes(b""), None);
+        // Trailing bytes are rejected too.
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert_eq!(Codebook::from_bytes(&longer), None);
+        // A corrupted shape header cannot allocate a bogus codebook.
+        let mut bad = bytes;
+        bad[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(Codebook::from_bytes(&bad), None);
     }
 }

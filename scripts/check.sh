@@ -17,4 +17,10 @@ cargo test -q --test parallel_equivalence blast_equivalence_with_two_of_eight_wo
 echo "== fault-mode smoke: DES dead-worker closed form =="
 cargo test -q --test perfmodel_validation faulty_des_matches_reduced_worker_closed_form
 
+echo "== crash-consistency smoke: BLAST kill-and-restart, bit-for-bit output =="
+cargo test -q --test crash_restart blast_crash_restart_bit_for_bit
+
+echo "== crash-consistency smoke: SOM resumes past a corrupt newest checkpoint =="
+cargo test -q --test crash_restart som_resume_with_corrupt_newest_checkpoint_falls_back
+
 echo "check.sh: all green"

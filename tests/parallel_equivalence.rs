@@ -110,6 +110,7 @@ fn blast_equivalence_under_out_of_core_paging() {
             page_size: 1024,
             mem_budget: 4096,
             tmpdir: std::env::temp_dir(),
+            ..Settings::default()
         },
         ..MrBlastConfig::blastn()
     };

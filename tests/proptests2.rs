@@ -66,6 +66,7 @@ proptest! {
             page_size: 128,
             mem_budget: budget,
             tmpdir: std::env::temp_dir(),
+            ..Settings::default()
         };
         let mut kv = KeyValue::new(&settings);
         for &(k, v) in &pairs {

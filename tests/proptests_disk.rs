@@ -1,0 +1,175 @@
+//! Property tests for the durable-storage layer and its consumers.
+//!
+//! The invariant under test, in every shape: **corruption is a typed error,
+//! never a wrong value.** For arbitrary payloads and arbitrary corruption —
+//! any truncation point, any single-bit flip — decoding a durable record
+//! file or a spool spill page either returns exactly the original bytes or a
+//! typed [`mrmpi::DurableError`]; it never panics and never returns
+//! different bytes. The SOM restart path inherits the invariant: a corrupted
+//! newest checkpoint falls back to the next-older valid one.
+
+use proptest::prelude::*;
+
+use mrmpi::durable::{self, DurableError};
+use mrmpi::spool::Spool;
+use som::codebook::Codebook;
+
+fn payloads() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..96), 1..6)
+}
+
+fn tmp_file(tag: &str, case: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("proptest-disk-{tag}-{}-{case}", std::process::id()))
+}
+
+proptest! {
+    // Any truncation of a record file is a typed error — no prefix of a
+    // durable file ever decodes to data.
+    #[test]
+    fn truncated_record_file_is_typed_error_never_wrong_value(
+        payloads in payloads(),
+        cut_seed in any::<u64>(),
+        case in any::<u64>(),
+    ) {
+        let path = tmp_file("trunc", case);
+        let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        durable::write_record_file(&path, &refs, None).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let want: Vec<Vec<u8>> =
+            durable::decode_file(&full).unwrap().into_iter().map(|p| p.to_vec()).collect();
+        prop_assert_eq!(&want, &payloads, "intact file must round-trip");
+
+        // Every truncation length (bounded sample for big files, always
+        // including the boundary-adjacent ones) must yield a typed error.
+        let n = full.len();
+        let mut cuts: Vec<usize> = (0..n.min(64)).collect();
+        cuts.extend((0..8).map(|i| (cut_seed as usize).wrapping_add(i * 37) % n));
+        cuts.extend([n - 1, n.saturating_sub(2), n / 2]);
+        for cut in cuts {
+            let err = durable::decode_file(&full[..cut]);
+            prop_assert!(
+                matches!(err, Err(DurableError::Truncated { .. } | DurableError::CorruptRecord { .. })),
+                "cut at {} of {} must be typed, got {:?}", cut, n, err
+            );
+        }
+    }
+
+    // Any single-bit flip anywhere in a record file is a typed error or —
+    // never — a changed payload.
+    #[test]
+    fn single_bit_flip_is_typed_error_never_wrong_value(
+        payloads in payloads(),
+        flip_seed in any::<u64>(),
+        case in any::<u64>(),
+    ) {
+        let path = tmp_file("flip", case);
+        let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        durable::write_record_file(&path, &refs, None).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // A bounded sample of bit positions, deterministic per case.
+        for i in 0..24u64 {
+            let bitpos = (flip_seed.wrapping_add(i.wrapping_mul(0x9E37_79B9))
+                % (full.len() as u64 * 8)) as usize;
+            let mut bent = full.clone();
+            bent[bitpos / 8] ^= 1 << (bitpos % 8);
+            match durable::decode_file(&bent) {
+                Err(_) => {} // typed error: the expected outcome
+                Ok(decoded) => {
+                    // CRC32 cannot catch literally every multi-field
+                    // combination, but a *single* bit flip is always within
+                    // its guarantee: if decode succeeds the data must be
+                    // untouched... which is impossible here, so fail loudly.
+                    let got: Vec<Vec<u8>> = decoded.into_iter().map(|p| p.to_vec()).collect();
+                    prop_assert_eq!(&got, &payloads, "bit flip at {} decoded to altered data", bitpos);
+                    prop_assert!(false, "single-bit flip at {} must not decode cleanly", bitpos);
+                }
+            }
+        }
+    }
+
+    // Spool spill pages inherit the invariant: flipping a bit in a spilled
+    // page file makes `page()` return a typed error, not wrong bytes.
+    #[test]
+    fn spool_spill_bit_flip_is_typed_error(
+        data in proptest::collection::vec(any::<u8>(), 16..128),
+        flip_seed in any::<u64>(),
+        case in any::<u64>(),
+    ) {
+        let dir = tmp_file("spool", case);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut spool = Spool::new(1, dir.clone()); // 1-byte budget: spill everything
+        spool.push(data.clone());
+        spool.push(b"second page pins the first out".to_vec());
+        prop_assert!(spool.spill_count() >= 1, "first page must spill");
+
+        // Corrupt every spill file — page 0 is spilled, so its file is
+        // among them; the flip position inside each file is seeded.
+        let spilled: Vec<_> = std::fs::read_dir(&dir).unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        prop_assert!(!spilled.is_empty());
+        for victim in &spilled {
+            let mut bytes = std::fs::read(victim).unwrap();
+            let bitpos = (flip_seed % (bytes.len() as u64 * 8)) as usize;
+            bytes[bitpos / 8] ^= 1 << (bitpos % 8);
+            std::fs::write(victim, &bytes).unwrap();
+        }
+
+        match spool.page(0) {
+            Err(DurableError::CorruptRecord { .. } | DurableError::Truncated { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+            Ok(_) => prop_assert!(false, "bit flip must surface as a typed error"),
+        }
+        drop(spool);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // SOM restart-after-corruption: whatever single-bit flip hits the
+    // newest checkpoint, `load_latest_checkpoint` falls back to the older
+    // valid checkpoint (or cleanly to `None` when there is only one).
+    #[test]
+    fn som_restart_falls_back_past_corrupt_newest_checkpoint(
+        flip_seed in any::<u64>(),
+        case in any::<u64>(),
+    ) {
+        let dir = tmp_file("somck", case);
+        std::fs::create_dir_all(&dir).unwrap();
+        let som = som::neighborhood::SomConfig {
+            rows: 3, cols: 3, dims: 2, epochs: 4, seed: 5,
+            ..som::neighborhood::SomConfig::default()
+        };
+        let cfg = mrbio::MrSomConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            ..mrbio::MrSomConfig::new(som)
+        };
+        let mut older = Codebook::zeros(3, 3, 2);
+        older.weights.iter_mut().enumerate().for_each(|(i, w)| *w = i as f64);
+        let mut newer = older.clone();
+        newer.weights.iter_mut().for_each(|w| *w += 100.0);
+        mrbio::write_checkpoint(&cfg, 1, &older);
+        mrbio::write_checkpoint(&cfg, 2, &newer);
+
+        let (epoch, cb) = mrbio::load_latest_checkpoint(&cfg).expect("both intact");
+        prop_assert_eq!(epoch, 2);
+        prop_assert_eq!(&cb, &newer);
+
+        // Flip one bit of the newest checkpoint file.
+        let newest = mrbio::checkpoint_path(&dir, 2);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let bitpos = (flip_seed % (bytes.len() as u64 * 8)) as usize;
+        bytes[bitpos / 8] ^= 1 << (bitpos % 8);
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let (epoch, cb) = mrbio::load_latest_checkpoint(&cfg)
+            .expect("older checkpoint must be found");
+        prop_assert_eq!(epoch, 1, "fallback must pick the older epoch");
+        prop_assert_eq!(&cb, &older, "fallback payload must be the older codebook");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
