@@ -19,7 +19,7 @@ pub fn kmer_dims(k: usize) -> usize {
 /// # Panics
 /// Panics if `k == 0` or `k > 16`.
 pub fn kmer_counts(seq: &[u8], k: usize) -> Vec<u32> {
-    assert!(k >= 1 && k <= 16, "k must be in 1..=16");
+    assert!((1..=16).contains(&k), "k must be in 1..=16");
     let dims = kmer_dims(k);
     let mut counts = vec![0u32; dims];
     if seq.len() < k {
@@ -114,8 +114,8 @@ mod tests {
     #[test]
     fn composition_distinguishes_sequences() {
         // Poly-A vs poly-G must have disjoint support.
-        let a = tetra_frequencies(&vec![b'A'; 100]);
-        let g = tetra_frequencies(&vec![b'G'; 100]);
+        let a = tetra_frequencies(&[b'A'; 100]);
+        let g = tetra_frequencies(&[b'G'; 100]);
         let dot: f64 = a.iter().zip(&g).map(|(x, y)| x * y).sum();
         assert_eq!(dot, 0.0);
     }

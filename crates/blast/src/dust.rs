@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn poly_a_is_masked() {
-        let mask = default_dust(&dna_codes(&vec![b'A'; 200]));
+        let mask = default_dust(&dna_codes(&[b'A'; 200]));
         assert!(mask.iter().all(|&m| m), "homopolymer must mask fully");
     }
 
@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn dinucleotide_repeat_is_masked() {
-        let seq: Vec<u8> = std::iter::repeat(*b"AT").take(100).flatten().collect();
+        let seq: Vec<u8> = std::iter::repeat_n(*b"AT", 100).flatten().collect();
         let mask = default_dust(&dna_codes(&seq));
         let frac = mask.iter().filter(|&&m| m).count() as f64 / mask.len() as f64;
         assert!(frac > 0.9, "AT repeat should mask ({frac})");
@@ -138,7 +138,7 @@ mod tests {
         // Random flank + poly-A core + random flank: core masked, flanks mostly not.
         let mut r = bioseq::gen::rng(12);
         let mut seq = bioseq::gen::random_dna(&mut r, 200, 0.5);
-        seq.extend(std::iter::repeat(b'A').take(150));
+        seq.extend(std::iter::repeat_n(b'A', 150));
         seq.extend(bioseq::gen::random_dna(&mut r, 200, 0.5));
         let mask = default_dust(&dna_codes(&seq));
         let core_masked = mask[232..318].iter().filter(|&&m| m).count();
@@ -155,7 +155,7 @@ mod tests {
 
     #[test]
     fn poly_q_protein_masked_random_not() {
-        let mask = default_seg(&prot_codes(&vec![b'Q'; 50]));
+        let mask = default_seg(&prot_codes(&[b'Q'; 50]));
         assert!(mask.iter().all(|&m| m));
         let mut r = bioseq::gen::rng(13);
         let seq = bioseq::gen::random_protein(&mut r, 300);

@@ -99,8 +99,6 @@ pub fn xdrop_extend_banded(
             // row's window.
             let d = if j >= 1 && guarded(h[k]) {
                 h[k] + scoring.score(a[i - 1], b[j - 1])
-            } else if j == 0 {
-                NEG_INF
             } else {
                 NEG_INF
             };
@@ -234,7 +232,7 @@ pub fn banded_global_alignment(
         let gaps = n + m;
         let open = if gaps > 0 { scoring.gap_open() } else { 0 };
         let mut ops = vec![b'I'; m];
-        ops.extend(std::iter::repeat(b'D').take(n));
+        ops.extend(std::iter::repeat_n(b'D', n));
         return BandedAlignment {
             score: -open - scoring.gap_extend() * gaps as i32,
             ops,

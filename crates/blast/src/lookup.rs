@@ -63,7 +63,7 @@ impl Lookup {
     /// # Panics
     /// Panics if `word_size` is 0 or > 31.
     pub fn build_dna(contexts: &[(&[u8], &[u8])], word_size: usize) -> Lookup {
-        assert!(word_size >= 1 && word_size <= 31, "DNA word size out of range");
+        assert!((1..=31).contains(&word_size), "DNA word size out of range");
         let mut table: HashMap<u64, Vec<SeedEntry>> = HashMap::new();
         for (ctx, (codes, mask)) in contexts.iter().enumerate() {
             debug_assert_eq!(codes.len(), mask.len());
@@ -97,7 +97,7 @@ impl Lookup {
         threshold: i32,
         scoring: &Scoring,
     ) -> Lookup {
-        assert!(word_size >= 1 && word_size <= 8, "protein word size out of range");
+        assert!((1..=8).contains(&word_size), "protein word size out of range");
         assert!(
             matches!(scoring, Scoring::Blosum62 { .. }),
             "protein lookup needs a protein scoring system"

@@ -119,9 +119,9 @@ mod tests {
 
     #[test]
     fn blosum62_is_symmetric() {
-        for i in 0..24 {
-            for j in 0..24 {
-                assert_eq!(BLOSUM62[i][j], BLOSUM62[j][i], "asymmetry at ({i},{j})");
+        for (i, row) in BLOSUM62.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, BLOSUM62[j][i], "asymmetry at ({i},{j})");
             }
         }
     }
@@ -141,10 +141,10 @@ mod tests {
     #[test]
     fn blosum62_diagonal_dominates_in_expectation() {
         // Every residue scores itself at least as well as any substitution.
-        for i in 0..20 {
-            for j in 0..20 {
+        for (i, row) in BLOSUM62.iter().take(20).enumerate() {
+            for (j, &v) in row.iter().take(20).enumerate() {
                 if i != j {
-                    assert!(BLOSUM62[i][i] as i32 > BLOSUM62[i][j] as i32);
+                    assert!(row[i] as i32 > v as i32);
                 }
             }
         }

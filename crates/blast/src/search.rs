@@ -566,7 +566,7 @@ mod tests {
         for p in 0..db.num_partitions() {
             let part = db.load_partition(p).unwrap();
             partitioned.extend(searcher.search_partition(
-                &part_prepared(&searcher, &w.queries, &prepared),
+                part_prepared(&searcher, &w.queries, &prepared),
                 &part,
                 db.total_residues,
                 db.total_sequences,
@@ -682,7 +682,7 @@ mod tests {
         let mut r = gen::rng(108);
         // Poly-A query against a DB with poly-A stretches.
         let mut dbseq = gen::random_dna(&mut r, 2000, 0.5);
-        dbseq.extend(std::iter::repeat(b'A').take(500));
+        dbseq.extend(std::iter::repeat_n(b'A', 500));
         let db = vec![SeqRecord::new("s", dbseq)];
         let query = vec![SeqRecord::new("polyA", vec![b'A'; 400])];
         let part = partition_of(&db, Alphabet::Dna);

@@ -129,6 +129,7 @@ pub fn run_mrblast_adaptive(
         db_loads: 0,
         busy: BusyTracker::new(),
         finish_time: 0.0,
+        quarantined: Vec::new(),
     };
 
     let db_cache: RefCell<Option<(usize, DbPartition)>> = RefCell::new(None);

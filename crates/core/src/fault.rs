@@ -51,6 +51,15 @@ impl FaultConfig {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Defaults with **speculative re-execution** enabled (the `--speculate`
+    /// recipe): work units in flight on a worker that misses its heartbeat
+    /// deadline are re-dispatched to idle workers; the first completion wins
+    /// and every duplicate is discarded before it can touch the output, so
+    /// results stay bit-for-bit identical to a fault-free run.
+    pub fn speculative() -> Self {
+        FaultConfig { ft: FtConfig { speculate: true, ..FtConfig::default() } }
+    }
 }
 
 /// Engine settings with a seeded disk-fault plan attached: every durable

@@ -111,6 +111,7 @@ fn open_rank_output(
         .read(true)
         .write(true)
         .create(true)
+        .truncate(false) // restart keeps finished bytes; set_len trims the rest
         .open(&path)
         .expect("open rank output file");
     f.set_len(resume_offset).expect("truncate rank output to checkpoint offset");
@@ -137,6 +138,12 @@ pub struct MrBlastRankReport {
     pub busy: BusyTracker,
     /// Rank-local virtual time at completion.
     pub finish_time: f64,
+    /// Work units quarantined as poison by the fault-tolerant scheduler,
+    /// encoded as `global_block * nparts + partition` and sorted; identical
+    /// on every surviving rank. Always empty outside [`run_mrblast_ft`] —
+    /// non-empty means the run completed with partial results, and these
+    /// `(query block, DB partition)` pairs contributed no hits.
+    pub quarantined: Vec<u64>,
 }
 
 /// Run MR-MPI BLAST collectively. Must be called by every rank of `comm`
@@ -164,6 +171,7 @@ pub fn run_mrblast(
         db_loads: 0,
         busy: BusyTracker::new(),
         finish_time: 0.0,
+        quarantined: Vec::new(),
     };
 
     // Restart protocol: rank 0 loads the durable checkpoint (if any) and all
@@ -346,6 +354,7 @@ pub fn run_mrblast_ft(
         db_loads: 0,
         busy: BusyTracker::new(),
         finish_time: 0.0,
+        quarantined: Vec::new(),
     };
 
     let fp = RunFingerprint {
@@ -383,7 +392,7 @@ pub fn run_mrblast_ft(
 
         let mut mr = MapReduce::with_settings(comm, cfg.mr_settings.clone());
         let nblocks_iter = iter_blocks.len();
-        mr.map_tasks_ft(ntasks, &fault.ft, &mut |task, kv| {
+        let ft_report = mr.map_tasks_ft_report(ntasks, &fault.ft, &mut |task, kv| {
             let part_idx = task / nblocks_iter;
             let block_idx = task % nblocks_iter;
 
@@ -397,6 +406,10 @@ pub fn run_mrblast_ft(
                 comm.charge(t0.elapsed().as_secs_f64());
                 counters.borrow_mut().1 += 1;
                 *db_slot = Some((part_idx, part));
+                // A cold DB partition load can dominate a work unit; tell the
+                // master we are alive so the deadline detector does not start
+                // speculating against a healthy worker.
+                mrmpi::sched::ft_beacon(comm);
             }
             let (_, part) = db_slot.as_ref().expect("cache just filled");
 
@@ -426,6 +439,15 @@ pub fn run_mrblast_ft(
                 kv.emit(hit.query_id.as_bytes(), &hit.encode());
             }
         })?;
+        // Re-encode this iteration's quarantined scheduler units (partition-
+        // major within the iteration) as stable global `(block, partition)`
+        // ids so the final report is meaningful across iterations.
+        for unit in &ft_report.quarantined {
+            let part_idx = *unit as usize / nblocks_iter;
+            let block_idx = *unit as usize % nblocks_iter;
+            let global_block = (iter_start + block_idx) as u64;
+            report.quarantined.push(global_block * nparts as u64 + part_idx as u64);
+        }
 
         // Checked shuffle + local grouping (collate() with accounting).
         mr.try_aggregate()?;
@@ -472,6 +494,7 @@ pub fn run_mrblast_ft(
     report.db_loads = db_loads;
     report.busy = busy.into_inner();
     report.finish_time = comm.now();
+    report.quarantined.sort_unstable();
     Ok(report)
 }
 

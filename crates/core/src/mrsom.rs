@@ -88,6 +88,12 @@ pub struct MrSomRankReport {
     pub busy: BusyTracker,
     /// Rank-local virtual time at completion.
     pub finish_time: f64,
+    /// Vector-block indices quarantined as poison by the fault-tolerant
+    /// scheduler (sorted, deduplicated across epochs; identical on every
+    /// surviving rank). Always empty outside [`run_mrsom_ft`] — non-empty
+    /// means those blocks' vectors contributed to no epoch and the trained
+    /// codebook is a partial result.
+    pub quarantined: Vec<u64>,
 }
 
 /// Run MR-MPI batch SOM collectively; every rank returns the final codebook
@@ -174,6 +180,7 @@ pub fn run_mrsom(
         blocks_processed: blocks_processed.into_inner(),
         busy: busy.into_inner(),
         finish_time: comm.now(),
+        quarantined: Vec::new(),
     };
     (cb, report)
 }
@@ -221,6 +228,7 @@ pub fn run_mrsom_ft(
 
     let busy: RefCell<BusyTracker> = RefCell::new(BusyTracker::new());
     let blocks_processed: RefCell<u64> = RefCell::new(0);
+    let mut quarantined: Vec<u64> = Vec::new();
 
     for epoch in start_epoch..som.epochs {
         comm.bcast_f64s(0, &mut cb.weights);
@@ -229,7 +237,7 @@ pub fn run_mrsom_ft(
         let acc: RefCell<BatchAccumulator> = RefCell::new(BatchAccumulator::zeros(&cb));
         let epoch_blocks: RefCell<u64> = RefCell::new(0);
         let mut mr = MapReduce::with_settings(comm, cfg.mr_settings.clone());
-        mr.map_tasks_ft(blocks.len(), &fault.ft, &mut |b, _kv| {
+        let ft_report = mr.map_tasks_ft_report(blocks.len(), &fault.ft, &mut |b, _kv| {
             let (start, end) = blocks[b];
             let t_load = Instant::now();
             let inputs = matrix.read_rows(start, end).expect("read vector block");
@@ -245,32 +253,55 @@ pub fn run_mrsom_ft(
             *epoch_blocks.borrow_mut() += 1;
         })?;
 
-        // Direct MPI reduce of [numerator ‖ denominator ‖ block count]. The
-        // trailing count travels *with* the data, so any rank whose
-        // accumulator is missing from the sum is also missing from the
-        // count — the master's conservation check below catches it.
+        // Direct MPI reduce of [numerator ‖ denominator ‖ block count],
+        // through the *strict* collective: a participant that died between
+        // the map and this reduce (taking its accumulator with it) turns
+        // into the same typed verdict on every live rank instead of a
+        // deadlock or a silently skewed codebook. Suspicion is advisory —
+        // the reduction still completed, so training proceeds.
         let acc = acc.into_inner();
         let mut packed = acc.numerator;
         packed.extend_from_slice(&acc.denominator);
         packed.push(*epoch_blocks.borrow() as f64);
         let mut summed = vec![0.0; packed.len()];
-        let is_root = comm.reduce_f64(0, &packed, &mut summed, ReduceOp::Sum);
+        let is_root = match comm.try_reduce_f64(0, &packed, &mut summed, ReduceOp::Sum) {
+            Ok(is_root) => is_root,
+            // Suspicion is advisory: the reduction completed.
+            Err(mpisim::MpiError::Suspected { .. }) => comm.rank() == 0,
+            // A participant is dead. That is not necessarily data loss —
+            // if it died early, the scheduler already re-ran its blocks on
+            // survivors. Fall back to the tolerant reduce (dead ranks are
+            // skipped) and let the conservation check below pronounce the
+            // epoch verdict from the summed block count.
+            Err(mpisim::MpiError::RankDead { .. }) => {
+                comm.reduce_f64(0, &packed, &mut summed, ReduceOp::Sum)
+            }
+            Err(_) => unreachable!("try_reduce_f64 yields RankDead or Suspected"),
+        };
 
         // Echo the observed block count to everyone so all live ranks agree
-        // on the epoch's verdict.
-        let mut echo = [0.0f64];
+        // on the epoch's verdict (same strict-then-tolerant pattern).
+        let mut echo = Vec::new();
         if is_root {
-            echo[0] = summed[nn * dims + nn];
+            echo = mpisim::wire::f64s_to_bytes(&[summed[nn * dims + nn]]);
         }
-        comm.bcast_f64s(0, &mut echo);
-        let got = echo[0].round() as u64;
-        if got != blocks.len() as u64 {
+        match comm.try_bcast(0, &mut echo) {
+            Ok(()) | Err(mpisim::MpiError::Suspected { .. }) => {}
+            Err(_) => comm.bcast(0, &mut echo),
+        }
+        let got = mpisim::wire::bytes_to_f64s(&echo)[0].round() as u64;
+        // Quarantined (poison) blocks are a *known* partial result — they
+        // reduce the expected contribution count; anything else missing is
+        // silent data loss.
+        let expected = (blocks.len() - ft_report.quarantined.len()) as u64;
+        if got != expected {
             return Err(MrError::DataLost {
                 what: "SOM epoch block contributions",
-                expected: blocks.len() as u64,
+                expected,
                 got,
             });
         }
+        quarantined.extend_from_slice(&ft_report.quarantined);
 
         if is_root {
             let merged = BatchAccumulator::from_parts(
@@ -288,11 +319,14 @@ pub fn run_mrsom_ft(
     comm.bcast_f64s(0, &mut cb.weights);
     comm.barrier();
 
+    quarantined.sort_unstable();
+    quarantined.dedup();
     let report = MrSomRankReport {
         rank: comm.rank(),
         blocks_processed: blocks_processed.into_inner(),
         busy: busy.into_inner(),
         finish_time: comm.now(),
+        quarantined,
     };
     Ok((cb, report))
 }
@@ -310,7 +344,7 @@ pub fn checkpoint_path(dir: &std::path::Path, epoch: usize) -> std::path::PathBu
 /// checkpoint intact, so the only cost is a longer recompute on restart.
 pub fn write_checkpoint(cfg: &MrSomConfig, completed_epochs: usize, cb: &Codebook) {
     let Some(dir) = &cfg.checkpoint_dir else { return };
-    if cfg.checkpoint_every == 0 || completed_epochs % cfg.checkpoint_every != 0 {
+    if cfg.checkpoint_every == 0 || !completed_epochs.is_multiple_of(cfg.checkpoint_every) {
         return;
     }
     let faults = cfg.mr_settings.disk_faults.as_deref();
@@ -339,7 +373,7 @@ pub fn load_latest_checkpoint(cfg: &MrSomConfig) -> Option<(usize, Codebook)> {
             }
         }
     }
-    found.sort_by(|a, b| b.0.cmp(&a.0)); // newest first
+    found.sort_by_key(|&(epoch, _)| std::cmp::Reverse(epoch)); // newest first
     for (epoch, path) in found {
         let Ok(payloads) = mrmpi::durable::read_record_file(&path) else { continue };
         let [payload] = payloads.as_slice() else { continue };
@@ -456,6 +490,7 @@ pub fn run_mrsom_collate(
         blocks_processed: blocks_processed.into_inner(),
         busy: busy.into_inner(),
         finish_time: comm.now(),
+        quarantined: Vec::new(),
     };
     (cb, report)
 }
@@ -730,6 +765,76 @@ mod tests {
                 ),
                 RankOutcome::Done(Err(e)) => panic!("survivor rank {rank} failed: {e}"),
                 RankOutcome::Died { .. } => panic!("unexpected death on rank {rank}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ft_som_mid_epoch_death_during_reduce_is_a_typed_error_not_a_hang() {
+        // Regression for the narrow BSP window the conservation check exists
+        // for: a worker finishes its map blocks, then dies *on entry to the
+        // epoch's MPI_Reduce* — its accumulator is gone and no scheduler can
+        // re-run the work, because the master already counted it done. The
+        // death is placed deterministically by burning virtual time between
+        // accumulation and the reduce; the strict collective must turn it
+        // into the same typed verdict on every survivor, never a deadlock.
+        use mpisim::{FaultPlan, MpiError, RankOutcome};
+        let som = som_cfg(4);
+        let cb0 = init_codebook(&som, &[]);
+        let plan = FaultPlan::new(51).kill(2, 1.0);
+        let outcomes = World::new(4).with_faults(plan).run_faulty(move |comm| {
+            // One SOM epoch, Fig. 2 shape: everyone accumulates locally...
+            let vec_block = vec![vec![0.25; 4]; 8];
+            let mut acc = BatchAccumulator::zeros(&cb0);
+            acc.accumulate_block_with(&cb0, &vec_block, 1.0, som.kernel);
+            // ...then rank 2's clock crosses its kill time before the
+            // reduce: it unwinds at the collective's entry preflight.
+            if comm.rank() == 2 {
+                comm.charge(2.0);
+            }
+            let mut packed = acc.numerator;
+            packed.extend_from_slice(&acc.denominator);
+            let mut summed = vec![0.0; packed.len()];
+            comm.try_reduce_f64(0, &packed, &mut summed, mpisim::ReduceOp::Sum)
+        });
+        assert!(outcomes[2].is_died(), "rank 2 dies at the reduce");
+        for (rank, out) in outcomes.iter().enumerate() {
+            if rank == 2 {
+                continue;
+            }
+            match out {
+                RankOutcome::Done(Err(MpiError::RankDead { rank: 2, .. })) => {}
+                other => panic!("rank {rank}: want RankDead{{2}}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ft_som_quarantines_poison_blocks_and_completes_partially() {
+        use mpisim::{FaultPlan, RankOutcome};
+        let (path, _) = matrix_fixture("ftpoison", 100, 4, 43);
+        let som = som_cfg(4);
+        let p = path.clone();
+        // Block 3 of 10 panics on every attempt: the run must complete with
+        // the other 9 blocks and report the quarantine on every rank.
+        let plan = FaultPlan::new(44).poison(3);
+        let outcomes = World::new(3).with_faults(plan).run_faulty(move |comm| {
+            let matrix = VectorMatrix::open(&p).unwrap();
+            let cfg = MrSomConfig { block_size: 10, ..MrSomConfig::new(som) };
+            run_mrsom_ft(comm, &matrix, &cfg, &FaultConfig::default())
+        });
+        let mut weights: Option<Vec<f64>> = None;
+        for (rank, out) in outcomes.into_iter().enumerate() {
+            match out {
+                RankOutcome::Done(Ok((cb, report))) => {
+                    assert_eq!(report.quarantined, vec![3], "rank {rank}");
+                    match &weights {
+                        Some(w) => assert_eq!(w, &cb.weights, "rank {rank} codebook"),
+                        None => weights = Some(cb.weights.clone()),
+                    }
+                }
+                other => panic!("rank {rank}: {other:?}"),
             }
         }
         std::fs::remove_file(&path).ok();

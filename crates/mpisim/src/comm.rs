@@ -80,12 +80,57 @@ impl Comm {
     /// if so, die. Called at every communication-operation entry and after
     /// every compute charge, so deaths happen at operation boundaries — never
     /// while blocked (a blocked rank's clock is frozen).
+    ///
+    /// Also the trigger point for two supervision-layer mechanisms:
+    /// * **stalls** — an injected straggler window freezes the rank here, in
+    ///   wall-clock time (timeouts and heartbeat deadlines are wall-clock);
+    /// * **fencing** — a rank another rank marked dead on the board (a
+    ///   supervisor evicting a straggler) notices at its next operation and
+    ///   unwinds with the recorded death.
     fn preflight(&self) {
         if let Some(f) = &self.faults {
             if let Some(at) = f.death_at {
                 if self.now() >= at && self.shared.board.is_alive(self.rank) {
                     self.die(at);
                 }
+            }
+        }
+        self.maybe_stall();
+        if !self.shared.board.is_alive(self.rank) {
+            // Fenced by a peer while we were computing or stalled: the board
+            // already records the death; just unwind.
+            let at = self.shared.board.death_time_of(self.rank).unwrap_or_else(|| self.now());
+            std::panic::panic_any(RankDeath { rank: self.rank, at });
+        }
+    }
+
+    /// Serve any stall window whose virtual trigger time has been crossed:
+    /// sleep wall-clock in short slices, waking early if this rank gets
+    /// fenced (marked dead) meanwhile — a fenced straggler stops burning real
+    /// time and dies at the `preflight` board check that follows.
+    fn maybe_stall(&self) {
+        let Some(f) = &self.faults else { return };
+        loop {
+            let due = {
+                let mut stalls = f.stalls.borrow_mut();
+                let now = self.now();
+                stalls.iter_mut().find_map(|s| {
+                    if !s.2 && now >= s.0 {
+                        s.2 = true;
+                        Some(s.1)
+                    } else {
+                        None
+                    }
+                })
+            };
+            let Some(dur_s) = due else { return };
+            let deadline = std::time::Instant::now() + Duration::from_secs_f64(dur_s);
+            while std::time::Instant::now() < deadline {
+                if !self.shared.board.is_alive(self.rank) {
+                    return; // fenced mid-stall: die promptly instead of sleeping on
+                }
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                std::thread::sleep(left.min(Duration::from_millis(10)));
             }
         }
     }
@@ -109,6 +154,60 @@ impl Comm {
     #[inline]
     pub fn is_alive(&self, rank: Rank) -> bool {
         self.shared.board.is_alive(rank)
+    }
+
+    /// **Fence** `rank`: declare it dead on the fault board on behalf of a
+    /// supervisor that has given up on it (e.g. the FT master evicting a
+    /// straggler whose work a backup already finished). Mirrors a self-death:
+    /// the victim's queued messages are purged, every blocked peer is woken,
+    /// and collectives stop waiting for it. The victim itself notices at its
+    /// next operation boundary (or mid-stall) and unwinds as a rank death.
+    ///
+    /// # Panics
+    /// Panics if asked to fence ourselves (use a kill rule for that) or an
+    /// out-of-range rank.
+    pub fn fence(&self, rank: Rank) {
+        assert!(rank < self.size, "fence of rank {rank} in a world of {}", self.size);
+        assert_ne!(rank, self.rank, "a rank cannot fence itself");
+        if !self.shared.board.is_alive(rank) {
+            return;
+        }
+        self.shared.board.mark_dead(rank, self.now());
+        self.shared.board.clear_suspected(rank);
+        self.shared.mailboxes[rank].purge();
+        for mb in &self.shared.mailboxes {
+            mb.nudge();
+        }
+        self.shared.rendezvous.on_death();
+    }
+
+    /// Flag `rank` as suspected (missed its heartbeat deadline). Advisory —
+    /// see [`crate::FaultBoard::mark_suspected`].
+    pub fn mark_suspected(&self, rank: Rank) {
+        self.shared.board.mark_suspected(rank);
+    }
+
+    /// Clear `rank`'s suspicion (it spoke again).
+    pub fn clear_suspected(&self, rank: Rank) {
+        self.shared.board.clear_suspected(rank);
+    }
+
+    /// Is `rank` currently suspected by a failure detector?
+    #[inline]
+    pub fn is_suspected(&self, rank: Rank) -> bool {
+        self.shared.board.is_suspected(rank)
+    }
+
+    /// Currently suspected ranks in rank order.
+    pub fn suspected_ranks(&self) -> Vec<Rank> {
+        self.shared.board.suspected_ranks()
+    }
+
+    /// Is work unit `unit` poisoned by the attached fault plan? Always false
+    /// outside fault injection. Schedulers consult this to inject a
+    /// deterministic per-unit panic.
+    pub fn unit_poisoned(&self, unit: u64) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.plan.is_poisoned(unit))
     }
 
     /// Live ranks in rank order.
@@ -154,9 +253,14 @@ impl Comm {
 
     /// Charge `dt` seconds of local computation to this rank's clock. Under
     /// fault injection, crossing this rank's scheduled death time inside the
-    /// charge kills it (models a node failing mid-computation).
+    /// charge kills it (models a node failing mid-computation), and a
+    /// [`FaultPlan::slow`] rule scales the charge (a soft straggler).
     #[inline]
     pub fn charge(&self, dt: f64) {
+        let dt = match &self.faults {
+            Some(f) => dt * f.slow_factor,
+            None => dt,
+        };
         self.clock.borrow_mut().charge(dt);
         self.preflight();
     }
@@ -247,7 +351,7 @@ impl Comm {
     }
 
     /// Like [`Comm::recv_fallible`] but bounded by `timeout` of *wall-clock*
-    /// waiting: returns [`MpiError::TimedOut`] when it elapses and
+    /// waiting: returns [`MpiError::Timeout`] when it elapses and
     /// [`MpiError::Interrupted`] as soon as any rank dies while waiting, so a
     /// retrying caller reacts to failures promptly. The timeout is a
     /// liveness backstop for fault-tolerant protocols and is deliberately
@@ -272,6 +376,20 @@ impl Comm {
             status: Status { source: pkt.src, tag: pkt.tag, len: pkt.data.len() },
             data: pkt.data,
         })
+    }
+
+    /// Like [`Comm::recv_timeout`] but bounded by an absolute wall-clock
+    /// `deadline`: no blocking receive behind it can outlive the deadline,
+    /// whatever happens on the other side. A deadline already in the past
+    /// degrades to a poll of the queued messages.
+    pub fn recv_deadline(
+        &self,
+        src: Rank,
+        tag: Tag,
+        deadline: std::time::Instant,
+    ) -> Result<RecvMsg, MpiError> {
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        self.recv_timeout(src, tag, left)
     }
 
     /// Non-blocking receive. `Err(WouldBlock)` when nothing matches.
@@ -385,6 +503,79 @@ impl Comm {
         assert_eq!(output.len(), input.len(), "allreduce output length mismatch");
         Self::fold_contributions(&all, input.len(), output, op);
         self.finish_collective(t, input.len() * 8);
+    }
+
+    /// Strict broadcast: like [`Comm::bcast`], but *verifies participation*.
+    /// Every rank contributes a liveness marker; a dead participant's
+    /// contribution comes back empty, which every survivor observes
+    /// identically — so all live ranks return the **same**
+    /// [`MpiError::RankDead`] verdict (no deadlock, no divergence) and
+    /// `data` is left untouched. If every participant was alive but some
+    /// rank stood *suspected* at entry, the broadcast completes (`data` is
+    /// replaced as usual) and [`MpiError::Suspected`] reports the advisory
+    /// condition; suspicion is detector-local, so that verdict may differ
+    /// across ranks.
+    pub fn try_bcast(&self, root: Rank, data: &mut Vec<u8>) -> Result<(), MpiError> {
+        let suspects = self.shared.board.suspected_ranks();
+        let mut contribution = Vec::with_capacity(1 + data.len());
+        contribution.push(1u8);
+        if self.rank == root {
+            contribution.extend_from_slice(data);
+        }
+        let (all, t) = self.exchange(contribution);
+        let dead = all.iter().position(|c| c.is_empty());
+        match dead {
+            Some(rank) => {
+                // Same byte count on every survivor, so clocks stay agreed.
+                self.finish_collective(t, all[root].len().saturating_sub(1));
+                let at = self.shared.board.death_time_of(rank).unwrap_or(0.0);
+                Err(MpiError::RankDead { rank, at })
+            }
+            None => {
+                *data = all[root][1..].to_vec();
+                self.finish_collective(t, data.len());
+                match suspects.first() {
+                    Some(&rank) => Err(MpiError::Suspected { rank }),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Strict reduction: like [`Comm::reduce_f64`], but a participant that
+    /// is dead at entry yields the same typed [`MpiError::RankDead`] on every
+    /// live rank instead of being silently skipped, and a participant
+    /// suspected at entry yields an advisory [`MpiError::Suspected`] after
+    /// the (complete) reduction. `output` is written on the root only when
+    /// every participant contributed. Returns `Ok(true)` on the root.
+    pub fn try_reduce_f64(
+        &self,
+        root: Rank,
+        input: &[f64],
+        output: &mut [f64],
+        op: ReduceOp,
+    ) -> Result<bool, MpiError> {
+        let suspects = self.shared.board.suspected_ranks();
+        let mut contribution = Vec::with_capacity(1 + input.len() * 8);
+        contribution.push(1u8);
+        contribution.extend_from_slice(&wire::f64s_to_bytes(input));
+        let (all, t) = self.exchange(contribution);
+        let dead = all.iter().position(|c| c.is_empty());
+        if let Some(rank) = dead {
+            self.finish_collective(t, input.len() * 8);
+            let at = self.shared.board.death_time_of(rank).unwrap_or(0.0);
+            return Err(MpiError::RankDead { rank, at });
+        }
+        if self.rank == root {
+            assert_eq!(output.len(), input.len(), "reduce output length mismatch");
+            let stripped: Vec<Vec<u8>> = all.iter().map(|c| c[1..].to_vec()).collect();
+            Self::fold_contributions(&stripped, input.len(), output, op);
+        }
+        self.finish_collective(t, input.len() * 8);
+        match suspects.first() {
+            Some(&rank) => Err(MpiError::Suspected { rank }),
+            None => Ok(self.rank == root),
+        }
     }
 
     /// Fold all contributions into `output`. Empty buffers are skipped: a
@@ -687,5 +878,133 @@ mod tests {
                 }
             });
         assert_eq!(results, vec![3.0, 3.0]);
+    }
+
+    // --------------------------------------------- supervision-layer faults
+
+    #[test]
+    fn slow_rule_scales_compute_charges() {
+        let plan = FaultPlan::new(11).slow(1, 3.0);
+        let outcomes = World::new(2).with_faults(plan).run_faulty(|comm| {
+            comm.charge(2.0);
+            comm.now()
+        });
+        assert_eq!(outcomes[0], crate::RankOutcome::Done(2.0));
+        assert_eq!(outcomes[1], crate::RankOutcome::Done(6.0));
+    }
+
+    #[test]
+    fn fence_wakes_a_stalled_rank_promptly() {
+        // Rank 1 stalls for 30 wall-clock seconds at its first operation;
+        // rank 0 fences it after ~50ms. The whole world must finish orders
+        // of magnitude sooner than the stall window.
+        let start = std::time::Instant::now();
+        let plan = FaultPlan::new(7).stall(1, 0.0, 30.0);
+        let outcomes = World::new(2).with_faults(plan).run_faulty(|comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(50));
+                comm.fence(1);
+            }
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(outcomes[0], crate::RankOutcome::Done(0));
+        assert!(outcomes[1].is_died(), "fenced rank must unwind as a death");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "fence must cut the stall short, elapsed {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn recv_deadline_in_the_past_polls_and_times_out() {
+        let results = World::new(2).run(|comm| {
+            if comm.rank() == 1 {
+                let gone = std::time::Instant::now() - Duration::from_millis(5);
+                matches!(comm.recv_deadline(0, 3, gone), Err(MpiError::Timeout))
+            } else {
+                true
+            }
+        });
+        assert!(results[1]);
+    }
+
+    #[test]
+    fn try_bcast_reports_dead_participant_consistently() {
+        let plan = FaultPlan::new(21).kill(2, 0.0);
+        let outcomes = World::new(3).with_faults(plan).run_faulty(|comm| {
+            let mut data = if comm.rank() == 0 { b"weights".to_vec() } else { Vec::new() };
+            let before = data.clone();
+            let verdict = comm.try_bcast(0, &mut data);
+            assert_eq!(data, before, "payload untouched on a dead-participant verdict");
+            verdict
+        });
+        assert!(outcomes[2].is_died());
+        for (r, out) in outcomes.iter().take(2).enumerate() {
+            match out.as_done() {
+                Some(Err(MpiError::RankDead { rank: 2, .. })) => {}
+                other => panic!("rank {r}: expected RankDead {{2}}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_bcast_delivers_payload_when_all_alive() {
+        let results = World::new(3).run(|comm| {
+            let mut data = if comm.rank() == 1 { vec![9, 8, 7] } else { Vec::new() };
+            comm.try_bcast(1, &mut data).expect("everyone alive");
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![9, 8, 7]);
+        }
+    }
+
+    #[test]
+    fn try_reduce_reports_dead_participant_and_leaves_output_alone() {
+        let plan = FaultPlan::new(33).kill(1, 0.0);
+        let outcomes = World::new(3).with_faults(plan).run_faulty(|comm| {
+            let input = [comm.rank() as f64 + 1.0];
+            let mut out = [-1.0];
+            let verdict = comm.try_reduce_f64(0, &input, &mut out, ReduceOp::Sum);
+            (verdict, out[0])
+        });
+        assert!(outcomes[1].is_died());
+        for r in [0usize, 2] {
+            let (verdict, out) = outcomes[r].as_done().unwrap();
+            assert!(
+                matches!(verdict, Err(MpiError::RankDead { rank: 1, .. })),
+                "rank {r}: got {verdict:?}"
+            );
+            assert_eq!(*out, -1.0, "no partial fold on an incomplete reduction");
+        }
+    }
+
+    #[test]
+    fn try_reduce_completes_under_advisory_suspicion() {
+        let results = World::new(3).run(|comm| {
+            comm.barrier();
+            if comm.rank() == 0 {
+                comm.mark_suspected(2);
+            }
+            comm.barrier();
+            let input = [1.0];
+            let mut out = [0.0];
+            let verdict = comm.try_reduce_f64(0, &input, &mut out, ReduceOp::Sum);
+            assert!(
+                matches!(verdict, Err(MpiError::Suspected { rank: 2 })),
+                "got {verdict:?}"
+            );
+            if comm.rank() == 0 {
+                comm.clear_suspected(2);
+            }
+            comm.barrier();
+            let second = comm.try_reduce_f64(0, &input, &mut out, ReduceOp::Sum);
+            assert!(second.is_ok(), "suspicion cleared: {second:?}");
+            out[0]
+        });
+        // The advisory error does not abort the fold: root still reduced.
+        assert_eq!(results[0], 3.0);
     }
 }

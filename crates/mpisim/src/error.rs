@@ -34,12 +34,23 @@ pub enum MpiError {
         /// Virtual time at which the rank died.
         at: f64,
     },
-    /// A `recv_timeout` expired with no matching message.
-    TimedOut,
+    /// A bounded receive ([`crate::Mailbox::recv_timeout`],
+    /// [`crate::Comm::recv_timeout`], [`crate::Comm::recv_deadline`]) expired
+    /// with no matching message.
+    Timeout,
     /// A blocking receive was interrupted because some rank died while this
     /// rank was waiting (the death epoch changed). The caller should
     /// re-examine liveness and decide whether to keep waiting.
     Interrupted,
+    /// A strict collective (`try_bcast` / `try_reduce_f64`) was entered while
+    /// `rank` stood *suspected* by the failure detector — alive as far as the
+    /// fault board knows, but past its heartbeat deadline. The collective
+    /// still completed (suspicion is advisory); the error tells the caller
+    /// its result may be about to be invalidated by an eviction.
+    Suspected {
+        /// The suspected rank.
+        rank: Rank,
+    },
 }
 
 impl fmt::Display for MpiError {
@@ -54,9 +65,12 @@ impl fmt::Display for MpiError {
             MpiError::RankDead { rank, at } => {
                 write!(f, "rank {rank} died at virtual time {at}s; receive can never complete")
             }
-            MpiError::TimedOut => write!(f, "receive timed out with no matching message"),
+            MpiError::Timeout => write!(f, "receive timed out with no matching message"),
             MpiError::Interrupted => {
                 write!(f, "receive interrupted by a rank death; re-check liveness")
+            }
+            MpiError::Suspected { rank } => {
+                write!(f, "rank {rank} is suspected (missed its heartbeat deadline)")
             }
         }
     }

@@ -61,6 +61,15 @@ struct DelayRule {
     extra_s: f64,
 }
 
+/// A straggler injection: the rank freezes (consumes wall-clock time without
+/// making progress) once its virtual clock reaches `at_s`.
+#[derive(Debug, Clone, Copy)]
+struct StallRule {
+    rank: Rank,
+    at_s: f64,
+    dur_s: f64,
+}
+
 /// A reproducible schedule of injected faults.
 ///
 /// Built once, attached to a [`World`](crate::World) via
@@ -72,12 +81,23 @@ pub struct FaultPlan {
     deaths: Vec<(Rank, f64)>,
     drops: Vec<DropRule>,
     delays: Vec<DelayRule>,
+    stalls: Vec<StallRule>,
+    slows: Vec<(Rank, f64)>,
+    poisons: Vec<u64>,
 }
 
 impl FaultPlan {
     /// An empty plan. `seed` drives the per-message drop coin.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, deaths: Vec::new(), drops: Vec::new(), delays: Vec::new() }
+        FaultPlan {
+            seed,
+            deaths: Vec::new(),
+            drops: Vec::new(),
+            delays: Vec::new(),
+            stalls: Vec::new(),
+            slows: Vec::new(),
+            poisons: Vec::new(),
+        }
     }
 
     /// Kill `rank` when its virtual clock first reaches `at_s` seconds (at a
@@ -104,6 +124,74 @@ impl FaultPlan {
         assert!(extra_s >= 0.0, "delay must be non-negative");
         self.delays.push(DelayRule { src, dst, extra_s });
         self
+    }
+
+    /// Freeze `rank` for `dur_s` seconds of **wall-clock** time once its
+    /// virtual clock first reaches `at_s` (checked at communication-operation
+    /// boundaries, like deaths). The rank stays alive but goes silent — the
+    /// canonical *straggler*. Timeouts and heartbeat deadlines are wall-clock
+    /// quantities, so the stall is injected in wall time too; a stalled rank
+    /// that is fenced (marked dead) by a supervisor wakes up early and dies.
+    pub fn stall(mut self, rank: Rank, at_s: f64, dur_s: f64) -> Self {
+        assert!(at_s >= 0.0, "stall time must be non-negative");
+        assert!(dur_s >= 0.0, "stall duration must be non-negative");
+        self.stalls.push(StallRule { rank, at_s, dur_s });
+        self
+    }
+
+    /// Scale every compute charge on `rank` by `factor` (≥ 1 slows the rank
+    /// down). A *soft* straggler: the rank keeps communicating, just late.
+    pub fn slow(mut self, rank: Rank, factor: f64) -> Self {
+        assert!(factor > 0.0, "slow factor must be positive");
+        self.slows.push((rank, factor));
+        self
+    }
+
+    /// Poison work unit `unit`: any fault-aware scheduler executing it sees
+    /// the unit's map function panic, deterministically, on every attempt.
+    pub fn poison(mut self, unit: u64) -> Self {
+        self.poisons.push(unit);
+        self
+    }
+
+    /// `(at_s, dur_s)` stall windows scheduled for `rank`, in insertion order.
+    pub fn stalls_for(&self, rank: Rank) -> Vec<(f64, f64)> {
+        self.stalls.iter().filter(|s| s.rank == rank).map(|s| (s.at_s, s.dur_s)).collect()
+    }
+
+    /// Ranks with at least one stall rule, deduplicated.
+    pub fn stalled_ranks(&self) -> Vec<Rank> {
+        let mut v: Vec<Rank> = self.stalls.iter().map(|s| s.rank).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Combined compute slowdown factor for `rank` (product of matching
+    /// rules; 1.0 when none apply).
+    pub fn slow_factor(&self, rank: Rank) -> f64 {
+        self.slows.iter().filter(|&&(r, _)| r == rank).map(|&(_, f)| f).product()
+    }
+
+    /// Ranks with a slowdown rule, deduplicated.
+    pub fn slowed_ranks(&self) -> Vec<Rank> {
+        let mut v: Vec<Rank> = self.slows.iter().map(|&(r, _)| r).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Is work unit `unit` poisoned?
+    pub fn is_poisoned(&self, unit: u64) -> bool {
+        self.poisons.contains(&unit)
+    }
+
+    /// Poisoned unit indices, sorted and deduplicated.
+    pub fn poisoned_units(&self) -> Vec<u64> {
+        let mut v = self.poisons.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
     }
 
     /// The virtual death time scheduled for `rank`, if any (earliest wins
@@ -170,6 +258,9 @@ pub struct FaultBoard {
     alive: Vec<AtomicBool>,
     epoch: AtomicU64,
     deaths: Mutex<Vec<(Rank, f64)>>,
+    /// Advisory straggler flags set by a failure detector (e.g. the FT
+    /// master): the rank missed its heartbeat deadline but is not known dead.
+    suspected: Vec<AtomicBool>,
 }
 
 impl FaultBoard {
@@ -179,6 +270,7 @@ impl FaultBoard {
             alive: (0..size).map(|_| AtomicBool::new(true)).collect(),
             epoch: AtomicU64::new(0),
             deaths: Mutex::new(Vec::new()),
+            suspected: (0..size).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -223,6 +315,33 @@ impl FaultBoard {
         self.deaths.lock().iter().find(|&&(r, _)| r == rank).map(|&(_, t)| t)
     }
 
+    /// Flag `rank` as suspected by a failure detector. Advisory: suspicion
+    /// never blocks communication, it only surfaces through
+    /// [`FaultBoard::is_suspected`] and the strict `try_*` collectives.
+    pub fn mark_suspected(&self, rank: Rank) {
+        if let Some(s) = self.suspected.get(rank) {
+            s.store(true, Ordering::Release);
+        }
+    }
+
+    /// Clear `rank`'s suspicion (it spoke again).
+    pub fn clear_suspected(&self, rank: Rank) {
+        if let Some(s) = self.suspected.get(rank) {
+            s.store(false, Ordering::Release);
+        }
+    }
+
+    /// Is `rank` currently suspected? Out-of-range ranks report unsuspected.
+    #[inline]
+    pub fn is_suspected(&self, rank: Rank) -> bool {
+        self.suspected.get(rank).is_some_and(|s| s.load(Ordering::Acquire))
+    }
+
+    /// Currently suspected ranks in rank order.
+    pub fn suspected_ranks(&self) -> Vec<Rank> {
+        (0..self.suspected.len()).filter(|&r| self.is_suspected(r)).collect()
+    }
+
     /// Is any rank other than `me` still alive? When false, a wildcard
     /// receive with an empty queue can never be satisfied.
     pub fn any_other_alive(&self, me: Rank) -> bool {
@@ -250,12 +369,26 @@ pub(crate) struct RankFaults {
     pub(crate) death_at: Option<f64>,
     /// Per-destination send sequence numbers feeding the message-fate hash.
     pub(crate) seq: RefCell<Vec<u64>>,
+    /// This rank's stall windows `(at_s, dur_s)` with a fired flag each —
+    /// every stall triggers exactly once.
+    pub(crate) stalls: RefCell<Vec<(f64, f64, bool)>>,
+    /// Compute slowdown factor applied to every `charge`.
+    pub(crate) slow_factor: f64,
 }
 
 impl RankFaults {
     pub(crate) fn new(plan: std::sync::Arc<FaultPlan>, rank: Rank, size: usize) -> Self {
         let death_at = plan.death_time(rank);
-        RankFaults { plan, death_at, seq: RefCell::new(vec![0; size]) }
+        let stalls =
+            plan.stalls_for(rank).into_iter().map(|(at, dur)| (at, dur, false)).collect();
+        let slow_factor = plan.slow_factor(rank);
+        RankFaults {
+            plan,
+            death_at,
+            seq: RefCell::new(vec![0; size]),
+            stalls: RefCell::new(stalls),
+            slow_factor,
+        }
     }
 
     /// Next sequence number for a send to `dst`.
@@ -308,6 +441,40 @@ mod tests {
         assert_eq!(plan.message_fate(0, 1, 0), Some(0.75));
         assert_eq!(plan.message_fate(2, 1, 0), Some(0.5));
         assert_eq!(plan.message_fate(0, 2, 0), Some(0.0));
+    }
+
+    #[test]
+    fn stall_slow_poison_rules_are_queryable() {
+        let plan = FaultPlan::new(5)
+            .stall(2, 0.5, 3.0)
+            .stall(2, 4.0, 1.0)
+            .slow(1, 2.0)
+            .slow(1, 1.5)
+            .poison(7)
+            .poison(3)
+            .poison(7);
+        assert_eq!(plan.stalls_for(2), vec![(0.5, 3.0), (4.0, 1.0)]);
+        assert!(plan.stalls_for(0).is_empty());
+        assert_eq!(plan.stalled_ranks(), vec![2]);
+        assert_eq!(plan.slow_factor(1), 3.0);
+        assert_eq!(plan.slow_factor(0), 1.0);
+        assert_eq!(plan.slowed_ranks(), vec![1]);
+        assert!(plan.is_poisoned(7) && plan.is_poisoned(3) && !plan.is_poisoned(1));
+        assert_eq!(plan.poisoned_units(), vec![3, 7]);
+    }
+
+    #[test]
+    fn board_suspicion_is_advisory_and_clearable() {
+        let b = FaultBoard::new(3);
+        assert!(!b.is_suspected(1));
+        b.mark_suspected(1);
+        assert!(b.is_suspected(1));
+        assert!(b.is_alive(1), "suspicion does not kill");
+        assert_eq!(b.suspected_ranks(), vec![1]);
+        b.clear_suspected(1);
+        assert!(!b.is_suspected(1));
+        // Out-of-range ranks read as unsuspected.
+        assert!(!b.is_suspected(crate::comm::ANY_SOURCE));
     }
 
     #[test]

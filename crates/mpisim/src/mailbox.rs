@@ -92,13 +92,41 @@ impl Mailbox {
         }
     }
 
+    /// Bounded blocking receive: like [`Mailbox::recv`] but gives up with
+    /// [`MpiError::Timeout`] after `timeout` of wall-clock waiting, so no
+    /// receive can hang forever on a peer that silently went away (the
+    /// classic worker-waits-on-a-dead-master hang). Fault-unaware — for
+    /// death-aware matching use [`Mailbox::recv_faulty`].
+    pub fn recv_timeout(
+        &self,
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Packet, MpiError> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(pos) = g.queue.iter().position(|p| Self::matches(p, src, tag)) {
+                return Ok(g.queue.remove(pos).expect("position just found"));
+            }
+            if g.down {
+                return Err(MpiError::WorldDown);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(MpiError::Timeout);
+            }
+            let _ = self.cond.wait_for(&mut g, deadline - now);
+        }
+    }
+
     /// Death-aware blocking receive used by the fault-injection layer.
     ///
     /// Differences from [`Mailbox::recv`]:
     /// * a receive from a *specific* dead source with no matching queued
     ///   packet fails with [`MpiError::RankDead`] instead of hanging;
     /// * a wildcard receive fails the same way once no other rank is alive;
-    /// * with `timeout = Some(d)`, the call fails with [`MpiError::TimedOut`]
+    /// * with `timeout = Some(d)`, the call fails with [`MpiError::Timeout`]
     ///   after `d` of wall-clock waiting, and with [`MpiError::Interrupted`]
     ///   as soon as *any* rank dies while waiting (so a master can react to a
     ///   worker death promptly rather than burning the full timeout).
@@ -137,7 +165,7 @@ impl Mailbox {
                     }
                     let now = Instant::now();
                     if now >= deadline {
-                        return Err(MpiError::TimedOut);
+                        return Err(MpiError::Timeout);
                     }
                     // Wake periodically so an epoch bump missed between the
                     // check above and parking is still noticed promptly.
@@ -236,6 +264,28 @@ mod tests {
         mb.push(pkt(5, 2, 0));
         assert_eq!(mb.probe(ANY_SOURCE, ANY_TAG), Some((5, 2, 1)));
         assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_packet_or_typed_timeout() {
+        let mb = Mailbox::new();
+        mb.push(pkt(1, 7, 0xa));
+        let got = mb.recv_timeout(1, 7, Duration::from_millis(5)).unwrap();
+        assert_eq!(got.data, vec![0xa]);
+        let start = Instant::now();
+        let err = mb.recv_timeout(1, 7, Duration::from_millis(20));
+        assert_eq!(err, Err(MpiError::Timeout));
+        assert!(start.elapsed() >= Duration::from_millis(20), "must wait the full bound");
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_push() {
+        let mb = std::sync::Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || mb2.recv_timeout(3, 1, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(15));
+        mb.push(pkt(3, 1, 9));
+        assert_eq!(h.join().unwrap().unwrap().data, vec![9]);
     }
 
     #[test]

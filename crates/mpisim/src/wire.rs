@@ -19,7 +19,7 @@ pub fn f64s_to_bytes(xs: &[f64]) -> Vec<u8> {
 /// # Panics
 /// Panics if `bytes.len()` is not a multiple of 8.
 pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
-    assert!(bytes.len() % 8 == 0, "payload length {} not a multiple of 8", bytes.len());
+    assert!(bytes.len().is_multiple_of(8), "payload length {} not a multiple of 8", bytes.len());
     bytes
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
@@ -51,7 +51,7 @@ pub fn u64s_to_bytes(xs: &[u64]) -> Vec<u8> {
 /// # Panics
 /// Panics if `bytes.len()` is not a multiple of 8.
 pub fn bytes_to_u64s(bytes: &[u8]) -> Vec<u64> {
-    assert!(bytes.len() % 8 == 0, "payload length {} not a multiple of 8", bytes.len());
+    assert!(bytes.len().is_multiple_of(8), "payload length {} not a multiple of 8", bytes.len());
     bytes
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
@@ -83,7 +83,7 @@ mod tests {
 
     #[test]
     fn f64_roundtrip() {
-        let xs = [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 3.141592653589793];
+        let xs = [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, std::f64::consts::PI];
         assert_eq!(bytes_to_f64s(&f64s_to_bytes(&xs)), xs);
     }
 

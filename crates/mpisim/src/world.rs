@@ -90,6 +90,20 @@ impl World {
                 self.size
             );
         }
+        for rank in plan.stalled_ranks() {
+            assert!(
+                rank < self.size,
+                "fault plan stalls rank {rank} outside world of {}",
+                self.size
+            );
+        }
+        for rank in plan.slowed_ranks() {
+            assert!(
+                rank < self.size,
+                "fault plan slows rank {rank} outside world of {}",
+                self.size
+            );
+        }
         self.faults = Some(Arc::new(plan));
         self
     }
@@ -342,7 +356,7 @@ mod tests {
                     // board shows it.
                     match comm.recv_timeout(0, 4, Duration::from_millis(50)) {
                         Err(MpiError::RankDead { rank: 0, .. }) => break true,
-                        Err(MpiError::TimedOut) | Err(MpiError::Interrupted) => continue,
+                        Err(MpiError::Timeout) | Err(MpiError::Interrupted) => continue,
                         other => panic!("unexpected: {other:?}"),
                     }
                 };
@@ -366,8 +380,8 @@ mod tests {
             total[0]
         });
         assert!(outcomes[3].is_died());
-        for r in 0..3 {
-            assert_eq!(outcomes[r], RankOutcome::Done(6.0));
+        for out in outcomes.iter().take(3) {
+            assert_eq!(*out, RankOutcome::Done(6.0));
         }
     }
 
@@ -439,7 +453,7 @@ mod tests {
             if comm.rank() == 1 {
                 matches!(
                     comm.recv_timeout(0, 9, Duration::from_millis(30)),
-                    Err(MpiError::TimedOut)
+                    Err(MpiError::Timeout)
                 )
             } else {
                 true // sends nothing

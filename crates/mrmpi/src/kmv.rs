@@ -156,9 +156,9 @@ impl<'a> ValueCursor<'a> {
     }
 
     /// Collect all remaining values into owned vectors.
-    pub fn collect_owned(mut self) -> Vec<Vec<u8>> {
+    pub fn collect_owned(self) -> Vec<Vec<u8>> {
         let mut out = Vec::with_capacity(self.remaining);
-        while let Some(v) = self.next() {
+        for v in self {
             out.push(v.to_vec());
         }
         out

@@ -122,6 +122,9 @@ pub(crate) fn decode_entry<'a>(page: &'a [u8], pos: &mut usize) -> (&'a [u8], &'
     try_decode_entry(page, pos).expect("malformed KV page")
 }
 
+/// Owned key-value pairs, as drained from a [`KeyValue`] store.
+pub type OwnedPairs = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// A rank-local, paged, spillable sequence of key-value pairs.
 pub struct KeyValue {
     spool: Spool,
@@ -265,7 +268,7 @@ impl KeyValue {
 
     /// Consume the store, returning all pairs as owned vectors, or a typed
     /// error if a spilled page was lost or damaged.
-    pub fn try_into_pairs(mut self) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
+    pub fn try_into_pairs(mut self) -> Result<OwnedPairs, KvError> {
         self.close_page();
         let mut out = Vec::with_capacity(self.npairs as usize);
         for page in self.spool.drain_pages()? {
@@ -283,7 +286,7 @@ impl KeyValue {
     ///
     /// # Panics
     /// Panics if a spilled page cannot be read back.
-    pub fn into_pairs(self) -> Vec<(Vec<u8>, Vec<u8>)> {
+    pub fn into_pairs(self) -> OwnedPairs {
         self.try_into_pairs().unwrap_or_else(|e| panic!("KV drain failed: {e}"))
     }
 }

@@ -61,6 +61,6 @@ pub mod spool;
 pub use durable::{DiskFaultPlan, DurableError};
 pub use kmv::KeyMultiValue;
 pub use kv::{KeyValue, KvEmitter, KvError};
-pub use mapreduce::{MapReduce, MrError, MultiValues};
-pub use sched::{FtConfig, MapStyle, SchedError};
+pub use mapreduce::{read_poison_log, FtMapReport, MapReduce, MrError, MultiValues};
+pub use sched::{FtConfig, FtRun, MapStyle, SchedError};
 pub use settings::Settings;

@@ -10,15 +10,18 @@ use std::collections::HashMap;
 
 use mpisim::Comm;
 
-use crate::durable::DurableError;
+use crate::durable::{self, DurableError};
 use crate::hashfn::{fnv1a, key_owner};
 use crate::kmv::{KeyMultiValue, ValueCursor};
 use crate::kv::{decode_entry, encode_entry, validate_page, KeyValue, KvEmitter, KvError};
-use crate::sched::{assign_and_run, assign_and_run_ft, FtConfig, MapStyle, SchedError};
+use crate::sched::{assign_and_run, assign_and_run_ft_report, FtConfig, MapStyle, SchedError};
 use crate::settings::Settings;
 
 /// Alias for the value cursor handed to reduce callbacks.
 pub type MultiValues<'a> = ValueCursor<'a>;
+
+/// Pair-wise transform callback handed to [`MapReduce::map_kv`].
+pub type KvMapFn<'a> = dyn FnMut(&[u8], &[u8], &mut KvEmitter<'_>) + 'a;
 
 /// Typed failure of a fault-tolerant MapReduce operation.
 ///
@@ -126,6 +129,56 @@ pub struct MrStats {
     pub local_spills: u64,
 }
 
+/// Report of a partial-result-aware fault-tolerant map
+/// ([`MapReduce::map_tasks_ft_report`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FtMapReport {
+    /// Global number of committed KV pairs.
+    pub pairs: u64,
+    /// Quarantined (poison) unit indices of this map call, sorted; identical
+    /// on every live rank.
+    pub quarantined: Vec<u64>,
+}
+
+/// Append `units` to the durable poison log at `path` (one 8-byte
+/// little-endian unit index per CRC-framed record), merging with any units
+/// already recorded by earlier map calls. Atomic: a crash mid-write leaves
+/// the previous log intact.
+fn append_poison_log(
+    path: &std::path::Path,
+    units: &[u64],
+    faults: Option<&crate::durable::DiskFaultPlan>,
+) -> Result<(), DurableError> {
+    let mut all: Vec<u64> = match durable::read_record_file(path) {
+        Ok(records) => records
+            .iter()
+            .filter(|r| r.len() == 8)
+            .map(|r| u64::from_le_bytes(r[..8].try_into().expect("8 bytes")))
+            .collect(),
+        Err(DurableError::Io { kind: std::io::ErrorKind::NotFound, .. }) => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    all.extend_from_slice(units);
+    all.sort_unstable();
+    all.dedup();
+    let encoded: Vec<[u8; 8]> = all.iter().map(|u| u.to_le_bytes()).collect();
+    let payloads: Vec<&[u8]> = encoded.iter().map(|b| b.as_slice()).collect();
+    durable::write_record_file(path, &payloads, faults)
+}
+
+/// Decode a poison log written via [`Settings::poison_log`] back into the
+/// sorted list of quarantined unit indices.
+pub fn read_poison_log(path: &std::path::Path) -> Result<Vec<u64>, DurableError> {
+    let records = durable::read_record_file(path)?;
+    let mut units: Vec<u64> = records
+        .iter()
+        .filter(|r| r.len() == 8)
+        .map(|r| u64::from_le_bytes(r[..8].try_into().expect("8 bytes")))
+        .collect();
+    units.sort_unstable();
+    Ok(units)
+}
+
 /// A MapReduce engine bound to one communicator.
 pub struct MapReduce<'c> {
     comm: &'c Comm,
@@ -231,7 +284,9 @@ impl<'c> MapReduce<'c> {
     /// the surviving output exactly once.
     ///
     /// Every live rank returns the same `Ok`/`Err` verdict. On `Err` the
-    /// engine holds no KV dataset.
+    /// engine holds no KV dataset. A quarantined (poison) unit is an error
+    /// for this strict entry point — use [`MapReduce::map_tasks_ft_report`]
+    /// to accept an explicit partial result instead.
     ///
     /// Returns the global number of emitted pairs on the surviving ranks.
     pub fn map_tasks_ft(
@@ -240,36 +295,115 @@ impl<'c> MapReduce<'c> {
         cfg: &FtConfig,
         f: &mut dyn FnMut(usize, &mut KvEmitter<'_>),
     ) -> Result<u64, MrError> {
+        let report = self.map_tasks_ft_report(ntasks, cfg, f)?;
+        if !report.quarantined.is_empty() {
+            return Err(MrError::DataLost {
+                what: "map units quarantined as poison",
+                expected: ntasks as u64,
+                got: ntasks as u64 - report.quarantined.len() as u64,
+            });
+        }
+        Ok(report.pairs)
+    }
+
+    /// Collective. The partial-result-aware fault-tolerant map: like
+    /// [`MapReduce::map_tasks_ft`], but a work unit that keeps panicking is
+    /// *quarantined* (after [`FtConfig::poison_retries`] attempts) instead of
+    /// failing the run, and the returned report names every quarantined unit
+    /// on every rank. When [`Settings::poison_log`] is set, rank 0 also
+    /// appends the quarantined units to that durable CRC-framed log.
+    ///
+    /// Map emissions are **staged** per unit and only published when the
+    /// master's first-result-wins verdict commits them, so with speculative
+    /// re-execution ([`FtConfig::speculate`]) the surviving output is
+    /// bit-for-bit what a fault-free run produces.
+    pub fn map_tasks_ft_report(
+        &mut self,
+        ntasks: usize,
+        cfg: &FtConfig,
+        f: &mut dyn FnMut(usize, &mut KvEmitter<'_>),
+    ) -> Result<FtMapReport, MrError> {
         if let Some(old) = self.kmv.take() {
             self.retire_kmv(&old);
         }
         if let Some(old) = self.kv.take() {
             self.retire_kv(&old);
         }
-        let mut kv = KeyValue::new(&self.settings);
-        let sched = assign_and_run_ft(self.comm, ntasks, cfg, |task| {
-            let mut em = KvEmitter::new(&mut kv);
-            f(task, &mut em);
-        });
+        let kv = std::cell::RefCell::new(KeyValue::new(&self.settings));
+        let staging: std::cell::RefCell<Option<KeyValue>> = std::cell::RefCell::new(None);
+        let settings = self.settings.clone();
+        let sched = assign_and_run_ft_report(
+            self.comm,
+            ntasks,
+            cfg,
+            &mut |task| {
+                let mut skv = KeyValue::new(&settings);
+                {
+                    let mut em = KvEmitter::new(&mut skv);
+                    f(task, &mut em);
+                }
+                *staging.borrow_mut() = Some(skv);
+            },
+            &mut |_, commit| {
+                let staged = staging.borrow_mut().take();
+                if commit {
+                    if let Some(staged) = staged {
+                        let mut kv = kv.borrow_mut();
+                        staged.for_each(|k, v| kv.add(k, v));
+                    }
+                }
+            },
+        );
+        let kv = kv.into_inner();
         if self.comm.size() == 1 {
-            sched?;
+            let run = sched?;
+            if let Some(path) = &self.settings.poison_log {
+                if !run.quarantined.is_empty() {
+                    append_poison_log(path, &run.quarantined, self.settings.disk_faults.as_deref())?;
+                }
+            }
             let n = kv.npairs();
             self.kv = Some(kv);
-            return Ok(n);
+            return Ok(FtMapReport { pairs: n, quarantined: run.quarantined });
         }
+        // Rank 0 persists the quarantine *before* the reconciliation so a
+        // write failure can be folded into the cross-rank verdict below —
+        // every live rank must agree on success or failure.
+        let mut disk_err = None;
+        let local_quar = match &sched {
+            Ok(run) if self.comm.rank() == 0 && !run.quarantined.is_empty() => {
+                if let Some(path) = &self.settings.poison_log {
+                    if let Err(e) =
+                        append_poison_log(path, &run.quarantined, self.settings.disk_faults.as_deref())
+                    {
+                        disk_err = Some(e);
+                    }
+                }
+                run.quarantined.clone()
+            }
+            _ => Vec::new(),
+        };
         // Reconciliation: every rank participates in the same two
         // allreduces regardless of its local verdict, so survivors cannot
         // deadlock waiting for a rank that bailed out early. Dead ranks are
         // skipped by the collective layer — which is exactly the check:
-        // units executed by a rank that died after the master loop vanish
+        // units committed by a rank that died after the master loop vanish
         // from the sum and surface as `DataLost`.
         let (local_units, local_err) = match &sched {
-            Ok(units) => (units.len() as f64, 0.0),
+            Ok(run) => (run.units.len() as f64, 0.0),
             Err(e) => (0.0, sched_err_code(e)),
         };
-        let mut sums = [0.0f64; 2];
-        self.comm
-            .allreduce_f64(&[kv.npairs() as f64, local_units], &mut sums, mpisim::ReduceOp::Sum);
+        let mut sums = [0.0f64; 4];
+        self.comm.allreduce_f64(
+            &[
+                kv.npairs() as f64,
+                local_units,
+                local_quar.len() as f64,
+                disk_err.is_some() as u64 as f64,
+            ],
+            &mut sums,
+            mpisim::ReduceOp::Sum,
+        );
         let mut err = [0.0f64];
         self.comm.allreduce_f64(&[local_err], &mut err, mpisim::ReduceOp::Max);
         if err[0] != 0.0 {
@@ -278,16 +412,28 @@ impl<'c> MapReduce<'c> {
                 Ok(_) => sched_err_decode(err[0] as u32),
             }));
         }
+        if sums[3] != 0.0 {
+            return Err(MrError::Disk(disk_err.unwrap_or_else(|| DurableError::Io {
+                kind: std::io::ErrorKind::Other,
+                what: "poison log write failed on rank 0".into(),
+            })));
+        }
         let global_units = sums[1].round() as u64;
-        if global_units != ntasks as u64 {
+        let global_quar = sums[2].round() as u64;
+        if global_units + global_quar != ntasks as u64 {
             return Err(MrError::DataLost {
                 what: "map units after fault recovery",
                 expected: ntasks as u64,
-                got: global_units,
+                got: global_units + global_quar,
             });
         }
+        // Every rank reports the same quarantine list (only rank 0 knows it
+        // first-hand).
+        let mut qbytes = mpisim::wire::u64s_to_bytes(&local_quar);
+        self.comm.bcast(0, &mut qbytes);
+        let quarantined = mpisim::wire::bytes_to_u64s(&qbytes);
         self.kv = Some(kv);
-        Ok(sums[0] as u64)
+        Ok(FtMapReport { pairs: sums[0] as u64, quarantined })
     }
 
     /// Collective. Transform the existing KV pair-by-pair into a new KV.
@@ -296,7 +442,7 @@ impl<'c> MapReduce<'c> {
     ///
     /// # Panics
     /// Panics if no KV dataset exists.
-    pub fn map_kv(&mut self, f: &mut dyn FnMut(&[u8], &[u8], &mut KvEmitter<'_>)) -> u64 {
+    pub fn map_kv(&mut self, f: &mut KvMapFn<'_>) -> u64 {
         let old = self.kv.take().expect("map_kv requires a KV dataset");
         let mut new_kv = KeyValue::new(&self.settings);
         old.for_each(|k, v| {
@@ -898,12 +1044,11 @@ mod tests {
             mr.map_tasks(6, MapStyle::Chunk, &mut |t, kv| {
                 kv.emit(&[t as u8], &[t as u8]);
             });
-            let n = mr.map_kv(&mut |k, v, out| {
+            mr.map_kv(&mut |k, v, out| {
                 // Duplicate each pair with doubled value.
                 out.emit(k, v);
                 out.emit(k, &[v[0] * 2]);
-            });
-            n
+            })
         });
         assert_eq!(results, vec![12, 12]);
     }
@@ -991,10 +1136,9 @@ mod tests {
     fn master_worker_map_collects_all_emissions() {
         let results = World::new(4).run(|comm| {
             let mut mr = MapReduce::new(comm);
-            let n = mr.map_tasks(30, MapStyle::MasterWorker, &mut |t, kv| {
+            mr.map_tasks(30, MapStyle::MasterWorker, &mut |t, kv| {
                 kv.emit(&(t as u64).to_le_bytes(), b"done");
-            });
-            n
+            })
         });
         assert_eq!(results, vec![30, 30, 30, 30]);
     }
@@ -1040,12 +1184,10 @@ mod tests {
     fn map_tasks_ft_without_faults_matches_map_tasks() {
         let results = World::new(4).run(|comm| {
             let mut mr = MapReduce::new(comm);
-            let n = mr
-                .map_tasks_ft(30, &FtConfig::default(), &mut |t, kv| {
-                    kv.emit(&(t as u64).to_le_bytes(), b"done");
-                })
-                .expect("no faults injected");
-            n
+            mr.map_tasks_ft(30, &FtConfig::default(), &mut |t, kv| {
+                kv.emit(&(t as u64).to_le_bytes(), b"done");
+            })
+            .expect("no faults injected")
         });
         assert_eq!(results, vec![30, 30, 30, 30]);
     }
@@ -1089,6 +1231,72 @@ mod tests {
             RankOutcome::Done(Err(MrError::Sched(SchedError::AllWorkersDead))) => {}
             other => panic!("master outcome: {other:?}"),
         }
+    }
+
+    #[test]
+    fn map_tasks_ft_report_quarantines_poison_and_logs_durably() {
+        let dir = std::env::temp_dir().join(format!("mrmpi-poison-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("poison.log");
+        let _ = std::fs::remove_file(&log);
+        let plan = FaultPlan::new(7).poison(3).poison(9);
+        let outcomes = World::new(4).with_faults(plan).run_faulty({
+            let log = log.clone();
+            move |comm| {
+            let settings = Settings { poison_log: Some(log.clone()), ..Settings::default() };
+            let mut mr = MapReduce::with_settings(comm, settings);
+            let report = mr.map_tasks_ft_report(16, &FtConfig::default(), &mut |t, kv| {
+                kv.emit(&(t as u64).to_le_bytes(), b"x");
+            })?;
+            Ok::<FtMapReport, MrError>(report)
+        }});
+        for (rank, o) in outcomes.iter().enumerate() {
+            match o {
+                RankOutcome::Done(Ok(report)) => {
+                    // Every rank sees the same verdict: 14 committed pairs,
+                    // the two poison units quarantined.
+                    assert_eq!(report.pairs, 14, "rank {rank}");
+                    assert_eq!(report.quarantined, vec![3, 9], "rank {rank}");
+                }
+                other => panic!("rank {rank}: {other:?}"),
+            }
+        }
+        // The quarantine survives the run in the durable CRC-framed log.
+        assert_eq!(read_poison_log(&log).unwrap(), vec![3, 9]);
+        // The strict entry point refuses partial results with a typed error.
+        let plan = FaultPlan::new(7).poison(5);
+        let outcomes = World::new(2).with_faults(plan).run_faulty(|comm| {
+            let mut mr = MapReduce::new(comm);
+            mr.map_tasks_ft(8, &FtConfig::default(), &mut |_, kv| kv.emit(b"k", b"v"))
+        });
+        match &outcomes[0] {
+            RankOutcome::Done(Err(MrError::DataLost { expected: 8, got: 7, .. })) => {}
+            other => panic!("strict entry point: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poison_log_appends_and_dedups_across_map_calls() {
+        let dir = std::env::temp_dir().join(format!("mrmpi-poison-append-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("poison.log");
+        let _ = std::fs::remove_file(&log);
+        for seed in [(11u64, 4u64), (13, 2)] {
+            let plan = FaultPlan::new(seed.0).poison(seed.1).poison(4);
+            World::new(2).with_faults(plan).run_faulty({
+                let log = log.clone();
+                move |comm| {
+                let settings = Settings { poison_log: Some(log.clone()), ..Settings::default() };
+                let mut mr = MapReduce::with_settings(comm, settings);
+                mr.map_tasks_ft_report(6, &FtConfig::default(), &mut |t, kv| {
+                    kv.emit(&[t as u8], b"v");
+                })
+            }});
+        }
+        // Unit 4 was quarantined by both calls but is logged once.
+        assert_eq!(read_poison_log(&log).unwrap(), vec![2, 4]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

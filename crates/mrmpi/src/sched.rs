@@ -39,6 +39,25 @@ const FAREWELL: u64 = u64::MAX - 3;
 /// (fault-tolerant scheduler only); resets the worker's retry budget so a
 /// long-running unit elsewhere cannot exhaust it.
 const WAIT: u64 = u64::MAX - 4;
+/// Sentinel sequence number marking a one-way progress beacon
+/// ([`ft_beacon`]): the master refreshes the sender's heartbeat deadline and
+/// sends no reply, bypassing the request/seq dedup machinery entirely.
+const BEACON: u64 = u64::MAX - 5;
+
+/// Worker-request completion flags (third word of the request).
+const FLAG_NONE: u64 = 0;
+/// The reported unit ran to completion; its staged output awaits a verdict.
+const FLAG_OK: u64 = 1;
+/// The reported unit panicked (or was poison-injected); nothing is staged.
+const FLAG_PANIC: u64 = 2;
+
+/// Master-reply verdicts (third word of the reply) for the completion the
+/// worker reported in the request being answered.
+const V_NONE: u64 = 0;
+/// First result for the unit: publish the staged output.
+const V_COMMIT: u64 = 1;
+/// A backup (or the primary) already won the unit: drop the staged output.
+const V_DISCARD: u64 = 2;
 
 /// Task-to-rank assignment policy for [`crate::MapReduce::map_tasks`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,6 +263,23 @@ pub struct FtConfig {
     /// How many times one work unit may be dispatched (first dispatch
     /// included) before the master aborts the whole run.
     pub max_attempts: usize,
+    /// Enable speculative re-execution of units stuck on *suspected*
+    /// (heartbeat-silent) workers. Off by default: speculation trades spare
+    /// cycles for tail latency and is only worthwhile when stragglers are
+    /// expected.
+    pub speculate: bool,
+    /// Heartbeat deadline of the failure detector: a worker with a unit in
+    /// flight that has been silent (no request, no beacon) for this long is
+    /// declared *suspected*. Wall-clock, like [`FtConfig::rpc_timeout`].
+    pub suspect_after: Duration,
+    /// Initial backoff between speculative launches of the same unit; it
+    /// doubles after each launch so a genuinely slow unit does not fan out
+    /// across every idle worker.
+    pub spec_backoff: Duration,
+    /// How many times one unit may panic before it is *quarantined* (dropped
+    /// from the run and reported) instead of retried. Must stay below
+    /// [`FtConfig::max_attempts`] or the run aborts before quarantine fires.
+    pub poison_retries: usize,
 }
 
 impl Default for FtConfig {
@@ -252,6 +288,10 @@ impl Default for FtConfig {
             rpc_timeout: Duration::from_millis(200),
             max_rpc_retries: 150,
             max_attempts: 8,
+            speculate: false,
+            suspect_after: Duration::from_millis(500),
+            spec_backoff: Duration::from_millis(300),
+            poison_retries: 3,
         }
     }
 }
@@ -288,29 +328,54 @@ impl std::fmt::Display for SchedError {
 
 impl std::error::Error for SchedError {}
 
-/// Dynamic master-worker scheduling that survives worker deaths.
+/// Outcome of a fault-tolerant scheduled run ([`assign_and_run_ft_report`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FtRun {
+    /// Unit indices whose output this rank *committed* (first-result-wins),
+    /// in execution order. Empty on the master.
+    pub units: Vec<usize>,
+    /// Units quarantined as poison (each panicked
+    /// [`FtConfig::poison_retries`] times), sorted. Populated on rank 0
+    /// only — workers learn about quarantine indirectly, through the higher
+    /// layer's reconciliation broadcast.
+    pub quarantined: Vec<u64>,
+}
+
+/// Dynamic master-worker scheduling that survives worker deaths, stragglers,
+/// and poison work units.
 ///
 /// Protocol (at-least-once RPC with master-side dedup, so dropped or delayed
 /// messages are harmless):
 ///
-/// * a worker's request carries `[seq, last_completed]`; it re-sends the same
-///   request on timeout, and the master de-duplicates by `seq` (re-sending
-///   its cached reply), so a completion is recorded exactly once;
-/// * the master's reply carries `[seq_echo, code]` where `code` is a unit
-///   index, `DONE`, or `ABORT`; the worker discards replies whose echo does
-///   not match its current request.
+/// * a worker's request carries `[seq, completed, flag]` where `flag` says
+///   whether `completed` ran clean (`FLAG_OK`) or panicked (`FLAG_PANIC`);
+///   the worker re-sends the same request on timeout and the master
+///   de-duplicates by `seq` (re-sending its cached reply), so a completion is
+///   recorded exactly once;
+/// * the master's reply carries `[seq_echo, code, verdict]`: `code` is a unit
+///   index, `DONE`, or `ABORT`; `verdict` arbitrates the reported completion
+///   (`V_COMMIT` publishes the staged output, `V_DISCARD` drops it — a backup
+///   already won). The worker discards replies whose echo does not match.
+/// * workers may additionally send one-way `[BEACON, 0, 0]` progress beacons
+///   mid-unit ([`ft_beacon`]) to keep the failure detector's heartbeat
+///   deadline at bay during long compute phases.
 ///
-/// Fault handling (fail-stop workers, perfect detection via the fault
-/// board):
+/// Fault handling (fail-stop deaths are detected perfectly via the fault
+/// board; *stragglers* only via heartbeat silence):
 ///
-/// * a unit is re-dispatched **only** when the worker that owns it is
-///   confirmed dead — never on mere timeout suspicion, which would duplicate
-///   the output of a slow-but-alive worker;
-/// * when a worker dies, *every* unit whose output lives on it (in flight
-///   **and** already completed — the emitted pairs died with the rank) goes
-///   back in the queue;
-/// * `DONE` is only sent once every unit is completed and owned by a live
-///   worker, so from the output's point of view each unit ran exactly once;
+/// * a confirmed-dead worker's units — in flight **and** committed (the
+///   emitted pairs died with the rank) — go back in the queue;
+/// * with [`FtConfig::speculate`], a worker silent past
+///   [`FtConfig::suspect_after`] with a unit in flight is declared
+///   *suspected*; its unit is speculatively re-dispatched to idle workers
+///   with exponential backoff. The first result wins; the loser's output is
+///   discarded by verdict, keeping output bit-for-bit identical to a
+///   fault-free run. When a backup wins and the straggler is still silent,
+///   the master *fences* it (declares it dead on the board) so it stops
+///   burning wall-clock — indistinguishable from a crash at that instant;
+/// * a unit that panics [`FtConfig::poison_retries`] times is quarantined:
+///   reported in [`FtRun::quarantined`] instead of crashing the run or
+///   aborting it — an explicit partial result;
 /// * a unit dispatched more than [`FtConfig::max_attempts`] times aborts the
 ///   run with a typed error on every rank — no hang, no silent loss.
 ///
@@ -318,25 +383,99 @@ impl std::error::Error for SchedError {}
 /// as in the original MR-MPI master-worker mapstyle); if it dies, workers
 /// report [`SchedError::MasterDied`].
 ///
-/// Returns the unit indices executed locally, in execution order.
+/// `run(unit)` executes a unit, emitting into *staging*; `verdict(unit,
+/// commit)` is called exactly once per completed execution to publish
+/// (`true`) or drop (`false`) that staging. A panicked execution discards
+/// its partial staging before the failure is reported.
+pub fn assign_and_run_ft_report(
+    comm: &Comm,
+    ntasks: usize,
+    cfg: &FtConfig,
+    run: &mut dyn FnMut(usize),
+    verdict: &mut dyn FnMut(usize, bool),
+) -> Result<FtRun, SchedError> {
+    if comm.size() == 1 {
+        return Ok(ft_run_local(comm, ntasks, cfg, run, verdict));
+    }
+    if comm.rank() == 0 {
+        ft_master_loop(comm, ntasks, cfg)
+            .map(|quarantined| FtRun { units: Vec::new(), quarantined })
+    } else {
+        ft_worker_loop(comm, cfg, run, verdict)
+            .map(|units| FtRun { units, quarantined: Vec::new() })
+    }
+}
+
+/// Compatibility wrapper over [`assign_and_run_ft_report`] for callers whose
+/// `run` publishes directly (no staging): every committed unit's output is
+/// already in place, and discards cannot happen without speculation.
+/// Returns the unit indices committed locally, in execution order.
 pub fn assign_and_run_ft(
     comm: &Comm,
     ntasks: usize,
     cfg: &FtConfig,
     mut run: impl FnMut(usize),
 ) -> Result<Vec<usize>, SchedError> {
-    if comm.size() == 1 {
-        let mut mine = Vec::new();
-        for t in 0..ntasks {
-            run(t);
-            mine.push(t);
-        }
-        return Ok(mine);
+    assign_and_run_ft_report(comm, ntasks, cfg, &mut |t| run(t), &mut |_, _| {})
+        .map(|r| r.units)
+}
+
+/// Send a one-way progress beacon to the FT master, refreshing this worker's
+/// heartbeat deadline. Call from inside a long-running work unit (e.g. after
+/// loading a database partition) so a genuinely busy worker is not mistaken
+/// for a straggler. No-op on the master and in single-rank worlds.
+pub fn ft_beacon(comm: &Comm) {
+    if comm.size() > 1 && comm.rank() != 0 {
+        comm.send_u64s(0, TAG_REQ, &[BEACON, 0, 0]);
     }
-    if comm.rank() == 0 {
-        ft_master_loop(comm, ntasks, cfg).map(|()| Vec::new())
-    } else {
-        ft_worker_loop(comm, cfg, &mut run)
+}
+
+/// Single-rank degenerate case: run every unit locally with panic isolation
+/// and the same retry-then-quarantine policy as the distributed path.
+fn ft_run_local(
+    comm: &Comm,
+    ntasks: usize,
+    cfg: &FtConfig,
+    run: &mut dyn FnMut(usize),
+    verdict: &mut dyn FnMut(usize, bool),
+) -> FtRun {
+    let mut units = Vec::new();
+    let mut quarantined = Vec::new();
+    for t in 0..ntasks {
+        let mut fails = 0usize;
+        loop {
+            if run_unit_isolated(comm, t as u64, run) {
+                verdict(t, true);
+                units.push(t);
+                break;
+            }
+            verdict(t, false); // drop any partial staging from the panic
+            fails += 1;
+            if fails >= cfg.poison_retries.max(1) {
+                quarantined.push(t as u64);
+                break;
+            }
+        }
+    }
+    FtRun { units, quarantined }
+}
+
+/// Execute one unit with panic isolation: a poison injection from the fault
+/// plan or a genuine panic inside `run` yields `false` instead of tearing
+/// the rank down. An injected *rank death* is not a unit failure and keeps
+/// unwinding.
+fn run_unit_isolated(comm: &Comm, unit: u64, run: &mut dyn FnMut(usize)) -> bool {
+    if comm.unit_poisoned(unit) {
+        return false;
+    }
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(unit as usize))) {
+        Ok(()) => true,
+        Err(payload) => {
+            if payload.downcast_ref::<mpisim::RankDeath>().is_some() {
+                std::panic::resume_unwind(payload);
+            }
+            false
+        }
     }
 }
 
@@ -344,57 +483,80 @@ pub fn assign_and_run_ft(
 struct FtMaster<'c> {
     comm: &'c Comm,
     max_attempts: usize,
+    poison_retries: usize,
+    speculate: bool,
+    suspect_after: Duration,
+    spec_backoff: Duration,
     pending: std::collections::VecDeque<u64>,
     /// Completion flag per unit; a unit owned by a dead worker is un-done.
     done: Vec<bool>,
     ndone: usize,
-    /// Unit currently running on each worker.
+    /// Unit currently running on each worker. Under speculation several
+    /// workers may be running the *same* unit; the first completion wins.
     inflight: std::collections::HashMap<usize, u64>,
-    /// Completed units whose output lives on each worker.
+    /// Committed units whose output lives on each worker.
     owned: std::collections::HashMap<usize, Vec<u64>>,
     /// Dispatch attempts per unit.
     attempts: Vec<usize>,
+    /// Panic count per unit; at `poison_retries` the unit is quarantined.
+    fails: Vec<usize>,
+    /// Units given up on as poison, in quarantine order.
+    quarantined: Vec<u64>,
     /// Highest request sequence number seen per worker, with the cached
     /// reply for duplicate-request retransmission.
-    last: std::collections::HashMap<usize, (u64, Option<[u64; 2]>)>,
+    last: std::collections::HashMap<usize, (u64, Option<[u64; 3]>)>,
     /// Workers waiting for work while the queue is empty but units are
-    /// still outstanding on other workers.
-    parked: Vec<(usize, u64)>,
+    /// still outstanding on other workers, with the verdict owed to their
+    /// reported completion (delivered with the eventual assignment).
+    parked: Vec<(usize, u64, u64)>,
+    /// Wall-clock instant each worker was last heard from (request or
+    /// beacon); the failure detector's heartbeat state.
+    last_heard: std::collections::HashMap<usize, std::time::Instant>,
+    /// Per-unit speculative-launch gate: earliest next launch and the
+    /// current (doubling) backoff.
+    spec_next: std::collections::HashMap<u64, (std::time::Instant, Duration)>,
     retired: std::collections::HashSet<usize>,
     known_dead: std::collections::HashSet<usize>,
     abort: Option<u64>,
 }
 
 impl FtMaster<'_> {
-    fn reply(&mut self, worker: usize, payload: [u64; 2]) {
+    fn reply(&mut self, worker: usize, payload: [u64; 3]) {
         self.last.insert(worker, (payload[0], Some(payload)));
         self.comm.send_u64s(worker, TAG_TASK, &payload);
     }
 
+    /// Every unit is accounted for: committed on a live worker or
+    /// quarantined.
+    fn settled(&self) -> bool {
+        self.ndone + self.quarantined.len() == self.done.len()
+    }
+
     /// Answer `worker`'s request `seq`: hand out a unit, tell it the run is
-    /// over, or park it until outstanding units resolve. Retirement is *not*
-    /// recorded here — only a [`FAREWELL`] confirms the worker actually
-    /// received a termination reply.
-    fn serve(&mut self, worker: usize, seq: u64) {
+    /// over, or park it until outstanding units resolve. `verdict` is the
+    /// arbitration owed for the completion that came with this request.
+    /// Retirement is *not* recorded here — only a [`FAREWELL`] confirms the
+    /// worker actually received a termination reply.
+    fn serve(&mut self, worker: usize, seq: u64, verdict: u64) {
         if self.abort.is_some() {
-            self.reply(worker, [seq, ABORT]);
+            self.reply(worker, [seq, ABORT, verdict]);
             return;
         }
         if let Some(unit) = self.pending.pop_front() {
             self.attempts[unit as usize] += 1;
             if self.attempts[unit as usize] > self.max_attempts {
                 self.abort = Some(unit);
-                self.reply(worker, [seq, ABORT]);
+                self.reply(worker, [seq, ABORT, verdict]);
                 self.flush_parked();
                 return;
             }
             self.inflight.insert(worker, unit);
-            self.reply(worker, [seq, unit]);
-        } else if self.ndone == self.done.len() {
-            self.reply(worker, [seq, DONE]);
+            self.reply(worker, [seq, unit, verdict]);
+        } else if self.settled() {
+            self.reply(worker, [seq, DONE, verdict]);
         } else {
             self.last.insert(worker, (seq, None));
-            self.parked.push((worker, seq));
+            self.parked.push((worker, seq, verdict));
         }
     }
 
@@ -402,17 +564,28 @@ impl FtMaster<'_> {
     /// changed (requeue after a death, last unit completed, abort).
     fn flush_parked(&mut self) {
         let parked = std::mem::take(&mut self.parked);
-        for (worker, seq) in parked {
+        for (worker, seq, verdict) in parked {
             if self.known_dead.contains(&worker) {
                 continue;
             }
-            self.serve(worker, seq);
+            self.serve(worker, seq, verdict);
         }
     }
 
+    /// Should `unit` go back in the queue? Not if its result is already in
+    /// (or given up on), not if it is already queued, and not if another
+    /// worker is still running it (that execution may yet win).
+    fn should_requeue(&self, unit: u64) -> bool {
+        !self.done[unit as usize]
+            && !self.quarantined.contains(&unit)
+            && !self.pending.contains(&unit)
+            && !self.inflight.values().any(|&u| u == unit)
+    }
+
     /// Detect newly-dead workers and reclaim everything they owned: the
-    /// in-flight unit and all completed units (their output died with the
-    /// rank) go back to the pending queue.
+    /// in-flight unit (unless a speculative copy already resolved it) and
+    /// all committed units (their output died with the rank) go back to the
+    /// pending queue.
     fn reap_deaths(&mut self) {
         for worker in 1..self.comm.size() {
             if self.comm.is_alive(worker) || self.known_dead.contains(&worker) {
@@ -420,27 +593,142 @@ impl FtMaster<'_> {
             }
             self.known_dead.insert(worker);
             self.retired.remove(&worker);
-            self.parked.retain(|&(w, _)| w != worker);
-            let mut reclaimed = Vec::new();
-            if let Some(unit) = self.inflight.remove(&worker) {
-                reclaimed.push(unit);
-            }
+            self.parked.retain(|&(w, _, _)| w != worker);
+            let inflight = self.inflight.remove(&worker);
             for unit in self.owned.remove(&worker).unwrap_or_default() {
                 self.done[unit as usize] = false;
                 self.ndone -= 1;
-                reclaimed.push(unit);
+                if self.should_requeue(unit) {
+                    self.pending.push_back(unit);
+                }
             }
-            self.pending.extend(reclaimed);
+            if let Some(unit) = inflight {
+                if self.should_requeue(unit) {
+                    self.pending.push_back(unit);
+                }
+            }
         }
-        if !self.pending.is_empty() || self.ndone == self.done.len() {
+        if !self.pending.is_empty() || self.settled() {
             self.flush_parked();
         }
     }
 
-    fn handle_request(&mut self, worker: usize, seq: u64, completed: u64) {
-        if self.known_dead.contains(&worker) {
-            return; // request queued before the death; its sender is gone
+    /// Record a sign of life from `worker` and lift any suspicion.
+    fn note_heard(&mut self, worker: usize) {
+        self.last_heard.insert(worker, std::time::Instant::now());
+        if self.comm.is_suspected(worker) {
+            self.comm.clear_suspected(worker);
         }
+    }
+
+    /// Has `worker` been silent past the heartbeat deadline?
+    fn silent(&self, worker: usize) -> bool {
+        self.last_heard
+            .get(&worker)
+            .is_none_or(|t| t.elapsed() >= self.suspect_after)
+    }
+
+    /// The failure-detector + speculation tick, run once per master loop
+    /// iteration (so at least every `rpc_timeout`):
+    ///
+    /// 1. workers with a unit in flight that missed the heartbeat deadline
+    ///    are marked *suspected* on the fault board (advisory);
+    /// 2. each unit running only on suspected workers is re-dispatched to a
+    ///    parked, unsuspected worker, gated by per-unit exponential backoff.
+    fn tick_speculation(&mut self) {
+        if !self.speculate {
+            return;
+        }
+        let now = std::time::Instant::now();
+        let mut stuck: Vec<u64> = Vec::new();
+        let mut healthy: std::collections::HashSet<u64> = Default::default();
+        for (&worker, &unit) in &self.inflight {
+            if self.known_dead.contains(&worker) {
+                continue;
+            }
+            if self.silent(worker) {
+                if !self.comm.is_suspected(worker) {
+                    self.comm.mark_suspected(worker);
+                }
+                stuck.push(unit);
+            } else {
+                healthy.insert(unit);
+            }
+        }
+        stuck.sort_unstable();
+        stuck.dedup();
+        for unit in stuck {
+            if healthy.contains(&unit)
+                || self.done[unit as usize]
+                || self.quarantined.contains(&unit)
+                || self.pending.contains(&unit)
+            {
+                continue;
+            }
+            let (gate, backoff) = self
+                .spec_next
+                .get(&unit)
+                .copied()
+                .unwrap_or((now, self.spec_backoff));
+            if now < gate {
+                continue;
+            }
+            // A backup needs an idle, trusted worker; waking a parked one
+            // delivers the assignment as the (pushed) answer to its parked
+            // request.
+            let Some(pos) = self.parked.iter().position(|&(w, _, _)| {
+                !self.comm.is_suspected(w) && !self.known_dead.contains(&w)
+            }) else {
+                continue;
+            };
+            let (worker, seq, verdict) = self.parked.remove(pos);
+            self.attempts[unit as usize] += 1;
+            if self.attempts[unit as usize] > self.max_attempts {
+                self.abort = Some(unit);
+                self.reply(worker, [seq, ABORT, verdict]);
+                self.flush_parked();
+                return;
+            }
+            self.inflight.insert(worker, unit);
+            self.reply(worker, [seq, unit, verdict]);
+            self.spec_next.insert(unit, (now + backoff, backoff.saturating_mul(2)));
+        }
+    }
+
+    /// A backup just won `unit`: fence any *still-silent* suspected loser
+    /// that is running the same unit. The winner is alive, so fencing can
+    /// never remove the last worker; the fenced straggler wakes from its
+    /// stall at the board check and unwinds exactly like a crashed rank.
+    fn fence_silent_losers(&mut self, unit: u64, winner: usize) {
+        if !self.speculate {
+            return;
+        }
+        let losers: Vec<usize> = self
+            .inflight
+            .iter()
+            .filter(|&(&w, &u)| u == unit && w != winner)
+            .map(|(&w, _)| w)
+            .collect();
+        for worker in losers {
+            if self.comm.is_suspected(worker)
+                && self.silent(worker)
+                && self.comm.is_alive(worker)
+            {
+                self.comm.fence(worker);
+            }
+        }
+    }
+
+    fn handle_request(&mut self, worker: usize, seq: u64, completed: u64, flag: u64) {
+        if self.known_dead.contains(&worker) || !self.comm.is_alive(worker) {
+            // Request queued before the death (or before a fence this loop
+            // iteration has not reaped yet): its sender is gone and will
+            // never apply a verdict, so accepting a completion here would
+            // mark a unit done with its staged output lost — and a commit
+            // from a dead "winner" could fence the last live worker.
+            return;
+        }
+        self.note_heard(worker);
         if let Some(&(last_seq, cached)) = self.last.get(&worker) {
             if last_seq == seq {
                 // Duplicate of a request already seen: re-send the cached
@@ -450,27 +738,61 @@ impl FtMaster<'_> {
                 // budget survives arbitrarily long units elsewhere.
                 match cached {
                     Some(payload) => self.comm.send_u64s(worker, TAG_TASK, &payload),
-                    None => self.comm.send_u64s(worker, TAG_TASK, &[seq, WAIT]),
+                    None => self.comm.send_u64s(worker, TAG_TASK, &[seq, WAIT, V_NONE]),
                 }
                 return;
             }
         }
         if completed == FAREWELL {
             self.retired.insert(worker);
-            self.reply(worker, [seq, DONE]);
+            self.reply(worker, [seq, DONE, V_NONE]);
             return;
         }
         self.last.insert(worker, (seq, None));
-        if completed != NO_UNIT && self.inflight.get(&worker) == Some(&completed) {
-            self.inflight.remove(&worker);
-            self.done[completed as usize] = true;
-            self.ndone += 1;
-            self.owned.entry(worker).or_default().push(completed);
-            if self.ndone == self.done.len() {
-                self.flush_parked();
+        let mut verdict = V_NONE;
+        if completed != NO_UNIT {
+            let u = completed as usize;
+            match flag {
+                FLAG_OK => {
+                    let first = self.inflight.get(&worker) == Some(&completed)
+                        && !self.done[u]
+                        && !self.quarantined.contains(&completed);
+                    if self.inflight.get(&worker) == Some(&completed) {
+                        self.inflight.remove(&worker);
+                    }
+                    if first {
+                        self.done[u] = true;
+                        self.ndone += 1;
+                        self.owned.entry(worker).or_default().push(completed);
+                        verdict = V_COMMIT;
+                        self.fence_silent_losers(completed, worker);
+                        if self.settled() {
+                            self.flush_parked();
+                        }
+                    } else {
+                        verdict = V_DISCARD;
+                    }
+                }
+                FLAG_PANIC => {
+                    if self.inflight.get(&worker) == Some(&completed) {
+                        self.inflight.remove(&worker);
+                    }
+                    self.fails[u] += 1;
+                    if self.fails[u] >= self.poison_retries {
+                        if !self.quarantined.contains(&completed) {
+                            self.quarantined.push(completed);
+                            if self.settled() {
+                                self.flush_parked();
+                            }
+                        }
+                    } else if self.should_requeue(completed) {
+                        self.pending.push_back(completed);
+                    }
+                }
+                _ => {}
             }
         }
-        self.serve(worker, seq);
+        self.serve(worker, seq, verdict);
     }
 
     fn live_workers_all_retired(&self) -> (usize, bool) {
@@ -489,18 +811,29 @@ impl FtMaster<'_> {
     }
 }
 
-fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<(), SchedError> {
+fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<Vec<u64>, SchedError> {
+    let now = std::time::Instant::now();
     let mut m = FtMaster {
         comm,
         max_attempts: cfg.max_attempts,
+        poison_retries: cfg.poison_retries.max(1),
+        speculate: cfg.speculate,
+        suspect_after: cfg.suspect_after,
+        spec_backoff: cfg.spec_backoff,
         pending: (0..ntasks as u64).collect(),
         done: vec![false; ntasks],
         ndone: 0,
         inflight: Default::default(),
         owned: Default::default(),
         attempts: vec![0; ntasks],
+        fails: vec![0; ntasks],
+        quarantined: Vec::new(),
         last: Default::default(),
         parked: Vec::new(),
+        // Workers start with a full heartbeat budget: nobody is suspect
+        // before they have had `suspect_after` to make first contact.
+        last_heard: (1..comm.size()).map(|w| (w, now)).collect(),
+        spec_next: Default::default(),
         retired: Default::default(),
         known_dead: Default::default(),
         abort: None,
@@ -513,10 +846,15 @@ fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<(), Sche
     let mut quiet = 0usize;
     loop {
         m.reap_deaths();
+        m.tick_speculation();
         let (live, all_confirmed) = m.live_workers_all_retired();
         let finish = |m: &FtMaster| match m.abort {
             Some(unit) => Err(SchedError::Aborted { unit }),
-            None if m.ndone == ntasks => Ok(()),
+            None if m.settled() => {
+                let mut q = m.quarantined.clone();
+                q.sort_unstable();
+                Ok(q)
+            }
             // Outstanding units with nobody left to run them (workers died
             // after confirming, taking completed output with them).
             None => Err(SchedError::AllWorkersDead),
@@ -524,10 +862,11 @@ fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<(), Sche
         if live == 0 || all_confirmed {
             return finish(&m);
         }
-        // No unit can be mid-execution once every unit is done, or once the
-        // run aborted with nothing in flight — only (bounded) termination
-        // chatter remains, so prolonged silence is safe to act on.
-        let drained = m.ndone == ntasks || (m.abort.is_some() && m.inflight.is_empty());
+        // No unit can be mid-execution once every unit is settled, or once
+        // the run aborted with nothing in flight — only (bounded)
+        // termination chatter remains, so prolonged silence is safe to act
+        // on.
+        let drained = m.settled() || (m.abort.is_some() && m.inflight.is_empty());
         if drained && quiet > quiet_limit {
             return finish(&m);
         }
@@ -535,9 +874,13 @@ fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<(), Sche
             Ok(msg) => {
                 quiet = 0;
                 let req = mpisim::wire::bytes_to_u64s(&msg.data);
-                m.handle_request(msg.status.source, req[0], req[1]);
+                if req[0] == BEACON {
+                    m.note_heard(msg.status.source);
+                    continue;
+                }
+                m.handle_request(msg.status.source, req[0], req[1], req[2]);
             }
-            Err(MpiError::TimedOut) => quiet += 1,
+            Err(MpiError::Timeout) => quiet += 1,
             // A death interrupted the wait or every worker is gone: loop
             // back to reap and re-evaluate.
             Err(MpiError::Interrupted) | Err(MpiError::RankDead { .. }) => quiet = 0,
@@ -546,20 +889,21 @@ fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<(), Sche
     }
 }
 
-/// One at-least-once request round: send `[seq, completed]`, resend on
-/// timeout (master-side dedup makes this harmless), and return the reply
-/// code whose sequence echo matches.
+/// One at-least-once request round: send `[seq, completed, flag]`, resend on
+/// timeout (master-side dedup makes this harmless), and return the
+/// `(code, verdict)` of the reply whose sequence echo matches.
 fn ft_request(
     comm: &Comm,
     cfg: &FtConfig,
     seq: u64,
     completed: u64,
-) -> Result<u64, SchedError> {
+    flag: u64,
+) -> Result<(u64, u64), SchedError> {
     let mut resends = 0usize;
     let mut need_send = true;
     loop {
         if need_send {
-            comm.send_u64s(0, TAG_REQ, &[seq, completed]);
+            comm.send_u64s(0, TAG_REQ, &[seq, completed, flag]);
             need_send = false;
         }
         match comm.recv_timeout(0, TAG_TASK, cfg.rpc_timeout) {
@@ -574,10 +918,10 @@ fn ft_request(
                     resends = 0;
                     continue;
                 }
-                return Ok(reply[1]);
+                return Ok((reply[1], reply[2]));
             }
             Err(MpiError::RankDead { .. }) => return Err(SchedError::MasterDied),
-            Err(MpiError::TimedOut) => {
+            Err(MpiError::Timeout) => {
                 resends += 1;
                 if resends > cfg.max_rpc_retries {
                     return Err(SchedError::MasterUnreachable);
@@ -595,20 +939,37 @@ fn ft_worker_loop(
     comm: &Comm,
     cfg: &FtConfig,
     run: &mut dyn FnMut(usize),
+    verdict: &mut dyn FnMut(usize, bool),
 ) -> Result<Vec<usize>, SchedError> {
     let mut mine = Vec::new();
     let mut seq = 0u64;
     let mut completed = NO_UNIT;
+    let mut flag = FLAG_NONE;
     let outcome = loop {
         seq += 1;
-        match ft_request(comm, cfg, seq, completed)? {
+        let (code, verd) = ft_request(comm, cfg, seq, completed, flag)?;
+        // The reply arbitrates the completion this request reported: commit
+        // publishes the staged output, discard drops it (a backup won).
+        // Panicked executions already dropped their partial staging.
+        if completed != NO_UNIT && flag == FLAG_OK {
+            let commit = verd == V_COMMIT;
+            verdict(completed as usize, commit);
+            if commit {
+                mine.push(completed as usize);
+            }
+        }
+        match code {
             DONE => break Ok(mine),
             // Workers don't learn which unit exhausted its budget; the
             // master's own return value carries it.
             ABORT => break Err(SchedError::Aborted { unit: u64::MAX }),
             unit => {
-                run(unit as usize);
-                mine.push(unit as usize);
+                if run_unit_isolated(comm, unit, run) {
+                    flag = FLAG_OK;
+                } else {
+                    verdict(unit as usize, false); // drop partial staging
+                    flag = FLAG_PANIC;
+                }
                 completed = unit;
             }
         }
@@ -617,7 +978,7 @@ fn ft_worker_loop(
     // retransmissions. Best-effort: if the master is already gone (or the
     // farewell keeps getting dropped), we still return our result.
     seq += 1;
-    let _ = ft_request(comm, cfg, seq, FAREWELL);
+    let _ = ft_request(comm, cfg, seq, FAREWELL, FLAG_NONE);
     outcome
 }
 
@@ -929,6 +1290,194 @@ mod tests {
         let cfg = FtConfig::default();
         assert!(cfg.rpc_timeout > Duration::ZERO);
         assert!(cfg.max_rpc_retries > 0 && cfg.max_attempts > 0);
+        assert!(!cfg.speculate, "speculation must be opt-in");
+        assert!(cfg.poison_retries >= 1 && cfg.poison_retries < cfg.max_attempts);
         let _ = StdArc::new(cfg); // Clone + Send across rank closures
+    }
+
+    // ---- stragglers, speculation, quarantine ----
+
+    #[test]
+    fn ft_poisoned_units_are_quarantined_and_run_completes() {
+        let plan = FaultPlan::new(13).poison(2).poison(7);
+        let outcomes = World::new(3).with_faults(plan).run_faulty(move |comm| {
+            assign_and_run_ft_report(
+                comm,
+                10,
+                &FtConfig::default(),
+                &mut |_| {},
+                &mut |_, _| {},
+            )
+        });
+        let master = outcomes[0].as_done().unwrap().as_ref().expect("run completes");
+        assert_eq!(master.quarantined, vec![2, 7], "sorted quarantine list");
+        let mut committed: Vec<usize> = outcomes
+            .iter()
+            .filter_map(|o| o.as_done())
+            .filter_map(|r| r.as_ref().ok())
+            .flat_map(|r| r.units.iter().copied())
+            .collect();
+        committed.sort_unstable();
+        assert_eq!(committed, vec![0, 1, 3, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn ft_single_rank_quarantines_poison_too() {
+        let plan = FaultPlan::new(17).poison(1);
+        let outcomes = World::new(1).with_faults(plan).run_faulty(move |comm| {
+            assign_and_run_ft_report(
+                comm,
+                4,
+                &FtConfig::default(),
+                &mut |_| {},
+                &mut |_, _| {},
+            )
+        });
+        let run = outcomes[0].as_done().unwrap().as_ref().unwrap();
+        assert_eq!(run.units, vec![0, 2, 3]);
+        assert_eq!(run.quarantined, vec![1]);
+    }
+
+    #[test]
+    fn ft_genuine_panic_in_run_is_isolated_and_quarantined() {
+        let outcomes = World::new(3).run_faulty(move |comm| {
+            assign_and_run_ft_report(
+                comm,
+                6,
+                &FtConfig::default(),
+                &mut |t| {
+                    if t == 3 {
+                        panic!("bad work unit");
+                    }
+                },
+                &mut |_, _| {},
+            )
+        });
+        let master = outcomes[0].as_done().unwrap().as_ref().expect("no crash");
+        assert_eq!(master.quarantined, vec![3]);
+    }
+
+    #[test]
+    fn ft_stalled_worker_is_fenced_and_backup_commits_every_unit() {
+        // Rank 1 stalls for 30 wall-clock seconds inside its first unit;
+        // with speculation on, its unit is re-run elsewhere, the straggler
+        // is fenced, and everything it had committed is re-executed — the
+        // committed union is still an exact partition, long before the
+        // stall window ends.
+        let start = std::time::Instant::now();
+        let cfg = FtConfig {
+            rpc_timeout: Duration::from_millis(25),
+            speculate: true,
+            suspect_after: Duration::from_millis(100),
+            spec_backoff: Duration::from_millis(50),
+            ..FtConfig::default()
+        };
+        let plan = FaultPlan::new(29).stall(1, 0.005, 30.0);
+        let outcomes = World::new(3).with_faults(plan).run_faulty(move |comm| {
+            assign_and_run_ft_report(comm, 8, &cfg, &mut |_| comm.charge(0.01), &mut |_, _| {})
+        });
+        assert!(outcomes[1].is_died(), "straggler must be fenced: {:?}", outcomes[1]);
+        let master = outcomes[0].as_done().unwrap().as_ref().expect("master finishes");
+        assert!(master.quarantined.is_empty());
+        let mut committed: Vec<usize> = outcomes
+            .iter()
+            .filter_map(|o| o.as_done())
+            .filter_map(|r| r.as_ref().ok())
+            .flat_map(|r| r.units.iter().copied())
+            .collect();
+        committed.sort_unstable();
+        assert_eq!(committed, (0..8).collect::<Vec<_>>());
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "speculation must beat the stall window, elapsed {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn ft_recovered_straggler_wins_and_beaconing_backup_discards() {
+        // One unit, two workers. Rank 1 takes the unit and stalls 400ms;
+        // the master suspects it and launches a backup on rank 2, whose
+        // execution takes ~600ms but beacons while it works (so it is never
+        // mistaken for a straggler itself). Rank 1 recovers first: its
+        // result commits, the backup's is discarded, and both survive.
+        let cfg = FtConfig {
+            rpc_timeout: Duration::from_millis(25),
+            speculate: true,
+            suspect_after: Duration::from_millis(100),
+            spec_backoff: Duration::from_millis(50),
+            ..FtConfig::default()
+        };
+        let plan = FaultPlan::new(31).stall(1, 0.005, 0.4);
+        let outcomes = World::new(3).with_faults(plan).run_faulty(move |comm| {
+            if comm.rank() == 2 {
+                // Guarantee rank 1 asks first and owns the only unit.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            let mut verdicts: Vec<(usize, bool)> = Vec::new();
+            let run = assign_and_run_ft_report(
+                comm,
+                1,
+                &cfg,
+                &mut |_| {
+                    comm.charge(0.01); // rank 1 hits its stall window here
+                    if comm.rank() == 2 {
+                        for _ in 0..12 {
+                            ft_beacon(comm);
+                            std::thread::sleep(Duration::from_millis(50));
+                        }
+                    }
+                },
+                &mut |unit, commit| verdicts.push((unit, commit)),
+            );
+            (run, verdicts)
+        });
+        let (r1, v1) = outcomes[1].as_done().expect("straggler recovered, not fenced");
+        let (r2, v2) = outcomes[2].as_done().expect("backup survives");
+        assert_eq!(r1.as_ref().unwrap().units, vec![0], "primary wins");
+        assert_eq!(v1, &vec![(0, true)]);
+        assert!(r2.as_ref().unwrap().units.is_empty(), "backup loses");
+        assert_eq!(v2, &vec![(0, false)], "backup's staged output is discarded");
+        let master = outcomes[0].as_done().unwrap().0.as_ref().unwrap();
+        assert!(master.quarantined.is_empty());
+    }
+
+    #[test]
+    fn ft_speculation_off_never_discards_live_work() {
+        // Same stall, speculation disabled: the run simply waits the
+        // straggler out and every worker's completions commit.
+        let cfg = FtConfig {
+            rpc_timeout: Duration::from_millis(25),
+            suspect_after: Duration::from_millis(100),
+            ..FtConfig::default()
+        };
+        let plan = FaultPlan::new(37).stall(1, 0.005, 0.2);
+        let outcomes = World::new(3).with_faults(plan).run_faulty(move |comm| {
+            let mut discards = 0usize;
+            let run = assign_and_run_ft_report(
+                comm,
+                6,
+                &cfg,
+                &mut |_| comm.charge(0.01),
+                &mut |_, commit| {
+                    if !commit {
+                        discards += 1;
+                    }
+                },
+            );
+            (run, discards)
+        });
+        for o in &outcomes {
+            let (run, discards) = o.as_done().expect("nobody dies without speculation");
+            assert!(run.is_ok());
+            assert_eq!(*discards, 0);
+        }
+        let mut committed: Vec<usize> = outcomes
+            .iter()
+            .filter_map(|o| o.as_done())
+            .flat_map(|(r, _)| r.as_ref().unwrap().units.iter().copied())
+            .collect();
+        committed.sort_unstable();
+        assert_eq!(committed, (0..6).collect::<Vec<_>>());
     }
 }

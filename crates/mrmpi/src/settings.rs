@@ -31,6 +31,12 @@ pub struct Settings {
     /// default) means a healthy disk. Clones share the plan's attempt
     /// counter, so one plan deterministically covers a whole run.
     pub disk_faults: Option<Arc<DiskFaultPlan>>,
+    /// Durable quarantine log: when set, rank 0 appends every work unit
+    /// quarantined by the fault-tolerant map (see
+    /// [`crate::sched::FtConfig::poison_retries`]) to this CRC-framed record
+    /// file, so poison units survive the process for post-mortem triage.
+    /// `None` (the default) keeps quarantine in-memory only.
+    pub poison_log: Option<PathBuf>,
 }
 
 impl Default for Settings {
@@ -40,6 +46,7 @@ impl Default for Settings {
             mem_budget: usize::MAX,
             tmpdir: Settings::unique_spill_dir(),
             disk_faults: None,
+            poison_log: None,
         }
     }
 }
@@ -48,7 +55,13 @@ impl Settings {
     /// Settings with a small page size and memory budget, forcing the
     /// out-of-core paths; used by tests and the paging ablation bench.
     pub fn tiny_paged(tmpdir: impl Into<PathBuf>) -> Self {
-        Settings { page_size: 256, mem_budget: 512, tmpdir: tmpdir.into(), disk_faults: None }
+        Settings {
+            page_size: 256,
+            mem_budget: 512,
+            tmpdir: tmpdir.into(),
+            disk_faults: None,
+            poison_log: None,
+        }
     }
 
     /// A fresh process-unique spill directory path under the system temp

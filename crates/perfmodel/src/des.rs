@@ -55,6 +55,9 @@ pub struct SimResult {
     /// Work units executed more than once because their worker died — the
     /// re-dispatch cost of fault recovery (0 for the fault-free simulators).
     pub redispatched: u64,
+    /// Speculative backup copies launched against suspected stragglers
+    /// (0 outside [`simulate_master_worker_speculative`]).
+    pub speculated: usize,
     /// Cores the run was charged for (workers + dedicated master if any).
     pub cores: usize,
 }
@@ -221,6 +224,7 @@ pub fn simulate_master_worker(
         warm_loads: warm,
         total_search_s: total_search,
         redispatched: 0,
+        speculated: 0,
         cores,
     }
 }
@@ -302,6 +306,7 @@ pub fn simulate_master_worker_affinity(
         warm_loads: warm,
         total_search_s: total_search,
         redispatched: 0,
+        speculated: 0,
         cores,
     }
 }
@@ -458,6 +463,235 @@ pub fn simulate_master_worker_faulty(
         warm_loads: warm,
         total_search_s: total_search,
         redispatched,
+        speculated: 0,
+        cores,
+    }
+}
+
+/// A scheduled straggler episode for
+/// [`simulate_master_worker_speculative`]: the worker freezes for `dur_s`
+/// wall-clock seconds (GC pause, flaky NIC, contended node) but does not
+/// die — work in progress resumes afterwards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stall {
+    /// Worker index (0-based over the `cores − 1` workers).
+    pub worker: usize,
+    /// Virtual time at which the freeze begins, in seconds.
+    pub at_s: f64,
+    /// Freeze duration in seconds.
+    pub dur_s: f64,
+}
+
+/// Simulate the master-worker schedule under **stragglers** with optional
+/// speculative re-execution, mirroring the heartbeat/speculation protocol in
+/// `mrmpi::sched`:
+///
+/// * a [`Stall`] freezes its worker: the unit it is executing (or the next
+///   unit it is handed) finishes `dur_s` late;
+/// * the master expects a unit to complete in its known cost; once a unit is
+///   `suspect_after_s` overdue the worker is *suspected*;
+/// * with `speculate` on, a suspected worker's in-flight unit is re-launched
+///   on an idle worker; the **first completion wins**, the duplicate is
+///   discarded (its compute appears in no busy interval, exactly as the
+///   scheduler's commit/discard dedup keeps duplicate emissions out of the
+///   output), and the run does not wait for the loser;
+/// * with `speculate` off, the makespan simply absorbs every stall — the
+///   baseline the `ablation_speculation` bench compares against.
+///
+/// `SimResult::speculated` counts backup launches.
+///
+/// # Panics
+/// Panics if fewer than 2 cores are requested or a stall names a
+/// nonexistent worker.
+pub fn simulate_master_worker_speculative(
+    cluster: &ClusterModel,
+    cores: usize,
+    tasks: &[Task],
+    partition_gb: f64,
+    stalls: &[Stall],
+    suspect_after_s: f64,
+    speculate: bool,
+) -> SimResult {
+    assert!(cores >= 2, "master-worker needs >= 2 cores");
+    let workers = cores - 1;
+    let mut loads = LoadModel::new(cluster, cores, partition_gb);
+    let (mut cold, mut warm) = (0u64, 0u64);
+
+    // Per-worker stall schedule, earliest first, consumed as units absorb
+    // them.
+    let mut pending_stalls: Vec<std::collections::VecDeque<(f64, f64)>> =
+        vec![std::collections::VecDeque::new(); workers];
+    {
+        let mut sorted: Vec<&Stall> = stalls.iter().collect();
+        sorted.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("no NaN stall times"));
+        for s in sorted {
+            assert!(s.worker < workers, "stall names worker {} of {workers}", s.worker);
+            pending_stalls[s.worker].push_back((s.at_s, s.dur_s));
+        }
+    }
+
+    // Events: completions, overdue checks, dispatch wakeups. At equal times
+    // completions precede suspicion checks, so a unit finishing exactly on
+    // its deadline is never speculated against.
+    const EV_FREE: u8 = 0;
+    const EV_SPEC: u8 = 1;
+    const EV_WAKE: u8 = 2;
+    let mut events: std::collections::BinaryHeap<std::cmp::Reverse<(OrdF64, u8, usize)>> =
+        std::collections::BinaryHeap::new();
+    events.push(std::cmp::Reverse((OrdF64(0.0), EV_WAKE, 0)));
+
+    let mut pool: std::collections::VecDeque<usize> = (0..tasks.len()).collect();
+    let mut idle: std::collections::BTreeSet<usize> = (0..workers).collect();
+    // (task, start, effective_end) per worker.
+    let mut inflight: Vec<Option<(usize, f64, f64)>> = vec![None; workers];
+    let mut done = vec![false; tasks.len()];
+    let mut backed_up = vec![false; tasks.len()];
+    let mut busy_intervals = vec![Vec::new(); workers];
+    let mut worker_busy = vec![0.0f64; workers];
+    let mut last_worker_cache: Vec<Option<usize>> = vec![None; workers];
+    let mut ndone = 0usize;
+    let mut speculated = 0usize;
+    let mut makespan = 0.0f64;
+
+    // Hand `task` to `w` at `now`; returns nothing, queues the completion.
+    // A pending stall overlapping the execution window extends it; the
+    // overdue check fires `suspect_after_s` past the *stall-free* end.
+    let dispatch = |w: usize,
+                        task: usize,
+                        now: f64,
+                        loads: &mut LoadModel,
+                        cold: &mut u64,
+                        warm: &mut u64,
+                        pending_stalls: &mut Vec<std::collections::VecDeque<(f64, f64)>>,
+                        inflight: &mut Vec<Option<(usize, f64, f64)>>,
+                        last_worker_cache: &mut Vec<Option<usize>>,
+                        events: &mut std::collections::BinaryHeap<
+                            std::cmp::Reverse<(OrdF64, u8, usize)>,
+                        >| {
+        let t = now + cluster.dispatch_latency_s;
+        let load = if last_worker_cache[w] == Some(tasks[task].part) {
+            0.0
+        } else {
+            last_worker_cache[w] = Some(tasks[task].part);
+            loads.load(w + 1, tasks[task].part, cold, warm)
+        };
+        let start = t + load;
+        let nominal_end = start + tasks[task].cost_s;
+        let mut end = nominal_end;
+        while let Some(&(at, dur)) = pending_stalls[w].front() {
+            if at < end {
+                end += dur;
+                pending_stalls[w].pop_front();
+            } else {
+                break;
+            }
+        }
+        inflight[w] = Some((task, start, end));
+        events.push(std::cmp::Reverse((OrdF64(end), EV_FREE, w)));
+        if speculate {
+            // Overdue check keyed by *unit*, not worker: by the time it
+            // fires the worker may long since be running something else.
+            events.push(std::cmp::Reverse((
+                OrdF64(nominal_end + suspect_after_s),
+                EV_SPEC,
+                task,
+            )));
+        }
+    };
+
+    while ndone < tasks.len() {
+        let std::cmp::Reverse((OrdF64(now), kind, w)) =
+            events.pop().expect("stalled workers always finish eventually");
+        match kind {
+            EV_FREE => {
+                let Some((task, start, end)) = inflight[w].take() else { continue };
+                idle.insert(w);
+                if done[task] {
+                    continue; // lost the race to a speculative copy
+                }
+                done[task] = true;
+                ndone += 1;
+                busy_intervals[w].push((start, end));
+                worker_busy[w] += tasks[task].cost_s;
+                makespan = makespan.max(end);
+            }
+            EV_SPEC => {
+                // `w` is the *unit* here. Speculate only against a unit
+                // that is genuinely overdue — still in flight past its
+                // stall-free deadline plus grace — and back each unit up at
+                // most once (the scheduler's backoff keeps duplicates
+                // bounded the same way). With every worker busy, re-check
+                // one grace period later instead of giving up.
+                let task = w;
+                if done[task] || backed_up[task] {
+                    continue;
+                }
+                let running = inflight
+                    .iter()
+                    .enumerate()
+                    .find(|(_, slot)| matches!(slot, Some((t, _, _)) if *t == task));
+                let Some((primary, &Some((_, _, end)))) = running else { continue };
+                if end <= now + 1e-12 {
+                    continue; // completes momentarily; not worth a copy
+                }
+                let Some(&backup) = idle.iter().find(|&&b| b != primary) else {
+                    events.push(std::cmp::Reverse((
+                        OrdF64(now + suspect_after_s),
+                        EV_SPEC,
+                        task,
+                    )));
+                    continue;
+                };
+                idle.remove(&backup);
+                backed_up[task] = true;
+                speculated += 1;
+                dispatch(
+                    backup,
+                    task,
+                    now,
+                    &mut loads,
+                    &mut cold,
+                    &mut warm,
+                    &mut pending_stalls,
+                    &mut inflight,
+                    &mut last_worker_cache,
+                    &mut events,
+                );
+            }
+            _ => {} // EV_WAKE: fall through to the dispatch sweep
+        }
+        while !pool.is_empty() {
+            let Some(&w) = idle.iter().next() else { break };
+            let task = pool.pop_front().expect("non-empty");
+            if done[task] {
+                continue;
+            }
+            idle.remove(&w);
+            dispatch(
+                w,
+                task,
+                now,
+                &mut loads,
+                &mut cold,
+                &mut warm,
+                &mut pending_stalls,
+                &mut inflight,
+                &mut last_worker_cache,
+                &mut events,
+            );
+        }
+    }
+
+    let total_search: f64 = worker_busy.iter().sum();
+    SimResult {
+        makespan_s: makespan,
+        worker_busy,
+        busy_intervals,
+        cold_loads: cold,
+        warm_loads: warm,
+        total_search_s: total_search,
+        redispatched: 0,
+        speculated,
         cores,
     }
 }
@@ -508,6 +742,7 @@ pub fn simulate_static(
         warm_loads: warm,
         total_search_s: total_search,
         redispatched: 0,
+        speculated: 0,
         cores,
     }
 }
@@ -795,6 +1030,116 @@ mod tests {
             &fails,
             0.1,
         );
+    }
+
+    #[test]
+    fn speculative_sim_with_no_stalls_matches_plain() {
+        let cluster = ClusterModel {
+            cold_load_s_per_gb: 3.0,
+            warm_load_s_per_gb: 0.5,
+            dispatch_latency_s: 0.01,
+            ..ClusterModel::ranger()
+        };
+        let mut tasks = vec![Task { part: 0, cost_s: 9.0 }];
+        tasks.extend((0..30).map(|i| Task { part: i % 4, cost_s: 1.0 + (i % 3) as f64 }));
+        let plain = simulate_master_worker(&cluster, 5, &tasks, 1.0);
+        for speculate in [false, true] {
+            let spec = simulate_master_worker_speculative(
+                &cluster, 5, &tasks, 1.0, &[], 0.5, speculate,
+            );
+            assert!(
+                (plain.makespan_s - spec.makespan_s).abs() < 1e-9,
+                "speculate={speculate}: {} vs {}",
+                plain.makespan_s,
+                spec.makespan_s
+            );
+            assert_eq!(spec.speculated, 0);
+        }
+    }
+
+    #[test]
+    fn stall_without_speculation_is_absorbed_in_full() {
+        // 8 unit tasks on 2 workers; worker 0 freezes 10s inside its first
+        // unit: without speculation the makespan pays the entire stall.
+        let stalls = [Stall { worker: 0, at_s: 0.5, dur_s: 10.0 }];
+        let r = simulate_master_worker_speculative(
+            &cheap_cluster(),
+            3,
+            &uniform_tasks(8, 1.0),
+            0.0,
+            &stalls,
+            0.5,
+            false,
+        );
+        // Worker 1 clears the other 7 units by t=7; worker 0's unit lands at
+        // t=11 and dominates.
+        assert!((r.makespan_s - 11.0).abs() < 1e-9, "makespan {}", r.makespan_s);
+        assert_eq!(r.speculated, 0);
+    }
+
+    #[test]
+    fn speculation_hides_the_stall_and_first_result_wins() {
+        let stalls = [Stall { worker: 0, at_s: 0.5, dur_s: 10.0 }];
+        let r = simulate_master_worker_speculative(
+            &cheap_cluster(),
+            3,
+            &uniform_tasks(8, 1.0),
+            0.0,
+            &stalls,
+            0.5,
+            true,
+        );
+        // Worker 1 finishes the other 7 by t=7; the stuck unit is declared
+        // overdue at t=1.5 and its backup runs on worker 1 as soon as it
+        // idles — the run never waits for the frozen worker.
+        assert!(r.makespan_s < 11.0 - 1e-9, "speculation must beat {}", r.makespan_s);
+        assert!(r.makespan_s <= 8.0 + 1e-9, "makespan {}", r.makespan_s);
+        assert_eq!(r.speculated, 1, "exactly one backup for one stuck unit");
+        // Every unit appears exactly once in the winning busy intervals.
+        assert!((r.total_search_s - 8.0).abs() < 1e-9, "search {}", r.total_search_s);
+    }
+
+    #[test]
+    fn speculation_on_a_recovering_straggler_keeps_one_copy() {
+        // The stall is short: the primary recovers and wins before the
+        // backup (launched at suspicion) can finish; output conservation
+        // still holds — the unit counts once.
+        let stalls = [Stall { worker: 0, at_s: 0.2, dur_s: 1.2 }];
+        let r = simulate_master_worker_speculative(
+            &cheap_cluster(),
+            3,
+            &uniform_tasks(2, 1.0),
+            0.0,
+            &stalls,
+            0.1,
+            true,
+        );
+        assert!((r.total_search_s - 2.0).abs() < 1e-9, "search {}", r.total_search_s);
+        assert!(r.makespan_s <= 2.2 + 1e-9, "makespan {}", r.makespan_s);
+    }
+
+    #[test]
+    fn speculation_scales_to_paper_sized_fleets() {
+        // 1024 cores, one straggler frozen for an hour mid-unit: with
+        // speculation the fleet's makespan is within noise of fault-free.
+        let cluster = cheap_cluster();
+        let tasks = uniform_tasks(4096, 30.0);
+        let clean = simulate_master_worker(&cluster, 1024, &tasks, 0.0);
+        let stalls = [Stall { worker: 17, at_s: 10.0, dur_s: 3600.0 }];
+        let stalled = simulate_master_worker_speculative(
+            &cluster, 1024, &tasks, 0.0, &stalls, 15.0, false,
+        );
+        let spec = simulate_master_worker_speculative(
+            &cluster, 1024, &tasks, 0.0, &stalls, 15.0, true,
+        );
+        assert!(stalled.makespan_s > clean.makespan_s + 3000.0, "{}", stalled.makespan_s);
+        assert!(
+            spec.makespan_s < clean.makespan_s + 120.0,
+            "speculated makespan {} vs clean {}",
+            spec.makespan_s,
+            clean.makespan_s
+        );
+        assert_eq!(spec.speculated, 1);
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub use blastsim::{BlastScenario, WorkUnitCosts};
 pub use cluster::ClusterModel;
 pub use des::{
     simulate_master_worker, simulate_master_worker_affinity, simulate_master_worker_faulty,
-    simulate_static, Failure, Schedule, SimResult,
+    simulate_master_worker_speculative, simulate_static, Failure, Schedule, SimResult, Stall,
 };
 pub use somsim::SomScenario;

@@ -154,7 +154,7 @@ mod tests {
         for e in 0..epochs {
             let s = sigma_schedule(25.0, 1.0, epochs, e);
             assert!(s <= prev, "sigma must not increase");
-            assert!(s >= 1.0 && s <= 25.0);
+            assert!((1.0..=25.0).contains(&s));
             prev = s;
         }
         assert_eq!(sigma_schedule(25.0, 1.0, epochs, 0), 25.0);

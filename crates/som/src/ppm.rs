@@ -102,7 +102,7 @@ mod tests {
     #[test]
     fn ppm_header_and_size() {
         let path = tmpfile("a.ppm");
-        write_ppm(&path, 2, 3, &vec![[0.5, 0.0, 1.0]; 6]).unwrap();
+        write_ppm(&path, 2, 3, &[[0.5, 0.0, 1.0]; 6]).unwrap();
         let data = std::fs::read(&path).unwrap();
         assert!(data.starts_with(b"P6\n2 3\n255\n"));
         assert_eq!(data.len(), 11 + 18);

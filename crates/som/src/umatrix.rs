@@ -12,7 +12,7 @@ use crate::codebook::Codebook;
 /// to the 4-connected grid neighbors.
 pub fn umatrix(cb: &Codebook) -> Vec<f64> {
     let mut u = vec![0.0; cb.num_neurons()];
-    for n in 0..cb.num_neurons() {
+    for (n, cell) in u.iter_mut().enumerate() {
         let (x, y) = cb.coords(n);
         let mut total = 0.0;
         let mut count = 0usize;
@@ -27,7 +27,7 @@ pub fn umatrix(cb: &Codebook) -> Vec<f64> {
         visit(x as i64 + 1, y as i64);
         visit(x as i64, y as i64 - 1);
         visit(x as i64, y as i64 + 1);
-        u[n] = if count > 0 { total / count as f64 } else { 0.0 };
+        *cell = if count > 0 { total / count as f64 } else { 0.0 };
     }
     u
 }
@@ -36,7 +36,8 @@ pub fn umatrix(cb: &Codebook) -> Vec<f64> {
 pub fn normalize(values: &[f64]) -> Vec<f64> {
     let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    if !(hi > lo) {
+    // Not `hi > lo`: constant, empty, and all-NaN inputs all map to zeros.
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return vec![0.0; values.len()];
     }
     values.iter().map(|v| (v - lo) / (hi - lo)).collect()

@@ -90,7 +90,7 @@ fn larger_maps_resolve_finer_structure() {
     let inputs: Vec<Vec<f64>> = (0..300)
         .map(|i| {
             let t = i as f64 / 299.0;
-            vec![t, (6.28 * t).sin() * 0.5 + 0.5]
+            vec![t, (std::f64::consts::TAU * t).sin() * 0.5 + 0.5]
         })
         .collect();
     let small_cfg = SomConfig {

@@ -76,7 +76,7 @@ fn main() {
                     .iter()
                     .flat_map(|&aa| {
                         let cs = codon_choices(aa);
-                        cs[r.random_range(0..cs.len())].iter().copied().collect::<Vec<u8>>()
+                        cs[r.random_range(0..cs.len())].to_vec()
                     })
                     .collect();
                 (coding, format!("family{fam}"))

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --release
 
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
 echo "== cargo test -q (root package: integration + property tests) =="
 cargo test -q
 
@@ -22,5 +25,8 @@ cargo test -q --test crash_restart blast_crash_restart_bit_for_bit
 
 echo "== crash-consistency smoke: SOM resumes past a corrupt newest checkpoint =="
 cargo test -q --test crash_restart som_resume_with_corrupt_newest_checkpoint_falls_back
+
+echo "== straggler smoke: speculation hides a stalled worker, bit-for-bit BLAST =="
+cargo test -q --test stragglers speculation_hides_a_straggler_and_output_stays_bit_for_bit
 
 echo "check.sh: all green"

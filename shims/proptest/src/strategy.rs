@@ -274,7 +274,7 @@ mod tests {
             assert!((0.5..2.0).contains(&f));
             let even = (0u32..100).prop_filter("even", |v| v % 2 == 0).generate(&mut rng);
             assert_eq!(even % 2, 0);
-            let u = crate::prop_oneof![Just(1i32), Just(2), (10i32..20)].generate(&mut rng);
+            let u = crate::prop_oneof![Just(1i32), Just(2), 10i32..20].generate(&mut rng);
             assert!(u == 1 || u == 2 || (10..20).contains(&u));
             let mapped = (1usize..4).prop_map(|v| v * 10).generate(&mut rng);
             assert!([10, 20, 30].contains(&mapped));

@@ -7,7 +7,7 @@
 //! newest checkpoint. Disk faults — torn checkpoint writes, transient EIO —
 //! are injected with [`mrmpi::DiskFaultPlan`] on top of the crash.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bioseq::db::{format_db, BlastDb, FormatDbConfig};
@@ -53,14 +53,14 @@ fn blast_fixture(seed: u64, tag: &str) -> BlastFixture {
 /// optionally stopping after `stop` iterations and/or injecting disk faults.
 fn blast_run(
     fx: &BlastFixture,
-    out: &PathBuf,
+    out: &Path,
     ck: Option<&PathBuf>,
     stop: Option<usize>,
     faults: Option<DiskFaultPlan>,
 ) {
     let db = fx.db.clone();
     let blocks = fx.blocks.clone();
-    let out = out.clone();
+    let out = out.to_path_buf();
     let ck = ck.cloned();
     World::new(RANKS).run(move |comm| {
         let mut cfg = MrBlastConfig {
@@ -82,7 +82,7 @@ fn blast_run(
 }
 
 /// Per-rank output file bytes, rank-indexed.
-fn rank_outputs(dir: &PathBuf) -> Vec<Vec<u8>> {
+fn rank_outputs(dir: &Path) -> Vec<Vec<u8>> {
     (0..RANKS)
         .map(|r| std::fs::read(dir.join(format!("hits.rank{r:04}.tsv"))).unwrap())
         .collect()

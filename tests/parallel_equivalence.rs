@@ -216,7 +216,7 @@ fn blastx_parallel_equals_serial() {
 
 /// Sort full hits (not just keys) for bit-for-bit output comparison.
 fn sorted_hits(mut hits: Vec<Hit>) -> Vec<Hit> {
-    hits.sort_by(|a, b| hit_key(a).cmp(&hit_key(b)));
+    hits.sort_by_key(hit_key);
     hits
 }
 

@@ -178,11 +178,117 @@ proptest! {
             rpc_timeout: Duration::from_millis(5),
             max_rpc_retries: 400,
             max_attempts: 8,
+            ..FtConfig::default()
         };
         let outcomes = World::new(size).with_faults(plan).run_faulty(move |comm| {
             assign_and_run_ft(comm, ntasks, &cfg, |_unit| {})
         });
         assert_exact_partition(&outcomes, ntasks, 0)?;
+    }
+
+    #[test]
+    fn scheduler_survives_kills_stalls_and_poison_with_exact_accounting(
+        seed in any::<u64>(),
+        size in 3usize..6,
+        ntasks in 1usize..14,
+        kills in proptest::collection::vec((0usize..8, 0u32..4), 0..2),
+        stalls in proptest::collection::vec((0usize..8, 0u32..3, 1u32..50), 0..2),
+        poison_picks in proptest::collection::vec(0u64..14, 0..3),
+    ) {
+        // Faults land on workers 1..size, always leaving at least one
+        // worker untouched by kills *and* stalls (a stalled worker may be
+        // fenced by speculation, so it cannot be counted on to survive).
+        let mut plan = FaultPlan::new(seed);
+        let mut touched = std::collections::BTreeSet::new();
+        for &(pick, t) in &kills {
+            let w = 1 + pick % (size - 1);
+            if touched.len() + 1 < size - 1 && touched.insert(w) {
+                plan = plan.kill(w, t as f64);
+            }
+        }
+        for &(pick, t, dur_ms) in &stalls {
+            let w = 1 + pick % (size - 1);
+            if touched.len() + 1 < size - 1 && touched.insert(w) {
+                plan = plan.stall(w, t as f64, dur_ms as f64 / 1000.0);
+            }
+        }
+        let poison: std::collections::BTreeSet<u64> =
+            poison_picks.iter().map(|&p| p % ntasks as u64).collect();
+        for &u in &poison {
+            plan = plan.poison(u);
+        }
+        let expect_quar: Vec<u64> = poison.iter().copied().collect();
+
+        let cfg = FtConfig {
+            rpc_timeout: Duration::from_millis(10),
+            max_rpc_retries: 400,
+            max_attempts: 16,
+            speculate: true,
+            suspect_after: Duration::from_millis(30),
+            spec_backoff: Duration::from_millis(10),
+            poison_retries: 2,
+        };
+        let outcomes = World::new(size).with_faults(plan).run_faulty(move |comm| {
+            // Each unit charges 1s of virtual time so strike times fire
+            // mid-run; wall-clock stall durations stay under 50 ms.
+            mrmpi::sched::assign_and_run_ft_report(
+                comm,
+                ntasks,
+                &cfg,
+                &mut |_unit| comm.charge(1.0),
+                &mut |_, _| {},
+            )
+        });
+
+        // Termination is implicit (run_faulty returned). Accounting:
+        //  * rank 0's report quarantines exactly the injected poison set;
+        //  * every non-quarantined unit commits on at most one surviving
+        //    rank, and a missing unit is tolerated only alongside a visible
+        //    death (completion confirmed, then the rank died);
+        //  * quarantined units never commit anywhere.
+        let mut seen = vec![0usize; ntasks];
+        let mut died = 0usize;
+        let mut master_refused = false;
+        for (rank, out) in outcomes.iter().enumerate() {
+            match out {
+                RankOutcome::Died { .. } => died += 1,
+                RankOutcome::Done(Ok(run)) => {
+                    if rank == 0 {
+                        prop_assert_eq!(&run.quarantined, &expect_quar);
+                    }
+                    for &u in &run.units {
+                        prop_assert!(u < ntasks, "rank {} ran unknown unit {}", rank, u);
+                        seen[u] += 1;
+                    }
+                }
+                // A worker that died right after confirming a completion can
+                // strand that unit once every other worker has retired; the
+                // master then refuses success instead of losing it silently.
+                RankOutcome::Done(Err(SchedError::AllWorkersDead)) if rank == 0 => {
+                    master_refused = true;
+                }
+                RankOutcome::Done(Err(e)) => {
+                    return Err(TestCaseError::fail(format!("rank {rank} failed: {e}")));
+                }
+            }
+        }
+        prop_assert!(!master_refused || died > 0, "master refusal without any death");
+        // Besides the injected kills, speculation may fence a worker the
+        // detector caught silent (scheduling jitter on a loaded host); the
+        // fencing rule guarantees the master and the winning worker survive.
+        prop_assert!(died <= size - 2, "{} deaths left no worker alive", died);
+        for (u, &n) in seen.iter().enumerate() {
+            if poison.contains(&(u as u64)) {
+                prop_assert!(n == 0, "quarantined unit {} committed {} times", u, n);
+            } else {
+                prop_assert!(n <= 1, "unit {} committed {} times across survivors", u, n);
+                prop_assert!(
+                    n == 1 || died > 0,
+                    "unit {} lost without a death to blame",
+                    u
+                );
+            }
+        }
     }
 
     #[test]
