@@ -167,7 +167,9 @@ pub fn plan_restart(comm: &Comm, dir: &Path, fp: &RunFingerprint) -> RestartPoin
 
 /// Collective. Record that query blocks `0..completed_blocks` are fully
 /// reduced and each rank's output file is final up to its current offset:
-/// offsets are gathered to rank 0, which writes the checkpoint atomically.
+/// offsets are gathered to the lowest **live** rank, which writes the
+/// checkpoint atomically. (Rank 0 in a healthy run; after a master failover
+/// the promoted successor keeps checkpointing working.)
 ///
 /// Best-effort by design: a checkpoint that fails to persist (typed error
 /// returned to the caller) costs recomputation on restart, never
@@ -181,8 +183,9 @@ pub fn record_iteration(
     my_offset: u64,
     faults: Option<&DiskFaultPlan>,
 ) -> Result<(), DurableError> {
-    let gathered = comm.gather(0, my_offset.to_le_bytes().to_vec());
-    if comm.rank() == 0 {
+    let root = crate::fault::ft_root(comm);
+    let gathered = comm.gather(root, my_offset.to_le_bytes().to_vec());
+    if comm.rank() == root {
         let mut offsets = vec![0u64; fp.nranks as usize];
         if let Some(parts) = gathered {
             for (r, bytes) in parts.iter().enumerate().take(offsets.len()) {

@@ -15,9 +15,20 @@
 //!   provably complete (each unit contributed exactly once to the surviving
 //!   output) or a typed [`mrmpi::MrError`] on **every** live rank — never a
 //!   hang, never silent loss;
-//! * the master (rank 0) is the one assumed-alive rank, as in the original
-//!   library's master-worker mapstyle; if it dies, workers report
-//!   [`mrmpi::SchedError::MasterDied`].
+//! * the master is a **role, not a rank**: rank 0 coordinates initially,
+//!   but when the acting master dies (or stalls past the workers' whole RPC
+//!   retry budget) the survivors elect the lowest eligible rank as its
+//!   successor, which replays the replicated scheduler log and gathers the
+//!   workers' committed-unit claims before dispatching anything — so the
+//!   run continues with exactly-once accounting and bit-for-bit output.
+//!   The drivers' own collectives (SOM epoch reductions, BLAST checkpoint
+//!   gathers) are root-agnostic to match: they either reduce symmetrically
+//!   on every rank or coordinate through the lowest *live* rank
+//!   ([`ft_root`]). The only rank-0 assumption left is at **startup**
+//!   (initializing/loading state before the first work unit is dispatched).
+//!   The legacy fail-fast behaviour — master loss aborts with a typed
+//!   [`mrmpi::SchedError::MasterDied`] — is kept behind
+//!   [`FaultConfig::abort_on_master_loss`] for the failover ablation.
 //!
 //! **Disk faults** are the other half of the fault story. Process deaths are
 //! injected with [`mpisim::FaultPlan`]; storage misbehaviour — torn writes,
@@ -60,6 +71,33 @@ impl FaultConfig {
     pub fn speculative() -> Self {
         FaultConfig { ft: FtConfig { speculate: true, ..FtConfig::default() } }
     }
+
+    /// Defaults with **master failover disabled**: the death (or prolonged
+    /// unreachability) of the acting master aborts the run with the legacy
+    /// typed [`mrmpi::SchedError::MasterDied`] /
+    /// [`mrmpi::SchedError::MasterUnreachable`] errors instead of electing a
+    /// successor. Kept for the failover ablation (abort-and-restart versus
+    /// fail-over-in-place) and for callers that prefer fail-fast.
+    pub fn abort_on_master_loss() -> Self {
+        FaultConfig { ft: FtConfig { failover: false, ..FtConfig::default() } }
+    }
+
+    /// This config with the scheduler's replicated log also appended to a
+    /// durable CRC-framed file at `path` (see [`FtConfig::log_path`]); an
+    /// elected successor replays the longer of this file and its in-memory
+    /// standby mirror.
+    pub fn with_scheduler_log(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.ft.log_path = Some(path.into());
+        self
+    }
+}
+
+/// The lowest **live** rank: the coordinator used by the fault-tolerant
+/// drivers wherever a fixed root would re-introduce a single point of
+/// failure (checkpoint gathers, one-writer log appends). In a fault-free
+/// run this is rank 0, matching the non-FT drivers exactly.
+pub fn ft_root(comm: &mpisim::Comm) -> usize {
+    (0..comm.size()).find(|&r| comm.is_alive(r)).unwrap_or(0)
 }
 
 /// Engine settings with a seeded disk-fault plan attached: every durable

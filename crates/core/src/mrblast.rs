@@ -328,8 +328,14 @@ pub fn run_mrblast(
 /// serial output** — or every live rank returns the same typed error.
 ///
 /// `cfg.map_style` and `cfg.locality_aware` are ignored: fault tolerance
-/// requires the dynamic master (rank 0), which is the one rank assumed to
-/// stay alive.
+/// requires the dynamic master. The master is a *role*, not a rank — if the
+/// acting master dies mid-iteration the scheduler elects a successor,
+/// replays the replicated dispatch log, and the iteration completes (see
+/// [`mrmpi::sched`]); the per-iteration restart checkpoint is written by
+/// the lowest live rank ([`crate::ckpt::record_iteration`]), so
+/// checkpointing also survives rank 0. Only startup (checkpoint load before
+/// any unit is dispatched) assumes rank 0 is alive. The legacy fail-fast
+/// behaviour is available via [`FaultConfig::abort_on_master_loss`].
 pub fn run_mrblast_ft(
     comm: &Comm,
     db: &BlastDb,

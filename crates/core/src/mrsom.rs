@@ -189,15 +189,23 @@ pub fn run_mrsom(
 /// [`run_mrsom`], but each epoch's vector blocks are scheduled through the
 /// fault-tolerant master-worker protocol. A dead worker's accumulator dies
 /// with it; its blocks are re-accumulated by survivors, and the per-epoch
-/// `MPI_Reduce` carries a block-contribution count that the master validates
-/// against the expected total — a death in the window between the map and
-/// the reduce surfaces as [`MrError::DataLost`] on every live rank instead
-/// of silently skewing the codebook.
+/// reduction carries a block-contribution count validated against the
+/// expected total — a death in the window between the map and the reduce
+/// surfaces as [`MrError::DataLost`] on every live rank instead of silently
+/// skewing the codebook.
 ///
-/// `cfg.map_style` is ignored (fault tolerance requires the dynamic master,
-/// rank 0, which is the one rank assumed to stay alive). Checkpoint/resume
-/// behaves as in [`run_mrsom`], so a run aborted by a typed error can be
-/// restarted from the last checkpointed epoch.
+/// `cfg.map_style` is ignored (fault tolerance requires the dynamic
+/// master). The master is a *role*: if the acting master dies mid-epoch the
+/// scheduler elects a successor and the epoch completes (see
+/// [`mrmpi::sched`]). To match, the epoch pipeline itself is root-agnostic:
+/// the per-epoch reduction is a symmetric `allreduce` (bit-identical to the
+/// rooted reduce — contributions fold in the same rank order) so **every**
+/// rank holds the updated codebook and no single rank's death can lose an
+/// applied epoch; the epoch checkpoint is written by the lowest live rank.
+/// Only startup (initialization / checkpoint load, before any unit is
+/// dispatched) still assumes rank 0 is alive. Checkpoint/resume behaves as
+/// in [`run_mrsom`], so a run aborted by a typed error can be restarted
+/// from the last checkpointed epoch.
 pub fn run_mrsom_ft(
     comm: &Comm,
     matrix: &VectorMatrix,
@@ -226,70 +234,78 @@ pub fn run_mrsom_ft(
     let nn = cb.num_neurons();
     let dims = cb.dims;
 
+    // One startup broadcast distributes the initial (or checkpointed)
+    // codebook; from here on every rank applies the same allreduced update
+    // each epoch, so the replicas stay bit-identical with no per-epoch
+    // root — the death of any single rank cannot lose an applied epoch.
+    comm.bcast_f64s(0, &mut cb.weights);
+
     let busy: RefCell<BusyTracker> = RefCell::new(BusyTracker::new());
     let blocks_processed: RefCell<u64> = RefCell::new(0);
     let mut quarantined: Vec<u64> = Vec::new();
 
     for epoch in start_epoch..som.epochs {
-        comm.bcast_f64s(0, &mut cb.weights);
         let sigma = sigma_schedule(sigma0, som.sigma_end, som.epochs, epoch);
 
         let acc: RefCell<BatchAccumulator> = RefCell::new(BatchAccumulator::zeros(&cb));
         let epoch_blocks: RefCell<u64> = RefCell::new(0);
+        // Per-execution staging mirrors the engine's KV staging: a block's
+        // contribution folds into the epoch accumulator only when the
+        // scheduler *commits* that execution. Folding at execution time
+        // would double-count an execution the scheduler later discards —
+        // e.g. a completion carried unarbitrated across a master failover,
+        // which the promoted successor discards and re-dispatches.
+        let staged: RefCell<Option<BatchAccumulator>> = RefCell::new(None);
         let mut mr = MapReduce::with_settings(comm, cfg.mr_settings.clone());
-        let ft_report = mr.map_tasks_ft_report(blocks.len(), &fault.ft, &mut |b, _kv| {
-            let (start, end) = blocks[b];
-            let t_load = Instant::now();
-            let inputs = matrix.read_rows(start, end).expect("read vector block");
-            comm.charge(t_load.elapsed().as_secs_f64());
+        let ft_report = mr.map_tasks_ft_report_with_verdict(
+            blocks.len(),
+            &fault.ft,
+            &mut |b, _kv| {
+                let (start, end) = blocks[b];
+                let t_load = Instant::now();
+                let inputs = matrix.read_rows(start, end).expect("read vector block");
+                comm.charge(t_load.elapsed().as_secs_f64());
 
-            let clock_start = comm.now();
-            let t0 = Instant::now();
-            acc.borrow_mut().accumulate_block_with(&cb, &inputs, sigma, som.kernel);
-            let elapsed = t0.elapsed().as_secs_f64();
-            comm.charge(elapsed);
-            busy.borrow_mut().record(clock_start, clock_start + elapsed);
-            *blocks_processed.borrow_mut() += 1;
-            *epoch_blocks.borrow_mut() += 1;
-        })?;
+                let clock_start = comm.now();
+                let t0 = Instant::now();
+                let mut unit_acc = BatchAccumulator::zeros(&cb);
+                unit_acc.accumulate_block_with(&cb, &inputs, sigma, som.kernel);
+                let elapsed = t0.elapsed().as_secs_f64();
+                comm.charge(elapsed);
+                busy.borrow_mut().record(clock_start, clock_start + elapsed);
+                *blocks_processed.borrow_mut() += 1;
+                *staged.borrow_mut() = Some(unit_acc);
+            },
+            &mut |_, commit| {
+                let unit_acc = staged.borrow_mut().take();
+                if commit {
+                    if let Some(unit_acc) = unit_acc {
+                        acc.borrow_mut().merge(&unit_acc);
+                        *epoch_blocks.borrow_mut() += 1;
+                    }
+                }
+            },
+        )?;
 
-        // Direct MPI reduce of [numerator ‖ denominator ‖ block count],
-        // through the *strict* collective: a participant that died between
-        // the map and this reduce (taking its accumulator with it) turns
+        // Symmetric allreduce of [numerator ‖ denominator ‖ block count]:
+        // bit-identical to the rooted reduce (contributions fold in the
+        // same rank order) but delivered to *every* rank, so the updated
+        // codebook exists everywhere and the death of any one rank —
+        // including an acting master just promoted by the scheduler's
+        // failover — cannot lose an applied epoch. Dead participants are
+        // skipped by the collective; a participant that died between the
+        // map and this reduce (taking its accumulator with it) shows up as
+        // a short block count, which the conservation check below turns
         // into the same typed verdict on every live rank instead of a
-        // deadlock or a silently skewed codebook. Suspicion is advisory —
-        // the reduction still completed, so training proceeds.
+        // silently skewed codebook.
         let acc = acc.into_inner();
         let mut packed = acc.numerator;
         packed.extend_from_slice(&acc.denominator);
         packed.push(*epoch_blocks.borrow() as f64);
         let mut summed = vec![0.0; packed.len()];
-        let is_root = match comm.try_reduce_f64(0, &packed, &mut summed, ReduceOp::Sum) {
-            Ok(is_root) => is_root,
-            // Suspicion is advisory: the reduction completed.
-            Err(mpisim::MpiError::Suspected { .. }) => comm.rank() == 0,
-            // A participant is dead. That is not necessarily data loss —
-            // if it died early, the scheduler already re-ran its blocks on
-            // survivors. Fall back to the tolerant reduce (dead ranks are
-            // skipped) and let the conservation check below pronounce the
-            // epoch verdict from the summed block count.
-            Err(mpisim::MpiError::RankDead { .. }) => {
-                comm.reduce_f64(0, &packed, &mut summed, ReduceOp::Sum)
-            }
-            Err(_) => unreachable!("try_reduce_f64 yields RankDead or Suspected"),
-        };
+        comm.allreduce_f64(&packed, &mut summed, ReduceOp::Sum);
 
-        // Echo the observed block count to everyone so all live ranks agree
-        // on the epoch's verdict (same strict-then-tolerant pattern).
-        let mut echo = Vec::new();
-        if is_root {
-            echo = mpisim::wire::f64s_to_bytes(&[summed[nn * dims + nn]]);
-        }
-        match comm.try_bcast(0, &mut echo) {
-            Ok(()) | Err(mpisim::MpiError::Suspected { .. }) => {}
-            Err(_) => comm.bcast(0, &mut echo),
-        }
-        let got = mpisim::wire::bytes_to_f64s(&echo)[0].round() as u64;
+        let got = summed[nn * dims + nn].round() as u64;
         // Quarantined (poison) blocks are a *known* partial result — they
         // reduce the expected contribution count; anything else missing is
         // silent data loss.
@@ -303,20 +319,22 @@ pub fn run_mrsom_ft(
         }
         quarantined.extend_from_slice(&ft_report.quarantined);
 
-        if is_root {
-            let merged = BatchAccumulator::from_parts(
-                summed[..nn * dims].to_vec(),
-                summed[nn * dims..nn * dims + nn].to_vec(),
-                dims,
-            );
-            merged.apply(&mut cb);
+        let merged = BatchAccumulator::from_parts(
+            summed[..nn * dims].to_vec(),
+            summed[nn * dims..nn * dims + nn].to_vec(),
+            dims,
+        );
+        merged.apply(&mut cb);
+        // One writer suffices for the (shared-directory) epoch checkpoint;
+        // the lowest live rank keeps checkpointing working after rank 0
+        // dies.
+        if comm.rank() == crate::fault::ft_root(comm) {
             write_checkpoint(cfg, epoch + 1, &cb);
         }
         if cfg.stop_after_epochs.is_some_and(|stop| epoch + 1 >= stop) {
             break;
         }
     }
-    comm.bcast_f64s(0, &mut cb.weights);
     comm.barrier();
 
     quarantined.sort_unstable();

@@ -57,11 +57,24 @@ pub struct Comm {
     size: usize,
     clock: RefCell<Clock>,
     faults: Option<RankFaults>,
+    /// Which incarnation of this rank owns the communicator: 0 for the
+    /// original process, bumped each time a restarted rank rejoins.
+    incarnation: u64,
+    /// Scheduler-round counter (see [`Comm::next_round`]).
+    rounds: std::cell::Cell<u64>,
 }
 
 impl Comm {
     pub(crate) fn new(shared: Arc<Shared>, rank: Rank, size: usize) -> Self {
-        Comm { shared, rank, size, clock: RefCell::new(Clock::new()), faults: None }
+        Comm {
+            shared,
+            rank,
+            size,
+            clock: RefCell::new(Clock::new()),
+            faults: None,
+            incarnation: 0,
+            rounds: std::cell::Cell::new(0),
+        }
     }
 
     pub(crate) fn with_faults(
@@ -70,8 +83,59 @@ impl Comm {
         size: usize,
         plan: Arc<FaultPlan>,
     ) -> Self {
-        let faults = Some(RankFaults::new(plan, rank, size));
-        Comm { shared, rank, size, clock: RefCell::new(Clock::new()), faults }
+        Self::with_faults_incarnation(shared, rank, size, plan, 0, 0.0)
+    }
+
+    /// Communicator for incarnation `incarnation` of `rank`, with the
+    /// virtual clock resumed from `clock_from` (a rejoiner continues from
+    /// its predecessor's death time so virtual time never rewinds).
+    pub(crate) fn with_faults_incarnation(
+        shared: Arc<Shared>,
+        rank: Rank,
+        size: usize,
+        plan: Arc<FaultPlan>,
+        incarnation: u64,
+        clock_from: f64,
+    ) -> Self {
+        let faults = Some(RankFaults::for_incarnation(plan, rank, size, incarnation));
+        let mut clock = Clock::new();
+        clock.sync_to(clock_from);
+        Comm {
+            shared,
+            rank,
+            size,
+            clock: RefCell::new(clock),
+            faults,
+            incarnation,
+            rounds: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Hand out the next scheduler-round number (0, 1, 2, …). Every rank
+    /// runs the same program, so the `n`-th scheduler invocation draws the
+    /// same round number on every rank — the round scopes the fault board's
+    /// deposition/departure state to one invocation. A rejoiner's counter
+    /// restarts at 0 with its fresh communicator, which is why restarted
+    /// ranks are only supported in single-map-phase programs.
+    pub fn next_round(&self) -> u64 {
+        let r = self.rounds.get();
+        self.rounds.set(r + 1);
+        r
+    }
+
+    /// Incarnation number of this communicator's rank: 0 for the original
+    /// process, `n` for the `n`-th rejoin after a [`FaultPlan::restart`].
+    #[inline]
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// The shared fault board (membership, generations, coordinator
+    /// eligibility). Available in faulty *and* fault-free worlds — the board
+    /// simply reports everyone alive in the latter.
+    #[inline]
+    pub fn board(&self) -> &FaultBoard {
+        &self.shared.board
     }
 
     // ------------------------------------------------------ fault plumbing
@@ -503,6 +567,33 @@ impl Comm {
         assert_eq!(output.len(), input.len(), "allreduce output length mismatch");
         Self::fold_contributions(&all, input.len(), output, op);
         self.finish_collective(t, input.len() * 8);
+    }
+
+    /// [`Comm::allreduce_f64`] that also returns the agreed *participation
+    /// set* of this very collective: `present[r]` is `true` iff rank `r`
+    /// deposited a contribution before the exchange completed. A rank that
+    /// dies entering the collective leaves an empty slot in the published
+    /// contribution vector, which every survivor observes identically — so
+    /// the set is both agreed and strictly fresher than any liveness
+    /// snapshot taken *before* the collective, closing the race where a
+    /// peer dies between the snapshot and the exchange.
+    ///
+    /// # Panics
+    /// Panics if `input` is empty (a zero-length contribution would be
+    /// indistinguishable from a dead rank's non-contribution).
+    pub fn allreduce_f64_present(
+        &self,
+        input: &[f64],
+        output: &mut [f64],
+        op: ReduceOp,
+    ) -> Vec<bool> {
+        assert!(!input.is_empty(), "allreduce_f64_present needs a non-empty contribution");
+        let (all, t) = self.exchange(wire::f64s_to_bytes(input));
+        assert_eq!(output.len(), input.len(), "allreduce output length mismatch");
+        Self::fold_contributions(&all, input.len(), output, op);
+        let present = all.iter().map(|c| !c.is_empty()).collect();
+        self.finish_collective(t, input.len() * 8);
+        present
     }
 
     /// Strict broadcast: like [`Comm::bcast`], but *verifies participation*.

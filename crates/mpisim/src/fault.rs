@@ -23,6 +23,18 @@
 //! midway through a collective rendezvous, which keeps collectives well
 //! defined: a dead rank simply contributes an empty buffer from then on.
 //!
+//! **Any** rank may be killed, including rank 0. Rank 0 holds no special
+//! status in the simulator itself; it is only a *convention* that schedulers
+//! start with rank 0 as the coordinator. Killing it exercises exactly the
+//! coordinator-failover paths: survivors observe the death like any other,
+//! and role-based schedulers (see `mrmpi::sched`) elect a replacement. A rank
+//! given a [`FaultPlan::restart`] rule additionally *rejoins* the world a
+//! fixed wall-clock delay after its death: the runtime re-runs the rank
+//! closure as a fresh **incarnation** (generation bumped on the
+//! [`FaultBoard`], injected death/stall rules consumed by the first
+//! incarnation do not re-fire), modelling a node that reboots and re-enters
+//! the job in a later membership epoch.
+//!
 //! ```
 //! use mpisim::{FaultPlan, RankOutcome, World};
 //!
@@ -84,6 +96,7 @@ pub struct FaultPlan {
     stalls: Vec<StallRule>,
     slows: Vec<(Rank, f64)>,
     poisons: Vec<u64>,
+    restarts: Vec<(Rank, f64)>,
 }
 
 impl FaultPlan {
@@ -97,16 +110,57 @@ impl FaultPlan {
             stalls: Vec::new(),
             slows: Vec::new(),
             poisons: Vec::new(),
+            restarts: Vec::new(),
         }
     }
 
     /// Kill `rank` when its virtual clock first reaches `at_s` seconds (at a
     /// communication-operation boundary or compute charge). `at_s = 0.0`
     /// kills the rank at its first operation.
+    ///
+    /// `rank` may be **any** rank of the world, *including rank 0*. The
+    /// simulator treats a master/coordinator death exactly like a worker
+    /// death: the board records it, blocked peers are nudged, and collectives
+    /// skip the corpse. Whether the *run* survives is up to the scheduler —
+    /// `mrmpi`'s fault-tolerant scheduler elects a replacement master (see
+    /// its `FtConfig::failover`), while legacy abort mode surfaces a typed
+    /// `MasterDied` error. Seeded and deterministic like every other rule.
     pub fn kill(mut self, rank: Rank, at_s: f64) -> Self {
         assert!(at_s >= 0.0, "death time must be non-negative");
         self.deaths.push((rank, at_s));
         self
+    }
+
+    /// Schedule `rank` to **rejoin** the world `delay_s` seconds of
+    /// wall-clock time after its (injected) death: the runtime revives the
+    /// rank on the [`FaultBoard`] — bumping its generation — and re-runs the
+    /// rank closure as a fresh incarnation. Death and stall rules apply only
+    /// to the first incarnation; [`FaultPlan::slow`] persists (it models the
+    /// host, not the process). The revival is refused (the rank stays dead)
+    /// if the scheduler has already closed its join gate, so a rejoin can
+    /// never strand itself in a world whose run is over.
+    pub fn restart(mut self, rank: Rank, delay_s: f64) -> Self {
+        assert!(delay_s >= 0.0, "restart delay must be non-negative");
+        self.restarts.push((rank, delay_s));
+        self
+    }
+
+    /// Wall-clock restart delay scheduled for `rank`, if any (earliest wins
+    /// when a rank has several restart rules).
+    pub fn restart_delay(&self, rank: Rank) -> Option<f64> {
+        self.restarts
+            .iter()
+            .filter(|(r, _)| *r == rank)
+            .map(|&(_, d)| d)
+            .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.min(d))))
+    }
+
+    /// Ranks with a restart rule, deduplicated.
+    pub fn restarted_ranks(&self) -> Vec<Rank> {
+        let mut v: Vec<Rank> = self.restarts.iter().map(|&(r, _)| r).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
     }
 
     /// Drop each message from `src` to `dst` independently with probability
@@ -251,9 +305,27 @@ fn fate_hash(seed: u64, a: u64, b: u64, c: u64) -> u64 {
     x
 }
 
+/// An epoch-tagged snapshot of world membership: which ranks were alive at
+/// the moment the view was taken, stamped with the board epoch so two views
+/// can be ordered and a stale one discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipView {
+    /// Board epoch at snapshot time (bumped on every death *and* revival).
+    pub epoch: u64,
+    /// Live ranks in rank order.
+    pub members: Vec<Rank>,
+}
+
 /// Shared liveness state: which ranks are alive, and a monotonically
 /// increasing epoch bumped on every death so blocked receivers can notice
 /// that the world changed underneath them.
+///
+/// Beyond plain liveness the board carries the *membership* state a
+/// role-based coordinator needs: per-rank incarnation generations (bumped on
+/// revival), deposition flags (a coordinator declared dead-or-useless by its
+/// peers steps down), departure records (a rank that finished cleanly,
+/// together with the work units it committed), and a join gate that decides
+/// whether a restarted rank may still rejoin the run.
 pub struct FaultBoard {
     alive: Vec<AtomicBool>,
     epoch: AtomicU64,
@@ -261,6 +333,25 @@ pub struct FaultBoard {
     /// Advisory straggler flags set by a failure detector (e.g. the FT
     /// master): the rank missed its heartbeat deadline but is not known dead.
     suspected: Vec<AtomicBool>,
+    /// Coordinator-deposition marks, scoped to one scheduler *round* (a
+    /// round is one scheduler invocation; drivers that map repeatedly run
+    /// many rounds over one board). Stores `round + 1`, `0` = never deposed.
+    /// Within a round the mark is monotonic, like deaths.
+    deposed: Vec<AtomicU64>,
+    /// Clean-departure marks, same `round + 1` encoding: the rank finished
+    /// round `round` of the scheduler and left.
+    departed: Vec<AtomicU64>,
+    /// Work units each departed rank had committed when it left (tagged
+    /// with `round + 1`) — the stand-in for a durable per-worker output
+    /// manifest a successor coordinator consults instead of syncing with
+    /// the departed rank.
+    manifests: Mutex<Vec<(u64, Vec<u64>)>>,
+    /// Per-rank incarnation number, bumped on every revival.
+    generation: Vec<AtomicU64>,
+    /// Join gate: `true` while a scheduler run is accepting (re)joining
+    /// ranks. [`FaultBoard::try_revive`] holds this lock, so closing the
+    /// gate and reviving a rank are mutually exclusive critical sections.
+    gate: Mutex<bool>,
 }
 
 impl FaultBoard {
@@ -271,6 +362,11 @@ impl FaultBoard {
             epoch: AtomicU64::new(0),
             deaths: Mutex::new(Vec::new()),
             suspected: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            deposed: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            departed: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            manifests: Mutex::new(vec![(0, Vec::new()); size]),
+            generation: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            gate: Mutex::new(true),
         }
     }
 
@@ -350,6 +446,125 @@ impl FaultBoard {
             .enumerate()
             .any(|(r, a)| r != me && a.load(Ordering::Acquire))
     }
+
+    // ------------------------------------------------- membership & failover
+
+    /// Epoch-stamped snapshot of current membership.
+    pub fn membership_view(&self) -> MembershipView {
+        MembershipView { epoch: self.epoch(), members: self.alive_ranks() }
+    }
+
+    /// Has `rank` ever died (even if since revived)? Monotonic: a revived
+    /// rank keeps its death on record, which is what makes coordinator
+    /// eligibility shrink-only and hence elections deterministic.
+    pub fn ever_died(&self, rank: Rank) -> bool {
+        self.deaths.lock().iter().any(|&(r, _)| r == rank)
+    }
+
+    /// Depose `rank` as coordinator for scheduler round `round`: peers that
+    /// exhausted their retry budget against a live-but-useless coordinator
+    /// strike it from this round's eligibility without killing it. Monotonic
+    /// within the round and idempotent; a later round starts clean.
+    pub fn depose(&self, rank: Rank, round: u64) {
+        if let Some(d) = self.deposed.get(rank) {
+            d.store(round + 1, Ordering::Release);
+        }
+    }
+
+    /// Has `rank` been deposed as coordinator in round `round`?
+    #[inline]
+    pub fn is_deposed(&self, rank: Rank, round: u64) -> bool {
+        self.deposed.get(rank).is_some_and(|d| d.load(Ordering::Acquire) == round + 1)
+    }
+
+    /// Record that `rank` finished round `round` of its scheduler run
+    /// cleanly, leaving behind the list of work units it committed. A
+    /// successor coordinator reads this manifest instead of waiting for the
+    /// departed rank to sync.
+    pub fn record_departure(&self, rank: Rank, round: u64, committed_units: Vec<u64>) {
+        if let Some(d) = self.departed.get(rank) {
+            let mut manifests = self.manifests.lock();
+            manifests[rank] = (round + 1, committed_units);
+            d.store(round + 1, Ordering::Release);
+        }
+    }
+
+    /// Has `rank` departed cleanly from round `round` of the scheduler run?
+    #[inline]
+    pub fn is_departed(&self, rank: Rank, round: u64) -> bool {
+        self.departed.get(rank).is_some_and(|d| d.load(Ordering::Acquire) == round + 1)
+    }
+
+    /// The committed-unit manifest `rank` left when departing round `round`
+    /// (empty if it has not departed this round or committed nothing).
+    pub fn departure_manifest(&self, rank: Rank, round: u64) -> Vec<u64> {
+        match self.manifests.lock().get(rank) {
+            Some((tag, units)) if *tag == round + 1 => units.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Current incarnation generation of `rank` (0 until its first revival).
+    #[inline]
+    pub fn generation(&self, rank: Rank) -> u64 {
+        self.generation.get(rank).map_or(0, |g| g.load(Ordering::Acquire))
+    }
+
+    /// Is `rank` eligible to act as coordinator in round `round`?
+    /// Eligibility requires being alive and never having died (ever), nor
+    /// departed or been deposed this round — all monotonic-within-the-round
+    /// conditions, so the eligible set only shrinks and every rank computes
+    /// the same shrinking sequence from local board reads.
+    pub fn is_eligible_coordinator(&self, rank: Rank, round: u64) -> bool {
+        self.is_alive(rank)
+            && !self.ever_died(rank)
+            && !self.is_departed(rank, round)
+            && !self.is_deposed(rank, round)
+    }
+
+    /// Deterministic election: the lowest eligible rank for round `round`,
+    /// or `None` when no rank qualifies. Because eligibility is shrink-only,
+    /// successive winners within a round have strictly increasing ranks —
+    /// the winner's rank doubles as the membership/fencing epoch.
+    pub fn elect_coordinator(&self, round: u64) -> Option<Rank> {
+        (0..self.alive.len()).find(|&r| self.is_eligible_coordinator(r, round))
+    }
+
+    /// Open the join gate: restarted ranks may revive. Called by a
+    /// coordinator at scheduler-run entry.
+    pub fn open_gate(&self) {
+        *self.gate.lock() = true;
+    }
+
+    /// Atomically close the join gate *iff* `still_done()` holds with the
+    /// gate lock held. A coordinator passes its exit condition: if a rank
+    /// revived between the last check and this lock, `still_done` sees the
+    /// revival and refuses, keeping "run over" and "rank rejoined" mutually
+    /// exclusive. Returns whether the gate was closed.
+    pub fn close_gate_if(&self, still_done: impl FnOnce() -> bool) -> bool {
+        let mut gate = self.gate.lock();
+        if still_done() {
+            *gate = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Revive a dead rank as a fresh incarnation: flips it alive, bumps its
+    /// generation and the board epoch, and clears suspicion. Refused (returns
+    /// `false`) when the join gate is closed or the rank is already alive.
+    pub fn try_revive(&self, rank: Rank) -> bool {
+        let gate = self.gate.lock();
+        if !*gate || self.is_alive(rank) {
+            return false;
+        }
+        self.generation[rank].fetch_add(1, Ordering::AcqRel);
+        self.alive[rank].store(true, Ordering::Release);
+        self.suspected[rank].store(false, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        true
+    }
 }
 
 /// Panic payload carried by a dying rank; [`World::run_faulty`]
@@ -377,10 +592,22 @@ pub(crate) struct RankFaults {
 }
 
 impl RankFaults {
-    pub(crate) fn new(plan: std::sync::Arc<FaultPlan>, rank: Rank, size: usize) -> Self {
-        let death_at = plan.death_time(rank);
-        let stalls =
-            plan.stalls_for(rank).into_iter().map(|(at, dur)| (at, dur, false)).collect();
+    /// Fault state for incarnation `incarnation` of `rank`. Death and stall
+    /// rules target the process, so only the first incarnation inherits
+    /// them; the compute slowdown models the host and persists.
+    pub(crate) fn for_incarnation(
+        plan: std::sync::Arc<FaultPlan>,
+        rank: Rank,
+        size: usize,
+        incarnation: u64,
+    ) -> Self {
+        let first = incarnation == 0;
+        let death_at = if first { plan.death_time(rank) } else { None };
+        let stalls = if first {
+            plan.stalls_for(rank).into_iter().map(|(at, dur)| (at, dur, false)).collect()
+        } else {
+            Vec::new()
+        };
         let slow_factor = plan.slow_factor(rank);
         RankFaults {
             plan,
@@ -475,6 +702,60 @@ mod tests {
         assert!(!b.is_suspected(1));
         // Out-of-range ranks read as unsuspected.
         assert!(!b.is_suspected(crate::comm::ANY_SOURCE));
+    }
+
+    #[test]
+    fn restart_rules_are_queryable_and_earliest_wins() {
+        let plan = FaultPlan::new(3).kill(2, 1.0).restart(2, 0.5).restart(2, 0.2).restart(4, 1.0);
+        assert_eq!(plan.restart_delay(2), Some(0.2));
+        assert_eq!(plan.restart_delay(0), None);
+        assert_eq!(plan.restarted_ranks(), vec![2, 4]);
+    }
+
+    #[test]
+    fn board_eligibility_shrinks_and_elections_are_deterministic() {
+        let b = FaultBoard::new(4);
+        assert_eq!(b.elect_coordinator(0), Some(0));
+        b.mark_dead(0, 1.0);
+        assert_eq!(b.elect_coordinator(0), Some(1), "lowest live never-died rank wins");
+        // A revived rank is alive again but never regains eligibility.
+        assert!(b.try_revive(0));
+        assert!(b.is_alive(0));
+        assert_eq!(b.generation(0), 1);
+        assert!(b.ever_died(0));
+        assert!(!b.is_eligible_coordinator(0, 0));
+        assert_eq!(b.elect_coordinator(0), Some(1));
+        // Deposition strikes a live rank from this round's eligibility.
+        b.depose(1, 0);
+        assert!(b.is_alive(1) && b.is_deposed(1, 0));
+        assert_eq!(b.elect_coordinator(0), Some(2));
+        // Departure does too, and leaves a manifest behind.
+        b.record_departure(2, 0, vec![7, 9]);
+        assert!(b.is_departed(2, 0));
+        assert_eq!(b.departure_manifest(2, 0), vec![7, 9]);
+        assert_eq!(b.elect_coordinator(0), Some(3));
+        // A new round starts clean: deposition, departure, and manifests are
+        // round-scoped, only deaths are permanent.
+        assert!(!b.is_deposed(1, 1) && !b.is_departed(2, 1));
+        assert!(b.departure_manifest(2, 1).is_empty());
+        assert_eq!(b.elect_coordinator(1), Some(1));
+    }
+
+    #[test]
+    fn revive_respects_the_join_gate() {
+        let b = FaultBoard::new(3);
+        assert!(!b.try_revive(1), "reviving a live rank is refused");
+        b.mark_dead(1, 0.5);
+        let epoch_before = b.epoch();
+        assert!(b.close_gate_if(|| true));
+        assert!(!b.try_revive(1), "gate closed: revival refused");
+        assert!(!b.is_alive(1));
+        b.open_gate();
+        assert!(b.try_revive(1));
+        assert!(b.is_alive(1));
+        assert!(b.epoch() > epoch_before, "revival bumps the epoch");
+        // close_gate_if refuses when the exit condition no longer holds.
+        assert!(!b.close_gate_if(|| false));
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use clock::{Clock, CostModel};
 pub use collective::ReduceOp;
 pub use comm::{Comm, RecvMsg, RecvRequest, SendRequest, Status, ANY_SOURCE, ANY_TAG};
 pub use error::MpiError;
-pub use fault::{FaultBoard, FaultPlan, RankDeath};
+pub use fault::{FaultBoard, FaultPlan, MembershipView, RankDeath};
 pub use world::{RankOutcome, World};
 
 /// A rank index within a world. Mirrors MPI's `int` rank but kept as `usize`

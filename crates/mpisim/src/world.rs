@@ -104,6 +104,13 @@ impl World {
                 self.size
             );
         }
+        for rank in plan.restarted_ranks() {
+            assert!(
+                rank < self.size,
+                "fault plan restarts rank {rank} outside world of {}",
+                self.size
+            );
+        }
         self.faults = Some(Arc::new(plan));
         self
     }
@@ -173,22 +180,66 @@ impl World {
                     .name(format!("rank-{rank}"))
                     .stack_size(RANK_STACK_BYTES)
                     .spawn(move || {
-                        let comm = match plan {
-                            Some(plan) => Comm::with_faults(shared.clone(), rank, size, plan),
-                            None => Comm::new(shared.clone(), rank, size),
-                        };
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            f(&comm)
-                        }));
-                        match out {
-                            Ok(v) => Ok(RankOutcome::Done(v)),
-                            Err(payload) => {
-                                if let Some(death) = payload.downcast_ref::<RankDeath>() {
-                                    // An injected death: the dying rank
-                                    // already advertised it (board, mailbox
-                                    // purge, rendezvous); survivors continue.
-                                    Ok(RankOutcome::Died { at: death.at })
-                                } else {
+                        let mut incarnation: u64 = 0;
+                        loop {
+                            let comm = match &plan {
+                                Some(plan) if incarnation > 0 => {
+                                    let from = shared
+                                        .board
+                                        .death_time_of(rank)
+                                        .unwrap_or(0.0);
+                                    Comm::with_faults_incarnation(
+                                        shared.clone(),
+                                        rank,
+                                        size,
+                                        plan.clone(),
+                                        incarnation,
+                                        from,
+                                    )
+                                }
+                                Some(plan) => {
+                                    Comm::with_faults(shared.clone(), rank, size, plan.clone())
+                                }
+                                None => Comm::new(shared.clone(), rank, size),
+                            };
+                            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || f(&comm),
+                            ));
+                            match out {
+                                Ok(v) => return Ok(RankOutcome::Done(v)),
+                                Err(payload) => {
+                                    if let Some(death) = payload.downcast_ref::<RankDeath>() {
+                                        // An injected death: the dying rank
+                                        // already advertised it (board,
+                                        // mailbox purge, rendezvous);
+                                        // survivors continue. With a restart
+                                        // rule the rank rejoins after a
+                                        // wall-clock delay as a fresh
+                                        // incarnation — unless the join gate
+                                        // has closed (the run is over).
+                                        let at = death.at;
+                                        let restart = if incarnation == 0 {
+                                            plan.as_ref().and_then(|p| p.restart_delay(rank))
+                                        } else {
+                                            None
+                                        };
+                                        if let Some(delay_s) = restart {
+                                            std::thread::sleep(
+                                                std::time::Duration::from_secs_f64(delay_s),
+                                            );
+                                            if shared.board.try_revive(rank) {
+                                                // Wake peers (notably a
+                                                // polling master) so the
+                                                // revival is noticed promptly.
+                                                for mb in &shared.mailboxes {
+                                                    mb.nudge();
+                                                }
+                                                incarnation += 1;
+                                                continue;
+                                            }
+                                        }
+                                        return Ok(RankOutcome::Died { at });
+                                    }
                                     // A real bug. Wake everyone so they don't
                                     // deadlock waiting on a rank that will
                                     // never send or join a collective.
@@ -196,7 +247,7 @@ impl World {
                                         mb.shutdown();
                                     }
                                     shared.rendezvous.shutdown();
-                                    Err(payload)
+                                    return Err(payload);
                                 }
                             }
                         }
@@ -382,6 +433,32 @@ mod tests {
         assert!(outcomes[3].is_died());
         for out in outcomes.iter().take(3) {
             assert_eq!(*out, RankOutcome::Done(6.0));
+        }
+    }
+
+    #[test]
+    fn allreduce_present_excludes_a_rank_dying_at_entry() {
+        // Rank 0 idles at clock 0 while the others charge past its strike
+        // time; the first allreduce pulls rank 0's clock over the strike, so
+        // it dies entering the second — after peers may have snapshotted it
+        // as alive. The participation set of that second collective must
+        // exclude it on every survivor, whatever the thread interleaving.
+        let plan = FaultPlan::new(8).kill(0, 1.0);
+        let outcomes = World::new(3).with_faults(plan).run_faulty(|comm| {
+            if comm.rank() != 0 {
+                comm.charge(2.0);
+            }
+            let mut out = [0.0];
+            comm.allreduce_f64(&[1.0], &mut out, ReduceOp::Sum);
+            let mut total = [0.0];
+            let present = comm.allreduce_f64_present(&[1.0], &mut total, ReduceOp::Sum);
+            (present, total[0])
+        });
+        assert!(outcomes[0].is_died(), "rank 0 dies at the second collective");
+        for out in outcomes.iter().skip(1) {
+            let (present, total) = out.as_done().expect("survivor");
+            assert_eq!(*present, vec![false, true, true]);
+            assert_eq!(*total, 2.0);
         }
     }
 

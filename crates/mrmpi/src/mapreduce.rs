@@ -310,8 +310,9 @@ impl<'c> MapReduce<'c> {
     /// [`MapReduce::map_tasks_ft`], but a work unit that keeps panicking is
     /// *quarantined* (after [`FtConfig::poison_retries`] attempts) instead of
     /// failing the run, and the returned report names every quarantined unit
-    /// on every rank. When [`Settings::poison_log`] is set, rank 0 also
-    /// appends the quarantined units to that durable CRC-framed log.
+    /// on every rank. When [`Settings::poison_log`] is set, the final acting
+    /// master (rank 0 unless a failover promoted a successor) also appends
+    /// the quarantined units to that durable CRC-framed log.
     ///
     /// Map emissions are **staged** per unit and only published when the
     /// master's first-result-wins verdict commits them, so with speculative
@@ -323,6 +324,26 @@ impl<'c> MapReduce<'c> {
         cfg: &FtConfig,
         f: &mut dyn FnMut(usize, &mut KvEmitter<'_>),
     ) -> Result<FtMapReport, MrError> {
+        self.map_tasks_ft_report_with_verdict(ntasks, cfg, f, &mut |_, _| {})
+    }
+
+    /// [`MapReduce::map_tasks_ft_report`] with the scheduler's per-execution
+    /// arbitration exposed: `on_verdict(unit, commit)` fires exactly once per
+    /// completed execution of `f`, right as its staged KV is published
+    /// (`true`) or dropped (`false` — a speculative backup won, or the unit
+    /// was carried unarbitrated across a master failover and discarded).
+    ///
+    /// Map callbacks whose result lives *outside* the KV (e.g. a local
+    /// numeric accumulator) must buffer per execution and fold on
+    /// `commit == true` only; folding at execution time double-counts any
+    /// execution the scheduler later discards.
+    pub fn map_tasks_ft_report_with_verdict(
+        &mut self,
+        ntasks: usize,
+        cfg: &FtConfig,
+        f: &mut dyn FnMut(usize, &mut KvEmitter<'_>),
+        on_verdict: &mut dyn FnMut(usize, bool),
+    ) -> Result<FtMapReport, MrError> {
         if let Some(old) = self.kmv.take() {
             self.retire_kmv(&old);
         }
@@ -332,6 +353,15 @@ impl<'c> MapReduce<'c> {
         let kv = std::cell::RefCell::new(KeyValue::new(&self.settings));
         let staging: std::cell::RefCell<Option<KeyValue>> = std::cell::RefCell::new(None);
         let settings = self.settings.clone();
+        // Master failover must be enabled in both the scheduler config and
+        // the engine settings; the scheduler log shares the engine's disk
+        // fault plan unless the caller installed its own.
+        let mut cfg = cfg.clone();
+        cfg.failover = cfg.failover && self.settings.master_failover;
+        if cfg.log_faults.is_none() {
+            cfg.log_faults = self.settings.disk_faults.clone();
+        }
+        let cfg = &cfg;
         let sched = assign_and_run_ft_report(
             self.comm,
             ntasks,
@@ -344,7 +374,7 @@ impl<'c> MapReduce<'c> {
                 }
                 *staging.borrow_mut() = Some(skv);
             },
-            &mut |_, commit| {
+            &mut |unit, commit| {
                 let staged = staging.borrow_mut().take();
                 if commit {
                     if let Some(staged) = staged {
@@ -352,6 +382,7 @@ impl<'c> MapReduce<'c> {
                         staged.for_each(|k, v| kv.add(k, v));
                     }
                 }
+                on_verdict(unit, commit);
             },
         );
         let kv = kv.into_inner();
@@ -366,12 +397,15 @@ impl<'c> MapReduce<'c> {
             self.kv = Some(kv);
             return Ok(FtMapReport { pairs: n, quarantined: run.quarantined });
         }
-        // Rank 0 persists the quarantine *before* the reconciliation so a
-        // write failure can be folded into the cross-rank verdict below —
-        // every live rank must agree on success or failure.
+        // The final acting master — the only rank whose scheduler run
+        // reports a non-empty quarantine, and after a failover not
+        // necessarily rank 0 — persists the quarantine *before* the
+        // reconciliation so a write failure can be folded into the
+        // cross-rank verdict below: every live rank must agree on success
+        // or failure.
         let mut disk_err = None;
         let local_quar = match &sched {
-            Ok(run) if self.comm.rank() == 0 && !run.quarantined.is_empty() => {
+            Ok(run) if !run.quarantined.is_empty() => {
                 if let Some(path) = &self.settings.poison_log {
                     if let Err(e) =
                         append_poison_log(path, &run.quarantined, self.settings.disk_faults.as_deref())
@@ -415,7 +449,7 @@ impl<'c> MapReduce<'c> {
         if sums[3] != 0.0 {
             return Err(MrError::Disk(disk_err.unwrap_or_else(|| DurableError::Io {
                 kind: std::io::ErrorKind::Other,
-                what: "poison log write failed on rank 0".into(),
+                what: "poison log write failed on the reporting rank".into(),
             })));
         }
         let global_units = sums[1].round() as u64;
@@ -427,11 +461,30 @@ impl<'c> MapReduce<'c> {
                 got: global_units + global_quar,
             });
         }
-        // Every rank reports the same quarantine list (only rank 0 knows it
-        // first-hand).
-        let mut qbytes = mpisim::wire::u64s_to_bytes(&local_quar);
-        self.comm.bcast(0, &mut qbytes);
-        let quarantined = mpisim::wire::bytes_to_u64s(&qbytes);
+        // Every rank reports the same quarantine list. Only the final
+        // acting master knows it first-hand — and after a failover that
+        // need not be rank 0 — so the list is unioned through a per-unit
+        // bitmap max-reduction instead of broadcast from a fixed root.
+        // (All live ranks agree on `global_quar`, so they take the same
+        // branch and the collective cannot deadlock.)
+        let quarantined = if global_quar == 0 {
+            Vec::new()
+        } else {
+            let mut bitmap = vec![0.0f64; ntasks];
+            for &u in &local_quar {
+                if (u as usize) < ntasks {
+                    bitmap[u as usize] = 1.0;
+                }
+            }
+            let mut unioned = vec![0.0f64; ntasks];
+            self.comm.allreduce_f64(&bitmap, &mut unioned, mpisim::ReduceOp::Max);
+            unioned
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0.0)
+                .map(|(u, _)| u as u64)
+                .collect()
+        };
         self.kv = Some(kv);
         Ok(FtMapReport { pairs: sums[0] as u64, quarantined })
     }
@@ -555,15 +608,23 @@ impl<'c> MapReduce<'c> {
 
         let before = self.global_count(kv.npairs());
 
-        // Agree on the set of live ranks (Min over everyone's liveness
-        // view), and partition keys over *that* — a pair hashed to a dead
-        // rank would silently vanish. A rank dying after this agreement is
-        // not recovered, but the conservation check below still catches it.
+        // Agree on the set of live ranks and partition keys over *that* — a
+        // pair hashed to a dead rank would silently vanish. Two sources are
+        // intersected: the Min over everyone's board view, and the agreed
+        // participation set of this very allreduce. The latter closes a
+        // race the view alone leaves open: a rank whose clock was pulled
+        // past its strike time by the count collective above dies *entering*
+        // this one, after peers snapshotted their views — it never deposits,
+        // so every survivor sees its empty slot and excludes it. A rank
+        // dying after this agreement is not recovered, but the conservation
+        // check below still catches it.
         let my_view: Vec<f64> =
             (0..size).map(|r| if self.comm.is_alive(r) { 1.0 } else { 0.0 }).collect();
         let mut alive = vec![0.0f64; size];
-        self.comm.allreduce_f64(&my_view, &mut alive, mpisim::ReduceOp::Min);
-        let live: Vec<usize> = (0..size).filter(|&r| alive[r] == 1.0).collect();
+        let present =
+            self.comm.allreduce_f64_present(&my_view, &mut alive, mpisim::ReduceOp::Min);
+        let live: Vec<usize> =
+            (0..size).filter(|&r| alive[r] == 1.0 && present[r]).collect();
 
         let local_pages = kv.num_pages() as f64;
         let mut max_pages = [0.0f64];

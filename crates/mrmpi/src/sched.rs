@@ -59,6 +59,41 @@ const V_COMMIT: u64 = 1;
 /// A backup (or the primary) already won the unit: drop the staged output.
 const V_DISCARD: u64 = 2;
 
+// Scheduler-log record kinds. Every master state transition is journaled as
+// one `[round, lsn, kind, unit, worker]` record — appended to the durable
+// log ([`FtConfig::log_path`]) and mirrored to the standby rank by
+// piggybacking on reply traffic ([`FtConfig::mirror`]), so an elected
+// successor can replay the acting master's accounting.
+/// A unit was handed to a worker (primary or speculative dispatch).
+const LOG_DISPATCH: u64 = 1;
+/// A completion won its unit; the worker's staged output was published.
+const LOG_COMMIT: u64 = 2;
+/// A completion lost arbitration; its staged output was dropped.
+const LOG_DISCARD: u64 = 3;
+/// The unit exhausted its poison retries and was quarantined.
+const LOG_QUARANTINE: u64 = 4;
+/// A silent straggler was fenced off the run after losing to a backup.
+const LOG_FENCE: u64 = 5;
+
+/// Words per scheduler-log record: `[round, lsn, kind, unit, worker]`.
+const LOG_REC_WORDS: usize = 5;
+/// Cap on log records piggybacked onto one reply, bounding message size;
+/// the remainder follows on subsequent replies.
+const MAX_PIGGYBACK: usize = 32;
+/// Words of a reply frame before the piggybacked log records:
+/// `[seq_echo, code, verdict, epoch, nrec]`.
+const REPLY_HEAD: usize = 5;
+/// Words of a request frame before the claim list:
+/// `[seq, completed, flag, epoch, generation, nclaims]`.
+const REQ_HEAD: usize = 6;
+
+thread_local! {
+    /// The rank this rank currently believes holds the master *role* (one
+    /// cell per rank: the simulator runs ranks as threads). Routes
+    /// [`ft_beacon`] traffic to the acting master across failovers.
+    static CURRENT_MASTER: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
 /// Task-to-rank assignment policy for [`crate::MapReduce::map_tasks`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MapStyle {
@@ -280,6 +315,29 @@ pub struct FtConfig {
     /// from the run and reported) instead of retried. Must stay below
     /// [`FtConfig::max_attempts`] or the run aborts before quarantine fires.
     pub poison_retries: usize,
+    /// Treat the master as a *role*, not a rank (the default). When the
+    /// acting master dies — or stalls past a worker's whole retry budget —
+    /// survivors depose it and elect the lowest eligible rank as successor,
+    /// which replays the scheduler log, gathers the survivors' commit
+    /// claims, and resumes dispatch. When `false`, master loss keeps the
+    /// legacy fail-fast behaviour: workers return
+    /// [`SchedError::MasterDied`] / [`SchedError::MasterUnreachable`].
+    pub failover: bool,
+    /// Mirror scheduler-log records to the standby (the lowest eligible
+    /// non-master rank) by piggybacking them on reply traffic, so a
+    /// successor can replay accounting without a durable log. Only
+    /// meaningful with [`FtConfig::failover`]; on by default.
+    pub mirror: bool,
+    /// Durable scheduler-log file: every master state transition is
+    /// appended as a CRC-framed record through [`crate::durable`]. A
+    /// successor master replays the longer of this file and its mirrored
+    /// copy. `None` (the default) relies on mirroring alone.
+    pub log_path: Option<std::path::PathBuf>,
+    /// Seeded disk-fault plan consulted on scheduler-log appends, letting
+    /// chaos campaigns tear or corrupt the log itself. Log damage is never
+    /// fatal: replay recovers the valid prefix and the claim gather covers
+    /// the rest.
+    pub log_faults: Option<std::sync::Arc<crate::durable::DiskFaultPlan>>,
 }
 
 impl Default for FtConfig {
@@ -292,6 +350,10 @@ impl Default for FtConfig {
             suspect_after: Duration::from_millis(500),
             spec_backoff: Duration::from_millis(300),
             poison_retries: 3,
+            failover: true,
+            mirror: true,
+            log_path: None,
+            log_faults: None,
         }
     }
 }
@@ -332,12 +394,14 @@ impl std::error::Error for SchedError {}
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FtRun {
     /// Unit indices whose output this rank *committed* (first-result-wins),
-    /// in execution order. Empty on the master.
+    /// in execution order. Empty on a rank that only ever held the master
+    /// role; a worker elected master mid-run keeps the units it committed
+    /// while it was serving.
     pub units: Vec<usize>,
     /// Units quarantined as poison (each panicked
-    /// [`FtConfig::poison_retries`] times), sorted. Populated on rank 0
-    /// only — workers learn about quarantine indirectly, through the higher
-    /// layer's reconciliation broadcast.
+    /// [`FtConfig::poison_retries`] times), sorted. Populated on the *final
+    /// acting master* only — workers learn about quarantine indirectly,
+    /// through the higher layer's reconciliation exchange.
     pub quarantined: Vec<u64>,
 }
 
@@ -347,16 +411,24 @@ pub struct FtRun {
 /// Protocol (at-least-once RPC with master-side dedup, so dropped or delayed
 /// messages are harmless):
 ///
-/// * a worker's request carries `[seq, completed, flag]` where `flag` says
-///   whether `completed` ran clean (`FLAG_OK`) or panicked (`FLAG_PANIC`);
-///   the worker re-sends the same request on timeout and the master
-///   de-duplicates by `seq` (re-sending its cached reply), so a completion is
-///   recorded exactly once;
-/// * the master's reply carries `[seq_echo, code, verdict]`: `code` is a unit
-///   index, `DONE`, or `ABORT`; `verdict` arbitrates the reported completion
-///   (`V_COMMIT` publishes the staged output, `V_DISCARD` drops it — a backup
-///   already won). The worker discards replies whose echo does not match.
-/// * workers may additionally send one-way `[BEACON, 0, 0]` progress beacons
+/// * a worker's request carries `[seq, completed, flag, epoch, generation,
+///   nclaims, claims…]`: `flag` says whether `completed` ran clean
+///   (`FLAG_OK`) or panicked (`FLAG_PANIC`); `epoch` is the rank the worker
+///   believes holds the master role (the fencing tag); `generation` is the
+///   sender's incarnation number (a restarted rank's stale traffic is
+///   fenced by it); the claim list — the units this worker has committed —
+///   rides only on the first request to each new master. The worker
+///   re-sends the same request on timeout and the master de-duplicates by
+///   `seq` (re-sending its cached reply), so a completion is recorded
+///   exactly once;
+/// * the master's reply carries `[seq_echo, code, verdict, epoch, nrec,
+///   records…]`: `code` is a unit index, `DONE`, or `ABORT`; `verdict`
+///   arbitrates the reported completion (`V_COMMIT` publishes the staged
+///   output, `V_DISCARD` drops it — a backup already won); `epoch` fences
+///   replies from a deposed zombie ex-master; the trailing records mirror
+///   the scheduler log to the standby rank. The worker discards replies
+///   whose echo or epoch does not match.
+/// * workers may additionally send one-way `[BEACON, …]` progress beacons
 ///   mid-unit ([`ft_beacon`]) to keep the failure detector's heartbeat
 ///   deadline at bay during long compute phases.
 ///
@@ -379,9 +451,24 @@ pub struct FtRun {
 /// * a unit dispatched more than [`FtConfig::max_attempts`] times aborts the
 ///   run with a typed error on every rank — no hang, no silent loss.
 ///
-/// The master rank itself is assumed to survive (rank 0 is the coordinator,
-/// as in the original MR-MPI master-worker mapstyle); if it dies, workers
-/// report [`SchedError::MasterDied`].
+/// The master itself is a *role*, not a rank (with [`FtConfig::failover`],
+/// the default): rank 0 coordinates initially, but when the acting master
+/// dies — or stalls past a worker's whole RPC retry budget and is *deposed*
+/// on the fault board — the survivors elect the lowest eligible rank as the
+/// successor. Eligibility (alive, never died, not departed or deposed this
+/// round) is shrink-only, so elected ranks strictly increase within a round
+/// and every rank converges on the same master from local board reads; the
+/// winner's rank doubles as the fencing *epoch* carried by every message,
+/// which silences a stalled zombie ex-master's stale replies. The successor
+/// replays the replicated scheduler log (durable file and/or the mirrored
+/// copy it received as standby), merges departed ranks' manifests, then
+/// holds dispatch until every surviving worker has re-registered its
+/// committed-unit claims — so no committed unit is ever re-dispatched and
+/// the run's output stays bit-for-bit identical to a fault-free run. A
+/// restarted rank rejoins as a fresh incarnation in the current epoch and
+/// receives fresh units (its stale traffic is fenced by generation).
+/// Without failover, master loss keeps the legacy typed errors
+/// ([`SchedError::MasterDied`] / [`SchedError::MasterUnreachable`]).
 ///
 /// `run(unit)` executes a unit, emitting into *staging*; `verdict(unit,
 /// commit)` is called exactly once per completed execution to publish
@@ -397,12 +484,112 @@ pub fn assign_and_run_ft_report(
     if comm.size() == 1 {
         return Ok(ft_run_local(comm, ntasks, cfg, run, verdict));
     }
-    if comm.rank() == 0 {
-        ft_master_loop(comm, ntasks, cfg)
-            .map(|quarantined| FtRun { units: Vec::new(), quarantined })
-    } else {
-        ft_worker_loop(comm, cfg, run, verdict)
-            .map(|units| FtRun { units, quarantined: Vec::new() })
+    let round = comm.next_round();
+    let board = comm.board();
+    let me = comm.rank();
+    let mut mine: Vec<usize> = Vec::new();
+    let mut mirror: Vec<[u64; LOG_REC_WORDS]> = Vec::new();
+    let mut seq = 0u64;
+    let (mut completed, mut flag) = (NO_UNIT, FLAG_NONE);
+
+    if !cfg.failover {
+        CURRENT_MASTER.with(|m| m.set(0));
+        return if me == 0 {
+            match ft_master_loop(comm, ntasks, cfg, round, None) {
+                MasterExit::Finished(q) => Ok(FtRun { units: Vec::new(), quarantined: q }),
+                MasterExit::Aborted(unit) => Err(SchedError::Aborted { unit }),
+                MasterExit::AllWorkersDead => Err(SchedError::AllWorkersDead),
+                // Nobody deposes a master when failover is off; treat a
+                // spurious deposition as unreachability.
+                MasterExit::Deposed => Err(SchedError::MasterUnreachable),
+            }
+        } else {
+            match ft_worker_phase(
+                comm, cfg, 0, run, verdict, &mut mine, &mut mirror, &mut seq, &mut completed,
+                &mut flag,
+            ) {
+                WorkerExit::Done => Ok(FtRun { units: mine, quarantined: Vec::new() }),
+                WorkerExit::Abort => Err(SchedError::Aborted { unit: u64::MAX }),
+                WorkerExit::MasterGone { died: true } => Err(SchedError::MasterDied),
+                WorkerExit::MasterGone { died: false } => Err(SchedError::MasterUnreachable),
+            }
+        };
+    }
+
+    // Failover: run the role state machine. `via_failover` distinguishes a
+    // takeover (commits may exist — replay and gather before dispatching)
+    // from being the round's first master.
+    let Some(mut master) = board.elect_coordinator(round) else {
+        // Nobody can lead. A rejoiner that revived into a world with no
+        // coordinator left bails out empty; an original rank reports the
+        // legacy error.
+        return if comm.incarnation() > 0 {
+            Ok(FtRun::default())
+        } else {
+            Err(SchedError::MasterUnreachable)
+        };
+    };
+    CURRENT_MASTER.with(|m| m.set(master));
+    let mut via_failover = false;
+    let mut last_died;
+    loop {
+        if master == me {
+            if completed != NO_UNIT {
+                // A completion the dead master never arbitrated: drop the
+                // staging and let the unit re-dispatch — self-committing
+                // could race a speculative backup's claim.
+                if flag == FLAG_OK {
+                    verdict(completed as usize, false);
+                }
+                completed = NO_UNIT;
+                flag = FLAG_NONE;
+            }
+            let seed = via_failover.then(|| (std::mem::take(&mut mirror), mine.clone()));
+            match ft_master_loop(comm, ntasks, cfg, round, seed) {
+                MasterExit::Finished(q) => {
+                    board.record_departure(me, round, mine.iter().map(|&u| u as u64).collect());
+                    board.close_gate_if(|| true);
+                    return Ok(FtRun { units: mine, quarantined: q });
+                }
+                MasterExit::Aborted(unit) => return Err(SchedError::Aborted { unit }),
+                MasterExit::AllWorkersDead => return Err(SchedError::AllWorkersDead),
+                // Peers lost patience during a stall and elected around us:
+                // step down and serve the successor as a worker.
+                MasterExit::Deposed => last_died = false,
+            }
+        } else {
+            match ft_worker_phase(
+                comm, cfg, master, run, verdict, &mut mine, &mut mirror, &mut seq,
+                &mut completed, &mut flag,
+            ) {
+                WorkerExit::Done => {
+                    board.record_departure(me, round, mine.iter().map(|&u| u as u64).collect());
+                    return Ok(FtRun { units: mine, quarantined: Vec::new() });
+                }
+                WorkerExit::Abort => return Err(SchedError::Aborted { unit: u64::MAX }),
+                WorkerExit::MasterGone { died } => {
+                    if !died {
+                        // Alive but absent past the whole retry budget:
+                        // strike it from eligibility so the election below
+                        // cannot pick it again.
+                        board.depose(master, round);
+                    }
+                    last_died = died;
+                }
+            }
+        }
+        via_failover = true;
+        let Some(next) = board.elect_coordinator(round) else {
+            return if comm.incarnation() > 0 {
+                Ok(FtRun { units: mine, quarantined: Vec::new() })
+            } else if last_died {
+                Err(SchedError::MasterDied)
+            } else {
+                Err(SchedError::MasterUnreachable)
+            };
+        };
+        master = next;
+        CURRENT_MASTER.with(|m| m.set(master));
     }
 }
 
@@ -420,13 +607,22 @@ pub fn assign_and_run_ft(
         .map(|r| r.units)
 }
 
-/// Send a one-way progress beacon to the FT master, refreshing this worker's
-/// heartbeat deadline. Call from inside a long-running work unit (e.g. after
-/// loading a database partition) so a genuinely busy worker is not mistaken
-/// for a straggler. No-op on the master and in single-rank worlds.
+/// Send a one-way progress beacon to the *acting* FT master (tracked across
+/// failovers), refreshing this worker's heartbeat deadline. Call from inside
+/// a long-running work unit (e.g. after loading a database partition) so a
+/// genuinely busy worker is not mistaken for a straggler. No-op on the
+/// acting master and in single-rank worlds.
 pub fn ft_beacon(comm: &Comm) {
-    if comm.size() > 1 && comm.rank() != 0 {
-        comm.send_u64s(0, TAG_REQ, &[BEACON, 0, 0]);
+    if comm.size() <= 1 {
+        return;
+    }
+    let master = CURRENT_MASTER.with(|m| m.get());
+    if comm.rank() != master {
+        comm.send_u64s(
+            master,
+            TAG_REQ,
+            &[BEACON, 0, 0, master as u64, comm.incarnation(), 0],
+        );
     }
 }
 
@@ -479,7 +675,32 @@ fn run_unit_isolated(comm: &Comm, unit: u64, run: &mut dyn FnMut(usize)) -> bool
     }
 }
 
-/// Master bookkeeping for one fault-tolerant run.
+/// How one tenure of the master role ended.
+enum MasterExit {
+    /// Every unit is accounted for and every live worker confirmed
+    /// termination; carries the sorted quarantine list.
+    Finished(Vec<u64>),
+    /// Peers deposed this master (it stalled past their patience) and
+    /// elected a successor; step down and rejoin as a worker.
+    Deposed,
+    /// A unit exhausted [`FtConfig::max_attempts`]; the run is abandoned.
+    Aborted(u64),
+    /// Work remains but no worker is left to run it.
+    AllWorkersDead,
+}
+
+/// How one tenure serving a particular master ended, on the worker side.
+enum WorkerExit {
+    /// Termination confirmed; this worker's run is over.
+    Done,
+    /// The master abandoned the run.
+    Abort,
+    /// The master is gone: confirmed dead (`died`) or silent past the whole
+    /// retry budget (`!died`). The role state machine elects a successor.
+    MasterGone { died: bool },
+}
+
+/// Master bookkeeping for one tenure of the master role.
 struct FtMaster<'c> {
     comm: &'c Comm,
     max_attempts: usize,
@@ -487,6 +708,32 @@ struct FtMaster<'c> {
     speculate: bool,
     suspect_after: Duration,
     spec_backoff: Duration,
+    /// Scheduler round this tenure belongs to (scopes fault-board state).
+    round: u64,
+    /// Fencing epoch — this master's own rank, stamped on every reply.
+    epoch: u64,
+    /// Piggyback log records to the standby rank on replies?
+    mirror_on: bool,
+    log_path: Option<std::path::PathBuf>,
+    log_faults: Option<std::sync::Arc<crate::durable::DiskFaultPlan>>,
+    /// The full scheduler log of this round as this master knows it:
+    /// replayed prefix (from the durable file or its own standby mirror)
+    /// plus everything journaled during this tenure.
+    log_all: Vec<[u64; LOG_REC_WORDS]>,
+    /// Next log sequence number to assign.
+    lsn_next: u64,
+    /// How many of `log_all`'s records each worker has been sent.
+    mirrored_upto: std::collections::HashMap<usize, usize>,
+    /// Ranks still owed a first contact before dispatch may open (an
+    /// elected successor's gather barrier); `None` once dispatch is open.
+    gathering: Option<std::collections::HashSet<usize>>,
+    /// Workers that have made first contact this tenure (their claim lists
+    /// are merged exactly once).
+    greeted: std::collections::HashSet<usize>,
+    /// Last incarnation generation observed per worker; a bump means the
+    /// rank died and rejoined, so its previous incarnation's state is
+    /// reclaimed even if the death itself fell between reap ticks.
+    gen_seen: std::collections::HashMap<usize, u64>,
     pending: std::collections::VecDeque<u64>,
     /// Completion flag per unit; a unit owned by a dead worker is un-done.
     done: Vec<bool>,
@@ -504,7 +751,7 @@ struct FtMaster<'c> {
     quarantined: Vec<u64>,
     /// Highest request sequence number seen per worker, with the cached
     /// reply for duplicate-request retransmission.
-    last: std::collections::HashMap<usize, (u64, Option<[u64; 3]>)>,
+    last: std::collections::HashMap<usize, (u64, Option<Vec<u64>>)>,
     /// Workers waiting for work while the queue is empty but units are
     /// still outstanding on other workers, with the verdict owed to their
     /// reported completion (delivered with the eventual assignment).
@@ -521,8 +768,46 @@ struct FtMaster<'c> {
 }
 
 impl FtMaster<'_> {
-    fn reply(&mut self, worker: usize, payload: [u64; 3]) {
-        self.last.insert(worker, (payload[0], Some(payload)));
+    /// Journal one master state transition: append to the in-memory log
+    /// (mirrored to the standby via reply piggybacks) and to the durable
+    /// log file when configured. A failed durable append is tolerated — the
+    /// log is redundancy on top of the claim gather, never load-bearing on
+    /// its own.
+    fn journal(&mut self, kind: u64, unit: u64, worker: usize) {
+        let rec = [self.round, self.lsn_next, kind, unit, worker as u64];
+        self.lsn_next += 1;
+        self.log_all.push(rec);
+        if let Some(path) = &self.log_path {
+            let bytes = mpisim::wire::u64s_to_bytes(&rec);
+            let _ = crate::durable::append_record(path, &bytes, self.log_faults.as_deref());
+        }
+    }
+
+    /// The standby rank mirroring the scheduler log: the lowest eligible
+    /// non-master rank — exactly the rank an election would promote if this
+    /// master died now.
+    fn standby(&self) -> Option<usize> {
+        let me = self.comm.rank();
+        (0..self.comm.size())
+            .find(|&r| r != me && self.comm.board().is_eligible_coordinator(r, self.round))
+    }
+
+    /// Send (and cache) a reply `[seq, code, verdict]`, stamped with this
+    /// master's epoch and carrying the next window of unmirrored log
+    /// records when `worker` is the current standby.
+    fn reply(&mut self, worker: usize, head: [u64; 3]) {
+        let mut payload = vec![head[0], head[1], head[2], self.epoch, 0];
+        if self.mirror_on && Some(worker) == self.standby() {
+            let from = self.mirrored_upto.get(&worker).copied().unwrap_or(0);
+            let from = from.min(self.log_all.len());
+            let n = (self.log_all.len() - from).min(MAX_PIGGYBACK);
+            payload[4] = n as u64;
+            for rec in &self.log_all[from..from + n] {
+                payload.extend_from_slice(rec);
+            }
+            self.mirrored_upto.insert(worker, from + n);
+        }
+        self.last.insert(worker, (head[0], Some(payload.clone())));
         self.comm.send_u64s(worker, TAG_TASK, &payload);
     }
 
@@ -551,6 +836,7 @@ impl FtMaster<'_> {
                 return;
             }
             self.inflight.insert(worker, unit);
+            self.journal(LOG_DISPATCH, unit, worker);
             self.reply(worker, [seq, unit, verdict]);
         } else if self.settled() {
             self.reply(worker, [seq, DONE, verdict]);
@@ -582,35 +868,117 @@ impl FtMaster<'_> {
             && !self.inflight.values().any(|&u| u == unit)
     }
 
-    /// Detect newly-dead workers and reclaim everything they owned: the
-    /// in-flight unit (unless a speculative copy already resolved it) and
-    /// all committed units (their output died with the rank) go back to the
-    /// pending queue.
+    /// Reclaim everything `worker` owned: the in-flight unit (unless a
+    /// speculative copy already resolved it) and all committed units (their
+    /// output died with the rank) go back to the pending queue.
+    fn reclaim(&mut self, worker: usize) {
+        self.retired.remove(&worker);
+        self.parked.retain(|&(w, _, _)| w != worker);
+        let inflight = self.inflight.remove(&worker);
+        for unit in self.owned.remove(&worker).unwrap_or_default() {
+            self.done[unit as usize] = false;
+            self.ndone -= 1;
+            if self.should_requeue(unit) {
+                self.pending.push_back(unit);
+            }
+        }
+        if let Some(unit) = inflight {
+            if self.should_requeue(unit) {
+                self.pending.push_back(unit);
+            }
+        }
+    }
+
+    /// A bumped incarnation generation means `worker` died and rejoined —
+    /// possibly entirely between two reap ticks, so the death itself may
+    /// never be observed. Reclaim the previous incarnation's state and
+    /// reset its protocol bookkeeping (the fresh incarnation restarts its
+    /// sequence numbers and owes a fresh first contact).
+    fn note_generation(&mut self, worker: usize) {
+        let g = self.comm.board().generation(worker);
+        let seen = self.gen_seen.get(&worker).copied().unwrap_or(0);
+        if g <= seen {
+            return;
+        }
+        self.gen_seen.insert(worker, g);
+        self.known_dead.remove(&worker);
+        self.greeted.remove(&worker);
+        self.last.remove(&worker);
+        self.last_heard.insert(worker, std::time::Instant::now());
+        self.reclaim(worker);
+    }
+
+    /// Detect newly-dead and newly-rejoined workers and reclaim what their
+    /// gone incarnations owned. Master-agnostic: scans every rank but this
+    /// one, since any rank may hold the master role.
     fn reap_deaths(&mut self) {
-        for worker in 1..self.comm.size() {
+        for worker in 0..self.comm.size() {
+            if worker == self.comm.rank() {
+                continue;
+            }
+            self.note_generation(worker);
             if self.comm.is_alive(worker) || self.known_dead.contains(&worker) {
                 continue;
             }
             self.known_dead.insert(worker);
-            self.retired.remove(&worker);
-            self.parked.retain(|&(w, _, _)| w != worker);
-            let inflight = self.inflight.remove(&worker);
-            for unit in self.owned.remove(&worker).unwrap_or_default() {
-                self.done[unit as usize] = false;
-                self.ndone -= 1;
-                if self.should_requeue(unit) {
-                    self.pending.push_back(unit);
-                }
-            }
-            if let Some(unit) = inflight {
-                if self.should_requeue(unit) {
-                    self.pending.push_back(unit);
-                }
-            }
+            self.reclaim(worker);
         }
+        self.tick_gather();
         if !self.pending.is_empty() || self.settled() {
             self.flush_parked();
         }
+    }
+
+    /// Progress the takeover gather barrier: drop members that died, and
+    /// credit members that departed cleanly with their board manifest
+    /// instead of a claim contact. Opens dispatch when the last expected
+    /// contact resolves.
+    fn tick_gather(&mut self) {
+        let Some(expected) = &self.gathering else { return };
+        let board = self.comm.board();
+        let resolved: Vec<(usize, bool)> = expected
+            .iter()
+            .filter_map(|&r| {
+                if !board.is_alive(r) {
+                    Some((r, false))
+                } else if board.is_departed(r, self.round) {
+                    Some((r, true))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (r, departed_alive) in resolved {
+            if departed_alive {
+                for u in self.comm.board().departure_manifest(r, self.round) {
+                    if (u as usize) < self.done.len() && !self.done[u as usize] {
+                        self.done[u as usize] = true;
+                        self.ndone += 1;
+                        self.owned.entry(r).or_default().push(u);
+                        self.journal(LOG_COMMIT, u, r);
+                    }
+                }
+            }
+            if let Some(expected) = &mut self.gathering {
+                expected.remove(&r);
+            }
+        }
+        if self.gathering.as_ref().is_some_and(|e| e.is_empty()) {
+            self.finish_gather();
+        }
+    }
+
+    /// The last expected survivor has re-registered: build the pending
+    /// queue from everything not committed-or-quarantined and open
+    /// dispatch.
+    fn finish_gather(&mut self) {
+        self.gathering = None;
+        for unit in 0..self.done.len() as u64 {
+            if self.should_requeue(unit) {
+                self.pending.push_back(unit);
+            }
+        }
+        self.flush_parked();
     }
 
     /// Record a sign of life from `worker` and lift any suspicion.
@@ -690,6 +1058,7 @@ impl FtMaster<'_> {
                 return;
             }
             self.inflight.insert(worker, unit);
+            self.journal(LOG_DISPATCH, unit, worker);
             self.reply(worker, [seq, unit, verdict]);
             self.spec_next.insert(unit, (now + backoff, backoff.saturating_mul(2)));
         }
@@ -715,11 +1084,26 @@ impl FtMaster<'_> {
                 && self.comm.is_alive(worker)
             {
                 self.comm.fence(worker);
+                self.journal(LOG_FENCE, unit, worker);
             }
         }
     }
 
-    fn handle_request(&mut self, worker: usize, seq: u64, completed: u64, flag: u64) {
+    fn handle_request(
+        &mut self,
+        worker: usize,
+        seq: u64,
+        completed: u64,
+        flag: u64,
+        gen: u64,
+        claims: &[u64],
+    ) {
+        if gen != self.comm.board().generation(worker) {
+            // Stale traffic from a dead incarnation of a since-restarted
+            // rank: fenced by generation.
+            return;
+        }
+        self.note_generation(worker);
         if self.known_dead.contains(&worker) || !self.comm.is_alive(worker) {
             // Request queued before the death (or before a fence this loop
             // iteration has not reaped yet): its sender is gone and will
@@ -729,16 +1113,18 @@ impl FtMaster<'_> {
             return;
         }
         self.note_heard(worker);
-        if let Some(&(last_seq, cached)) = self.last.get(&worker) {
-            if last_seq == seq {
+        if let Some((last_seq, cached)) = self.last.get(&worker) {
+            if *last_seq == seq {
                 // Duplicate of a request already seen: re-send the cached
                 // reply (the original may have been dropped). A parked
                 // worker has no reply yet; answer WAIT (uncached — the real
                 // assignment will come through `flush_parked`) so its retry
                 // budget survives arbitrarily long units elsewhere.
-                match cached {
+                match cached.clone() {
                     Some(payload) => self.comm.send_u64s(worker, TAG_TASK, &payload),
-                    None => self.comm.send_u64s(worker, TAG_TASK, &[seq, WAIT, V_NONE]),
+                    None => self
+                        .comm
+                        .send_u64s(worker, TAG_TASK, &[seq, WAIT, V_NONE, self.epoch, 0]),
                 }
                 return;
             }
@@ -749,14 +1135,37 @@ impl FtMaster<'_> {
             return;
         }
         self.last.insert(worker, (seq, None));
+        let first_contact = self.greeted.insert(worker);
+        if first_contact {
+            // Merge the worker's committed-unit claims: after a failover
+            // the successor learns which outputs already live on this rank
+            // and must never re-dispatch them.
+            for &u in claims {
+                if (u as usize) < self.done.len() && !self.done[u as usize] {
+                    self.done[u as usize] = true;
+                    self.ndone += 1;
+                    self.owned.entry(worker).or_default().push(u);
+                    self.journal(LOG_COMMIT, u, worker);
+                }
+            }
+            if let Some(expected) = &mut self.gathering {
+                expected.remove(&worker);
+                if expected.is_empty() {
+                    self.finish_gather();
+                }
+            }
+        }
         let mut verdict = V_NONE;
         if completed != NO_UNIT {
             let u = completed as usize;
             match flag {
-                FLAG_OK => {
-                    let first = self.inflight.get(&worker) == Some(&completed)
-                        && !self.done[u]
-                        && !self.quarantined.contains(&completed);
+                FLAG_OK if u < self.done.len() => {
+                    // A first contact may carry a completion the previous
+                    // master never arbitrated; it is trusted like an
+                    // in-flight match.
+                    let known =
+                        self.inflight.get(&worker) == Some(&completed) || first_contact;
+                    let first = known && !self.done[u] && !self.quarantined.contains(&completed);
                     if self.inflight.get(&worker) == Some(&completed) {
                         self.inflight.remove(&worker);
                     }
@@ -765,15 +1174,17 @@ impl FtMaster<'_> {
                         self.ndone += 1;
                         self.owned.entry(worker).or_default().push(completed);
                         verdict = V_COMMIT;
+                        self.journal(LOG_COMMIT, completed, worker);
                         self.fence_silent_losers(completed, worker);
                         if self.settled() {
                             self.flush_parked();
                         }
                     } else {
                         verdict = V_DISCARD;
+                        self.journal(LOG_DISCARD, completed, worker);
                     }
                 }
-                FLAG_PANIC => {
+                FLAG_PANIC if u < self.done.len() => {
                     if self.inflight.get(&worker) == Some(&completed) {
                         self.inflight.remove(&worker);
                     }
@@ -781,6 +1192,7 @@ impl FtMaster<'_> {
                     if self.fails[u] >= self.poison_retries {
                         if !self.quarantined.contains(&completed) {
                             self.quarantined.push(completed);
+                            self.journal(LOG_QUARANTINE, completed, worker);
                             if self.settled() {
                                 self.flush_parked();
                             }
@@ -795,11 +1207,21 @@ impl FtMaster<'_> {
         self.serve(worker, seq, verdict);
     }
 
+    /// Count live, not-yet-departed workers and whether every one of them
+    /// has confirmed termination. Master-agnostic: scans every rank but
+    /// this one. A rank that departed cleanly this round (e.g. under a
+    /// predecessor master) counts as confirmed.
     fn live_workers_all_retired(&self) -> (usize, bool) {
         let mut live = 0;
         let mut all_retired = true;
-        for worker in 1..self.comm.size() {
-            if self.known_dead.contains(&worker) {
+        for worker in 0..self.comm.size() {
+            if worker == self.comm.rank() {
+                continue;
+            }
+            if self.known_dead.contains(&worker) || !self.comm.is_alive(worker) {
+                continue;
+            }
+            if self.comm.board().is_departed(worker, self.round) {
                 continue;
             }
             live += 1;
@@ -811,8 +1233,26 @@ impl FtMaster<'_> {
     }
 }
 
-fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<Vec<u64>, SchedError> {
+/// One tenure of the master role. `takeover` is `None` for the round's
+/// first master (full pending queue, no gather) and
+/// `Some((mirror, my_claims))` for an elected successor: it replays the
+/// scheduler log (the longer of the durable file and the mirrored copy it
+/// received as standby), seeds its own committed units, merges
+/// already-departed ranks' manifests, and holds dispatch behind a gather
+/// barrier until every surviving worker has re-registered its claims.
+fn ft_master_loop(
+    comm: &Comm,
+    ntasks: usize,
+    cfg: &FtConfig,
+    round: u64,
+    takeover: Option<(Vec<[u64; LOG_REC_WORDS]>, Vec<usize>)>,
+) -> MasterExit {
     let now = std::time::Instant::now();
+    let board = comm.board();
+    let me = comm.rank();
+    // Late restarts may rejoin while a run is in progress; the gate closes
+    // again when this (or a successor) master finishes the round.
+    board.open_gate();
     let mut m = FtMaster {
         comm,
         max_attempts: cfg.max_attempts,
@@ -820,7 +1260,23 @@ fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<Vec<u64>
         speculate: cfg.speculate,
         suspect_after: cfg.suspect_after,
         spec_backoff: cfg.spec_backoff,
-        pending: (0..ntasks as u64).collect(),
+        round,
+        epoch: me as u64,
+        mirror_on: cfg.mirror,
+        log_path: cfg.log_path.clone(),
+        log_faults: cfg.log_faults.clone(),
+        log_all: Vec::new(),
+        lsn_next: 0,
+        mirrored_upto: Default::default(),
+        gathering: None,
+        greeted: Default::default(),
+        // Baseline at the board's current generations so only *future*
+        // restarts read as incarnation bumps.
+        gen_seen: (0..comm.size())
+            .filter(|&r| r != me)
+            .map(|r| (r, board.generation(r)))
+            .collect(),
+        pending: Default::default(),
         done: vec![false; ntasks],
         ndone: 0,
         inflight: Default::default(),
@@ -832,12 +1288,82 @@ fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<Vec<u64>
         parked: Vec::new(),
         // Workers start with a full heartbeat budget: nobody is suspect
         // before they have had `suspect_after` to make first contact.
-        last_heard: (1..comm.size()).map(|w| (w, now)).collect(),
+        last_heard: (0..comm.size()).filter(|&w| w != me).map(|w| (w, now)).collect(),
         spec_next: Default::default(),
         retired: Default::default(),
         known_dead: Default::default(),
         abort: None,
     };
+    match takeover {
+        None => m.pending = (0..ntasks as u64).collect(),
+        Some((mirror, my_claims)) => {
+            // Replay the replicated log. The durable file and the standby
+            // mirror are both prefixes (possibly with append gaps) of the
+            // same totally-ordered log; the longer copy wins.
+            let mut from_file: Vec<[u64; LOG_REC_WORDS]> = Vec::new();
+            if let Some(path) = &cfg.log_path {
+                if let Ok(records) = crate::durable::read_record_stream(path) {
+                    for bytes in records {
+                        let words = mpisim::wire::bytes_to_u64s(&bytes);
+                        if words.len() == LOG_REC_WORDS && words[0] == round {
+                            from_file.push([words[0], words[1], words[2], words[3], words[4]]);
+                        }
+                    }
+                }
+            }
+            let log = if from_file.len() >= mirror.len() { from_file } else { mirror };
+            // Only dispatch attempts and quarantine verdicts are trusted
+            // from the log: a journaled COMMIT's output may have died with
+            // its rank, so commits flow exclusively from live workers'
+            // claims and departed ranks' manifests.
+            for rec in &log {
+                let unit = rec[3] as usize;
+                if unit >= ntasks {
+                    continue;
+                }
+                match rec[2] {
+                    LOG_DISPATCH => m.attempts[unit] += 1,
+                    LOG_QUARANTINE if !m.quarantined.contains(&rec[3]) => {
+                        m.fails[unit] = m.poison_retries;
+                        m.quarantined.push(rec[3]);
+                    }
+                    _ => {}
+                }
+                m.lsn_next = m.lsn_next.max(rec[1] + 1);
+            }
+            m.log_all = log;
+            // This rank's own committed output survives the promotion.
+            for unit in my_claims {
+                if unit < ntasks && !m.done[unit] {
+                    m.done[unit] = true;
+                    m.ndone += 1;
+                    m.owned.entry(me).or_default().push(unit as u64);
+                    m.journal(LOG_COMMIT, unit as u64, me);
+                }
+            }
+            // Ranks that already departed cleanly this round left their
+            // manifests on the board instead of a claim contact.
+            let mut expected: std::collections::HashSet<usize> = Default::default();
+            for r in (0..comm.size()).filter(|&r| r != me) {
+                if board.is_departed(r, round) {
+                    for u in board.departure_manifest(r, round) {
+                        if (u as usize) < ntasks && !m.done[u as usize] {
+                            m.done[u as usize] = true;
+                            m.ndone += 1;
+                            m.owned.entry(r).or_default().push(u);
+                            m.journal(LOG_COMMIT, u, r);
+                        }
+                    }
+                } else if board.is_alive(r) {
+                    expected.insert(r);
+                }
+            }
+            // Dispatch stays closed until every expected survivor makes
+            // first contact (or dies / departs); `finish_gather` then
+            // builds the pending queue from whatever is still unaccounted.
+            m.gathering = Some(expected);
+        }
+    }
     // Consecutive quiet ticks tolerated once no unit can still be running:
     // a live worker retries at least once per `rpc_timeout`, so a longer
     // silence means every unconfirmed worker is gone (e.g. its farewell and
@@ -845,19 +1371,24 @@ fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<Vec<u64>
     let quiet_limit = cfg.max_rpc_retries + 5;
     let mut quiet = 0usize;
     loop {
+        if cfg.failover && board.is_deposed(me, round) {
+            // Peers elected around us during a stall; any replies we send
+            // from here on are fenced by epoch. Step down.
+            return MasterExit::Deposed;
+        }
         m.reap_deaths();
         m.tick_speculation();
         let (live, all_confirmed) = m.live_workers_all_retired();
         let finish = |m: &FtMaster| match m.abort {
-            Some(unit) => Err(SchedError::Aborted { unit }),
+            Some(unit) => MasterExit::Aborted(unit),
             None if m.settled() => {
                 let mut q = m.quarantined.clone();
                 q.sort_unstable();
-                Ok(q)
+                MasterExit::Finished(q)
             }
             // Outstanding units with nobody left to run them (workers died
             // after confirming, taking completed output with them).
-            None => Err(SchedError::AllWorkersDead),
+            None => MasterExit::AllWorkersDead,
         };
         if live == 0 || all_confirmed {
             return finish(&m);
@@ -875,10 +1406,26 @@ fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<Vec<u64>
                 quiet = 0;
                 let req = mpisim::wire::bytes_to_u64s(&msg.data);
                 if req[0] == BEACON {
-                    m.note_heard(msg.status.source);
+                    if req.len() < REQ_HEAD
+                        || req[4] == board.generation(msg.status.source)
+                    {
+                        m.note_heard(msg.status.source);
+                    }
                     continue;
                 }
-                m.handle_request(msg.status.source, req[0], req[1], req[2]);
+                if req.len() < REQ_HEAD || req[3] != me as u64 {
+                    // Malformed, or addressed to a different master epoch.
+                    continue;
+                }
+                let nclaims = (req[5] as usize).min(req.len() - REQ_HEAD);
+                m.handle_request(
+                    msg.status.source,
+                    req[0],
+                    req[1],
+                    req[2],
+                    req[4],
+                    &req[REQ_HEAD..REQ_HEAD + nclaims],
+                );
             }
             Err(MpiError::Timeout) => quiet += 1,
             // A death interrupted the wait or every worker is gone: loop
@@ -889,26 +1436,69 @@ fn ft_master_loop(comm: &Comm, ntasks: usize, cfg: &FtConfig) -> Result<Vec<u64>
     }
 }
 
-/// One at-least-once request round: send `[seq, completed, flag]`, resend on
+/// One at-least-once request round against the acting `master`: send
+/// `[seq, completed, flag, epoch, generation, nclaims, claims…]`, resend on
 /// timeout (master-side dedup makes this harmless), and return the
-/// `(code, verdict)` of the reply whose sequence echo matches.
+/// `(code, verdict)` of the reply whose sequence echo and epoch both match.
+/// Log records piggybacked on any reply from the master are absorbed into
+/// `mirror` (this worker may be the standby). Errors report how the master
+/// was lost: `Err(true)` = confirmed dead, `Err(false)` = silent past the
+/// whole retry budget.
+#[allow(clippy::too_many_arguments)]
 fn ft_request(
     comm: &Comm,
     cfg: &FtConfig,
+    master: usize,
     seq: u64,
     completed: u64,
     flag: u64,
-) -> Result<(u64, u64), SchedError> {
+    claims: &[u64],
+    mirror: &mut Vec<[u64; LOG_REC_WORDS]>,
+) -> Result<(u64, u64), bool> {
+    let mut frame = vec![
+        seq,
+        completed,
+        flag,
+        master as u64,
+        comm.incarnation(),
+        claims.len() as u64,
+    ];
+    frame.extend_from_slice(claims);
     let mut resends = 0usize;
     let mut need_send = true;
     loop {
         if need_send {
-            comm.send_u64s(0, TAG_REQ, &[seq, completed, flag]);
+            comm.send_u64s(master, TAG_REQ, &frame);
             need_send = false;
         }
-        match comm.recv_timeout(0, TAG_TASK, cfg.rpc_timeout) {
+        match comm.recv_timeout(master, TAG_TASK, cfg.rpc_timeout) {
             Ok(msg) => {
                 let reply = mpisim::wire::bytes_to_u64s(&msg.data);
+                if reply.len() < REPLY_HEAD || reply[3] != master as u64 {
+                    // Zombie fencing: a deposed ex-master's stale replies
+                    // carry its old epoch and are discarded.
+                    continue;
+                }
+                // Absorb mirrored log records before any seq filtering —
+                // even a stale echo may carry records whose original
+                // delivery was dropped. Records arrive in lsn order;
+                // strictly-increasing lsn both de-duplicates retransmitted
+                // windows and tolerates gaps from failed durable appends.
+                let nrec = (reply[4] as usize)
+                    .min((reply.len() - REPLY_HEAD) / LOG_REC_WORDS);
+                for i in 0..nrec {
+                    let at = REPLY_HEAD + i * LOG_REC_WORDS;
+                    let rec = [
+                        reply[at],
+                        reply[at + 1],
+                        reply[at + 2],
+                        reply[at + 3],
+                        reply[at + 4],
+                    ];
+                    if mirror.last().is_none_or(|last| rec[1] > last[1]) {
+                        mirror.push(rec);
+                    }
+                }
                 if reply[0] != seq {
                     continue; // stale echo of an earlier request: discard
                 }
@@ -920,11 +1510,11 @@ fn ft_request(
                 }
                 return Ok((reply[1], reply[2]));
             }
-            Err(MpiError::RankDead { .. }) => return Err(SchedError::MasterDied),
+            Err(MpiError::RankDead { .. }) => return Err(true),
             Err(MpiError::Timeout) => {
                 resends += 1;
                 if resends > cfg.max_rpc_retries {
-                    return Err(SchedError::MasterUnreachable);
+                    return Err(false);
                 }
                 need_send = true;
             }
@@ -935,50 +1525,75 @@ fn ft_request(
     }
 }
 
-fn ft_worker_loop(
+/// One tenure serving `master` as a worker. Execution state persists across
+/// tenures through the `&mut` parameters so a failover mid-run carries this
+/// worker's committed units (`mine` — re-registered as claims on the first
+/// request to each new master), its standby mirror of the scheduler log, its
+/// monotonic request sequence, and any not-yet-arbitrated completion.
+#[allow(clippy::too_many_arguments)]
+fn ft_worker_phase(
     comm: &Comm,
     cfg: &FtConfig,
+    master: usize,
     run: &mut dyn FnMut(usize),
     verdict: &mut dyn FnMut(usize, bool),
-) -> Result<Vec<usize>, SchedError> {
-    let mut mine = Vec::new();
-    let mut seq = 0u64;
-    let mut completed = NO_UNIT;
-    let mut flag = FLAG_NONE;
+    mine: &mut Vec<usize>,
+    mirror: &mut Vec<[u64; LOG_REC_WORDS]>,
+    seq: &mut u64,
+    completed: &mut u64,
+    flag: &mut u64,
+) -> WorkerExit {
+    let mut first = true;
     let outcome = loop {
-        seq += 1;
-        let (code, verd) = ft_request(comm, cfg, seq, completed, flag)?;
+        *seq += 1;
+        // Committed-unit claims ride only on the first request to this
+        // master; it merges them exactly once (keyed on first contact).
+        let claims: Vec<u64> = if first {
+            mine.iter().map(|&u| u as u64).collect()
+        } else {
+            Vec::new()
+        };
+        first = false;
+        let (code, verd) =
+            match ft_request(comm, cfg, master, *seq, *completed, *flag, &claims, mirror) {
+                Ok(r) => r,
+                // The un-arbitrated completion (if any) stays in
+                // `completed`/`flag` for the role state machine to resolve.
+                Err(died) => return WorkerExit::MasterGone { died },
+            };
         // The reply arbitrates the completion this request reported: commit
         // publishes the staged output, discard drops it (a backup won).
         // Panicked executions already dropped their partial staging.
-        if completed != NO_UNIT && flag == FLAG_OK {
+        if *completed != NO_UNIT && *flag == FLAG_OK {
             let commit = verd == V_COMMIT;
-            verdict(completed as usize, commit);
+            verdict(*completed as usize, commit);
             if commit {
-                mine.push(completed as usize);
+                mine.push(*completed as usize);
             }
         }
+        *completed = NO_UNIT;
+        *flag = FLAG_NONE;
         match code {
-            DONE => break Ok(mine),
+            DONE => break WorkerExit::Done,
             // Workers don't learn which unit exhausted its budget; the
             // master's own return value carries it.
-            ABORT => break Err(SchedError::Aborted { unit: u64::MAX }),
+            ABORT => break WorkerExit::Abort,
             unit => {
                 if run_unit_isolated(comm, unit, run) {
-                    flag = FLAG_OK;
+                    *flag = FLAG_OK;
                 } else {
                     verdict(unit as usize, false); // drop partial staging
-                    flag = FLAG_PANIC;
+                    *flag = FLAG_PANIC;
                 }
-                completed = unit;
+                *completed = unit;
             }
         }
     };
     // Confirm we saw the termination reply so the master can stop serving
     // retransmissions. Best-effort: if the master is already gone (or the
     // farewell keeps getting dropped), we still return our result.
-    seq += 1;
-    let _ = ft_request(comm, cfg, seq, FAREWELL, FLAG_NONE);
+    *seq += 1;
+    let _ = ft_request(comm, cfg, master, *seq, FAREWELL, FLAG_NONE, &[], mirror);
     outcome
 }
 
@@ -1270,11 +1885,14 @@ mod tests {
     }
 
     #[test]
-    fn ft_worker_reports_master_death() {
+    fn ft_worker_reports_master_death_without_failover() {
+        // Legacy fail-fast mode: with failover disabled, master loss stays a
+        // typed error instead of triggering an election.
         let plan = FaultPlan::new(5).kill(0, 0.0);
         let world = World::new(3).with_faults(plan);
+        let cfg = FtConfig { failover: false, ..FtConfig::default() };
         let outcomes = world.run_faulty(move |comm| {
-            assign_and_run_ft(comm, 6, &FtConfig::default(), |_| {})
+            assign_and_run_ft(comm, 6, &cfg, |_| {})
         });
         assert!(outcomes[0].is_died());
         for o in &outcomes[1..] {
@@ -1283,6 +1901,166 @@ mod tests {
                 other => panic!("worker should report MasterDied, got {other:?}"),
             }
         }
+    }
+
+    // ---- master failover, elections, rejoin ----
+
+    #[test]
+    fn ft_master_death_fails_over_and_completes_exactly() {
+        // Kill rank 0 (the initial master) mid-run: the survivors elect
+        // rank 1, which gathers the workers' committed-unit claims and
+        // finishes the run with an exact partition — no unit lost, none
+        // duplicated.
+        let plan = FaultPlan::new(11).kill(0, 2.5);
+        let world = World::new(4).with_faults(plan);
+        let outcomes = world.run_faulty(move |comm| {
+            assign_and_run_ft(comm, 12, &FtConfig::default(), |_| comm.charge(1.0))
+        });
+        assert!(outcomes[0].is_died());
+        for o in &outcomes[1..] {
+            assert!(matches!(o, RankOutcome::Done(Ok(_))), "outcome: {o:?}");
+        }
+        assert_exact_partition(&outcomes, 12);
+    }
+
+    #[test]
+    fn ft_two_master_deaths_across_epochs() {
+        // Rank 0 dies, rank 1 takes over (epoch 1), then rank 1 dies too:
+        // rank 2 must win the second election (elected ranks strictly
+        // increase within a round) and still finish exactly.
+        let plan = FaultPlan::new(17).kill(0, 2.5).kill(1, 4.0);
+        let world = World::new(5).with_faults(plan);
+        let outcomes = world.run_faulty(move |comm| {
+            assign_and_run_ft(comm, 20, &FtConfig::default(), |_| comm.charge(1.0))
+        });
+        assert!(outcomes[0].is_died() && outcomes[1].is_died());
+        for o in &outcomes[2..] {
+            assert!(matches!(o, RankOutcome::Done(Ok(_))), "outcome: {o:?}");
+        }
+        assert_exact_partition(&outcomes, 20);
+    }
+
+    #[test]
+    fn ft_stalled_master_is_deposed_and_steps_down() {
+        // The master stalls for 1 s of wall clock — longer than a worker's
+        // whole RPC retry budget — without dying. The workers depose it,
+        // elect rank 1, and finish; the ex-master wakes as a zombie, sees
+        // the deposition on the board, and rejoins as a worker (its stale
+        // epoch-0 replies are fenced). Every rank ends Ok.
+        let plan = FaultPlan::new(23).stall(0, 0.005, 1.0);
+        let cfg = FtConfig {
+            rpc_timeout: Duration::from_millis(20),
+            max_rpc_retries: 5,
+            ..FtConfig::default()
+        };
+        let world = World::new(3).with_faults(plan);
+        let outcomes = world.run_faulty(move |comm| {
+            assign_and_run_ft(comm, 8, &cfg, |_| comm.charge(0.01))
+        });
+        for o in &outcomes {
+            assert!(matches!(o, RankOutcome::Done(Ok(_))), "outcome: {o:?}");
+        }
+        assert_exact_partition(&outcomes, 8);
+    }
+
+    #[test]
+    fn ft_restarted_worker_rejoins_and_gets_fresh_units() {
+        // Rank 1 dies mid-run and restarts 50 ms later while the run is
+        // still going (units burn real wall clock): the fresh incarnation
+        // re-enters through the join gate, is recognized by its bumped
+        // generation, and finishes Ok alongside the others.
+        let plan = FaultPlan::new(19).kill(1, 1.5).restart(1, 0.05);
+        let world = World::new(3).with_faults(plan);
+        let outcomes = world.run_faulty(move |comm| {
+            assign_and_run_ft(comm, 8, &FtConfig::default(), |_| {
+                std::thread::sleep(Duration::from_millis(50));
+                comm.charge(1.0);
+            })
+            .map(|units| (comm.incarnation(), units))
+        });
+        match &outcomes[1] {
+            RankOutcome::Done(Ok((incarnation, _))) => {
+                assert_eq!(*incarnation, 1, "rank 1 must finish as its second incarnation");
+            }
+            other => panic!("restarted rank should rejoin and finish Ok, got {other:?}"),
+        }
+        let mut all: Vec<usize> = Vec::new();
+        for o in &outcomes {
+            if let RankOutcome::Done(Ok((_, units))) = o {
+                all.extend(units);
+            }
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>(), "units must partition exactly");
+    }
+
+    #[test]
+    fn ft_late_restart_after_run_end_is_refused_by_the_join_gate() {
+        // Rank 1 dies instantly; the (fast) run finishes long before its
+        // 500 ms restart fires. The join gate has closed, so the revival is
+        // refused and the rank stays dead instead of stranding itself in a
+        // finished world.
+        let plan = FaultPlan::new(43).kill(1, 0.0).restart(1, 0.5);
+        let world = World::new(3).with_faults(plan);
+        let outcomes = world.run_faulty(move |comm| {
+            assign_and_run_ft(comm, 6, &FtConfig::default(), |_| {})
+        });
+        assert!(outcomes[1].is_died(), "late rejoiner must stay dead: {:?}", outcomes[1]);
+        assert!(matches!(&outcomes[0], RankOutcome::Done(Ok(_))));
+        assert!(matches!(&outcomes[2], RankOutcome::Done(Ok(_))));
+        assert_exact_partition(&outcomes, 6);
+    }
+
+    #[test]
+    fn ft_failover_replays_quarantine_and_attempts_from_log() {
+        // Unit 3 is poison and gets quarantined (3 fast failures) before the
+        // master dies at virtual t=1.5 (good units burn 100 ms wall and 1.0
+        // virtual each, so the quarantine strictly precedes the death). With
+        // max_attempts = 4 the successor would abort if it forgot unit 3's
+        // three dispatches and re-ran the quarantine dance from scratch —
+        // completing with exactly [3] quarantined proves the replicated log
+        // (durable file + standby mirror) was replayed.
+        let log = std::env::temp_dir().join(format!(
+            "mrmpi-ftlog-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_file(&log);
+        let plan = FaultPlan::new(47).poison(3).kill(0, 1.5);
+        let cfg = FtConfig {
+            max_attempts: 4,
+            log_path: Some(log.clone()),
+            ..FtConfig::default()
+        };
+        let world = World::new(3).with_faults(plan);
+        let outcomes = world.run_faulty(move |comm| {
+            assign_and_run_ft_report(
+                comm,
+                4,
+                &cfg,
+                &mut |_| {
+                    std::thread::sleep(Duration::from_millis(100));
+                    comm.charge(1.0);
+                },
+                &mut |_, _| {},
+            )
+        });
+        let _ = std::fs::remove_file(&log);
+        assert!(outcomes[0].is_died());
+        let mut all: Vec<usize> = Vec::new();
+        let mut quarantined: Vec<u64> = Vec::new();
+        for o in &outcomes[1..] {
+            match o {
+                RankOutcome::Done(Ok(run)) => {
+                    all.extend(&run.units);
+                    quarantined.extend(&run.quarantined);
+                }
+                other => panic!("survivor should finish Ok, got {other:?}"),
+            }
+        }
+        assert_eq!(quarantined, vec![3], "exactly unit 3 quarantined, reported once");
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2], "good units must partition exactly");
     }
 
     #[test]

@@ -31,12 +31,20 @@ pub struct Settings {
     /// default) means a healthy disk. Clones share the plan's attempt
     /// counter, so one plan deterministically covers a whole run.
     pub disk_faults: Option<Arc<DiskFaultPlan>>,
-    /// Durable quarantine log: when set, rank 0 appends every work unit
+    /// Durable quarantine log: when set, the final acting master (rank 0
+    /// unless a failover promoted a successor) appends every work unit
     /// quarantined by the fault-tolerant map (see
     /// [`crate::sched::FtConfig::poison_retries`]) to this CRC-framed record
     /// file, so poison units survive the process for post-mortem triage.
     /// `None` (the default) keeps quarantine in-memory only.
     pub poison_log: Option<PathBuf>,
+    /// When `true` (the default) the fault-tolerant scheduler treats the
+    /// master as a *role*: if the acting master dies or becomes unreachable,
+    /// survivors elect the lowest eligible rank as the new master and the
+    /// run continues. When `false`, master loss aborts the run with the
+    /// legacy typed `MasterDied`/`MasterUnreachable` errors — kept for the
+    /// DES failover ablation and for callers that prefer fail-fast.
+    pub master_failover: bool,
 }
 
 impl Default for Settings {
@@ -47,6 +55,7 @@ impl Default for Settings {
             tmpdir: Settings::unique_spill_dir(),
             disk_faults: None,
             poison_log: None,
+            master_failover: true,
         }
     }
 }
@@ -61,6 +70,7 @@ impl Settings {
             tmpdir: tmpdir.into(),
             disk_faults: None,
             poison_log: None,
+            master_failover: true,
         }
     }
 

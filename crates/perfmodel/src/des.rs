@@ -468,6 +468,272 @@ pub fn simulate_master_worker_faulty(
     }
 }
 
+/// Simulate the master-worker schedule through a **master death and
+/// failover**, mirroring the election protocol in `mrmpi::sched`:
+///
+/// * the dedicated master dies at `master_dies_at_s`; from that instant no
+///   new units are dispatched. Workers already computing run their unit to
+///   completion, then sit idle retrying the dead master;
+/// * `detect_s` later the workers' failure detector gives up on the old
+///   master, and after a further `failover_s` (election + scheduler-log
+///   replay + committed-claim gather) the **lowest-indexed live worker is
+///   promoted** to acting master and dispatch resumes;
+/// * completions that landed during the dead-master window were never
+///   arbitrated: survivors carry them to the new master, which commits them
+///   at first contact — except the promoted worker's own carried unit,
+///   which the role transition discards and re-queues (counted in
+///   [`SimResult::redispatched`]), exactly as the scheduler does;
+/// * the promotion permanently converts one compute core into the master
+///   role, so the tail of the run proceeds with one fewer worker on the
+///   same `cores`-core allocation;
+/// * worker `failures` compose as in [`simulate_master_worker_faulty`]
+///   (dead workers lose in-flight *and* committed units). A failure that
+///   hits the already-promoted master is treated as a plain worker death;
+///   the cost of a second election is not modelled here — the scheduler
+///   tests cover cascaded master deaths;
+/// * a `master_dies_at_s` past the fault-free makespan changes nothing.
+///
+/// # Panics
+/// Panics if fewer than 3 cores are requested (a failover needs a worker
+/// left over after the promotion), if a failure names a nonexistent worker,
+/// or if every worker dies with units unfinished.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_master_worker_failover(
+    cluster: &ClusterModel,
+    cores: usize,
+    tasks: &[Task],
+    partition_gb: f64,
+    master_dies_at_s: f64,
+    detect_s: f64,
+    failover_s: f64,
+    failures: &[Failure],
+) -> SimResult {
+    assert!(cores >= 3, "failover needs >= 3 cores: master, successor, one worker");
+    let workers = cores - 1;
+    let mut loads = LoadModel::new(cluster, cores, partition_gb);
+    let (mut cold, mut warm) = (0u64, 0u64);
+
+    // Event queue: (time, kind, worker). The master death sorts before
+    // completions at the same instant, so a unit finishing exactly then
+    // counts as unarbitrated — the conservative reading.
+    const EV_MDEATH: u8 = 0;
+    const EV_DEATH: u8 = 1;
+    const EV_FREE: u8 = 2;
+    const EV_PROMOTE: u8 = 3;
+    const EV_WAKE: u8 = 4;
+    let mut events: std::collections::BinaryHeap<std::cmp::Reverse<(OrdF64, u8, usize)>> =
+        std::collections::BinaryHeap::new();
+    events.push(std::cmp::Reverse((OrdF64(master_dies_at_s), EV_MDEATH, 0)));
+    for f in failures {
+        assert!(f.worker < workers, "failure names worker {} of {workers}", f.worker);
+        events.push(std::cmp::Reverse((OrdF64(f.at_s), EV_DEATH, f.worker)));
+    }
+    events.push(std::cmp::Reverse((OrdF64(0.0), EV_WAKE, 0)));
+
+    let mut pool: std::collections::BinaryHeap<std::cmp::Reverse<(OrdF64, usize)>> =
+        (0..tasks.len()).map(|i| std::cmp::Reverse((OrdF64(0.0), i))).collect();
+
+    let mut alive = vec![true; workers];
+    let mut idle: std::collections::BTreeSet<usize> = (0..workers).collect();
+    let mut inflight: Vec<Option<(usize, f64, f64)>> = vec![None; workers];
+    let mut completed: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    // A worker's single unarbitrated completion while the master is down
+    // (it cannot receive another unit until arbitration resumes).
+    let mut carried: Vec<Option<usize>> = vec![None; workers];
+    let mut busy_intervals = vec![Vec::new(); workers];
+    let mut worker_busy = vec![0.0f64; workers];
+    let mut last_worker_cache: Vec<Option<usize>> = vec![None; workers];
+    let mut frozen = false;
+    let mut promoted: Option<usize> = None;
+    let mut ndone = 0usize;
+    let mut redispatched = 0u64;
+    let mut makespan = 0.0f64;
+
+    while ndone < tasks.len() {
+        let Some(std::cmp::Reverse((OrdF64(now), kind, w))) = events.pop() else {
+            break; // every worker dead with units remaining
+        };
+        match kind {
+            EV_MDEATH => {
+                frozen = true;
+                events.push(std::cmp::Reverse((
+                    OrdF64(now + detect_s + failover_s),
+                    EV_PROMOTE,
+                    0,
+                )));
+            }
+            EV_PROMOTE => {
+                // Elect the lowest live worker; its carried or in-flight
+                // unit is discarded by the role transition and re-queued.
+                let Some(p) = (0..workers).find(|&w| alive[w]) else {
+                    continue; // all dead; the assert below reports it
+                };
+                if let Some((task, _, _)) = inflight[p].take() {
+                    pool.push(std::cmp::Reverse((OrdF64(now), task)));
+                    redispatched += 1;
+                }
+                if let Some(task) = carried[p].take() {
+                    pool.push(std::cmp::Reverse((OrdF64(now), task)));
+                    redispatched += 1;
+                }
+                // Survivors' carried completions commit at first contact.
+                for w in 0..workers {
+                    if let Some(task) = carried[w].take() {
+                        completed[w].push(task);
+                        ndone += 1;
+                        makespan = makespan.max(now);
+                    }
+                }
+                idle.remove(&p);
+                promoted = Some(p);
+                frozen = false;
+            }
+            EV_DEATH => {
+                if !alive[w] {
+                    continue;
+                }
+                alive[w] = false;
+                idle.remove(&w);
+                last_worker_cache[w] = None;
+                let mut lost = 0u64;
+                if let Some((task, _, _)) = inflight[w].take() {
+                    pool.push(std::cmp::Reverse((OrdF64(now + detect_s), task)));
+                    lost += 1;
+                }
+                if let Some(task) = carried[w].take() {
+                    pool.push(std::cmp::Reverse((OrdF64(now + detect_s), task)));
+                    lost += 1;
+                }
+                for task in completed[w].drain(..) {
+                    pool.push(std::cmp::Reverse((OrdF64(now + detect_s), task)));
+                    ndone -= 1;
+                    lost += 1;
+                }
+                redispatched += lost;
+                if lost > 0 {
+                    events.push(std::cmp::Reverse((OrdF64(now + detect_s), EV_WAKE, 0)));
+                }
+            }
+            EV_FREE => {
+                if !alive[w] || promoted == Some(w) {
+                    continue; // preempted by a death or by the promotion
+                }
+                let Some((task, start, end)) = inflight[w].take() else { continue };
+                busy_intervals[w].push((start, end));
+                worker_busy[w] += tasks[task].cost_s;
+                idle.insert(w);
+                if frozen {
+                    carried[w] = Some(task); // unarbitrated until failover
+                } else {
+                    completed[w].push(task);
+                    ndone += 1;
+                    makespan = makespan.max(end);
+                }
+            }
+            _ => {} // EV_WAKE: fall through to the dispatch sweep
+        }
+        if frozen {
+            continue; // nobody arbitrates; no dispatch until the promotion
+        }
+        while let Some(&std::cmp::Reverse((OrdF64(avail), task))) = pool.peek() {
+            if avail > now {
+                break;
+            }
+            let Some(&w) = idle.iter().next() else { break };
+            pool.pop();
+            idle.remove(&w);
+            let t = now + cluster.dispatch_latency_s;
+            let load = if last_worker_cache[w] == Some(tasks[task].part) {
+                0.0
+            } else {
+                last_worker_cache[w] = Some(tasks[task].part);
+                loads.load(w + 1, tasks[task].part, &mut cold, &mut warm)
+            };
+            let start = t + load;
+            let end = start + tasks[task].cost_s;
+            inflight[w] = Some((task, start, end));
+            events.push(std::cmp::Reverse((OrdF64(end), EV_FREE, w)));
+        }
+    }
+    assert!(
+        ndone == tasks.len(),
+        "all {workers} workers dead with {} of {} units unfinished",
+        tasks.len() - ndone,
+        tasks.len()
+    );
+
+    let total_search: f64 = worker_busy.iter().sum();
+    SimResult {
+        makespan_s: makespan,
+        worker_busy,
+        busy_intervals,
+        cold_loads: cold,
+        warm_loads: warm,
+        total_search_s: total_search,
+        redispatched,
+        speculated: 0,
+        cores,
+    }
+}
+
+/// Simulate the legacy **abort-and-restart** answer to a master death (the
+/// `abort_on_master_loss` ablation baseline): the run aborts `detect_s`
+/// after the master dies at `master_dies_at_s` — every completed unit is
+/// thrown away — and the whole job re-runs from scratch on a fresh
+/// allocation of the same size (page caches cold again).
+///
+/// Completions before the abort are reported as [`SimResult::redispatched`]
+/// and appear in the busy intervals (the compute really happened, then was
+/// discarded); `cold_loads`/`warm_loads` count the restarted run only. A
+/// `master_dies_at_s` past the fault-free makespan changes nothing.
+pub fn simulate_master_worker_abort_restart(
+    cluster: &ClusterModel,
+    cores: usize,
+    tasks: &[Task],
+    partition_gb: f64,
+    master_dies_at_s: f64,
+    detect_s: f64,
+) -> SimResult {
+    let clean = simulate_master_worker(cluster, cores, tasks, partition_gb);
+    if master_dies_at_s >= clean.makespan_s {
+        return clean;
+    }
+    let abort_at = master_dies_at_s + detect_s;
+    // The restart is a fresh allocation running the identical schedule.
+    let rerun = clean.clone();
+    let mut busy_intervals: Vec<Vec<(f64, f64)>> = vec![Vec::new(); cores - 1];
+    let mut worker_busy = vec![0.0f64; cores - 1];
+    let mut redispatched = 0u64;
+    // Wasted pre-abort executions: every unit that completed before the
+    // workers noticed the master was gone.
+    for (w, intervals) in clean.busy_intervals.iter().enumerate() {
+        for &(s, e) in intervals.iter().filter(|&&(_, e)| e <= abort_at) {
+            busy_intervals[w].push((s, e));
+            worker_busy[w] += e - s;
+            redispatched += 1;
+        }
+    }
+    // The restart, shifted to begin once the abort is declared.
+    for (w, intervals) in rerun.busy_intervals.iter().enumerate() {
+        for &(s, e) in intervals {
+            busy_intervals[w].push((s + abort_at, e + abort_at));
+        }
+        worker_busy[w] += rerun.worker_busy[w];
+    }
+    let total_search: f64 = worker_busy.iter().sum();
+    SimResult {
+        makespan_s: abort_at + rerun.makespan_s,
+        worker_busy,
+        busy_intervals,
+        cold_loads: rerun.cold_loads,
+        warm_loads: rerun.warm_loads,
+        total_search_s: total_search,
+        redispatched,
+        speculated: 0,
+        cores,
+    }
+}
+
 /// A scheduled straggler episode for
 /// [`simulate_master_worker_speculative`]: the worker freezes for `dur_s`
 /// wall-clock seconds (GC pause, flaky NIC, contended node) but does not
@@ -1140,6 +1406,121 @@ mod tests {
             clean.makespan_s
         );
         assert_eq!(spec.speculated, 1);
+    }
+
+    #[test]
+    fn failover_sim_with_master_death_after_completion_matches_plain() {
+        let cluster = ClusterModel {
+            cold_load_s_per_gb: 3.0,
+            warm_load_s_per_gb: 0.5,
+            dispatch_latency_s: 0.01,
+            ..ClusterModel::ranger()
+        };
+        let mut tasks = vec![Task { part: 0, cost_s: 9.0 }];
+        tasks.extend((0..30).map(|i| Task { part: i % 4, cost_s: 1.0 + (i % 3) as f64 }));
+        let plain = simulate_master_worker(&cluster, 5, &tasks, 1.0);
+        let fo = simulate_master_worker_failover(&cluster, 5, &tasks, 1.0, 1e6, 0.5, 0.5, &[]);
+        assert!((plain.makespan_s - fo.makespan_s).abs() < 1e-9);
+        assert_eq!(plain.cold_loads, fo.cold_loads);
+        assert_eq!(plain.warm_loads, fo.warm_loads);
+        assert_eq!(fo.redispatched, 0);
+    }
+
+    #[test]
+    fn master_death_freezes_dispatch_and_promotion_loses_one_worker() {
+        // 2 workers, 8 unit tasks. Units 4 and 5 are in flight when the
+        // master dies at t=2.5; both land at t=3 unarbitrated. Failover
+        // completes at t=4 = 2.5 + 1.0 detect + 0.5 election: worker 1's
+        // carried unit commits then, worker 0 is promoted and its carried
+        // unit is discarded. The single remaining worker clears units 6, 7
+        // and the re-run at t=5, 6, 7.
+        let r = simulate_master_worker_failover(
+            &cheap_cluster(),
+            3,
+            &uniform_tasks(8, 1.0),
+            0.0,
+            2.5,
+            1.0,
+            0.5,
+            &[],
+        );
+        assert!((r.makespan_s - 7.0).abs() < 1e-9, "makespan {}", r.makespan_s);
+        assert_eq!(r.redispatched, 1, "exactly the promoted worker's carried unit");
+        // 8 final + 1 discarded execution all really ran.
+        assert!((r.total_search_s - 9.0).abs() < 1e-9, "search {}", r.total_search_s);
+    }
+
+    #[test]
+    fn promotion_discards_the_successors_in_flight_unit() {
+        // 2 workers, 6 tasks of 2s. Promotion fires at t=3.9 while both
+        // workers are mid-unit: worker 0 is promoted and its in-flight unit
+        // 2 is re-queued (its partial compute uncharged); worker 1 finishes
+        // unit 3 at t=4 and then serially clears units 4, 5 and the re-run:
+        // makespan 4 + 3 × 2 = 10.
+        let r = simulate_master_worker_failover(
+            &cheap_cluster(),
+            3,
+            &uniform_tasks(6, 2.0),
+            0.0,
+            2.5,
+            1.0,
+            0.4,
+            &[],
+        );
+        assert!((r.makespan_s - 10.0).abs() < 1e-9, "makespan {}", r.makespan_s);
+        assert_eq!(r.redispatched, 1);
+        assert!((r.total_search_s - 12.0).abs() < 1e-9, "search {}", r.total_search_s);
+    }
+
+    #[test]
+    fn failover_composes_with_a_worker_death() {
+        // Worker 2 dies mid-run, then the master dies: both recoveries land
+        // in one run and every unit still completes exactly once.
+        let fails = [Failure { worker: 2, at_s: 1.5 }];
+        let r = simulate_master_worker_failover(
+            &cheap_cluster(),
+            4,
+            &uniform_tasks(12, 1.0),
+            0.0,
+            2.5,
+            0.5,
+            0.5,
+            &fails,
+        );
+        // Worker 2 loses its completed unit and its in-flight unit; the
+        // promoted worker discards one more.
+        assert_eq!(r.redispatched, 3, "redispatched {}", r.redispatched);
+        assert!(r.total_search_s >= 12.0 - 1e-9);
+        assert!(r.makespan_s >= 12.0 / 3.0);
+    }
+
+    #[test]
+    fn abort_restart_pays_for_the_whole_rerun_and_failover_beats_it() {
+        // 2 workers, 20 unit tasks → clean makespan 10. Master dies at t=8.
+        let tasks = uniform_tasks(20, 1.0);
+        let cluster = cheap_cluster();
+        let abort = simulate_master_worker_abort_restart(&cluster, 3, &tasks, 0.0, 8.0, 1.0);
+        // Abort declared at t=9; full rerun appended: 9 + 10.
+        assert!((abort.makespan_s - 19.0).abs() < 1e-9, "abort {}", abort.makespan_s);
+        // 18 units had completed by t=9 (9 per worker) and are thrown away.
+        assert_eq!(abort.redispatched, 18);
+        assert!((abort.total_search_s - 38.0).abs() < 1e-9, "search {}", abort.total_search_s);
+        let fo = simulate_master_worker_failover(&cluster, 3, &tasks, 0.0, 8.0, 1.0, 0.5, &[]);
+        assert!(
+            fo.makespan_s < abort.makespan_s - 1e-9,
+            "failover {} must beat abort-restart {}",
+            fo.makespan_s,
+            abort.makespan_s
+        );
+    }
+
+    #[test]
+    fn abort_restart_with_late_death_matches_plain() {
+        let tasks = uniform_tasks(10, 1.0);
+        let plain = simulate_master_worker(&cheap_cluster(), 3, &tasks, 0.0);
+        let r = simulate_master_worker_abort_restart(&cheap_cluster(), 3, &tasks, 0.0, 1e6, 1.0);
+        assert!((r.makespan_s - plain.makespan_s).abs() < 1e-9);
+        assert_eq!(r.redispatched, 0);
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub mod somsim;
 pub use blastsim::{BlastScenario, WorkUnitCosts};
 pub use cluster::ClusterModel;
 pub use des::{
-    simulate_master_worker, simulate_master_worker_affinity, simulate_master_worker_faulty,
+    simulate_master_worker, simulate_master_worker_abort_restart, simulate_master_worker_affinity,
+    simulate_master_worker_failover, simulate_master_worker_faulty,
     simulate_master_worker_speculative, simulate_static, Failure, Schedule, SimResult, Stall,
 };
 pub use somsim::SomScenario;

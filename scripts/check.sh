@@ -29,4 +29,10 @@ cargo test -q --test crash_restart som_resume_with_corrupt_newest_checkpoint_fal
 echo "== straggler smoke: speculation hides a stalled worker, bit-for-bit BLAST =="
 cargo test -q --test stragglers speculation_hides_a_straggler_and_output_stays_bit_for_bit
 
+echo "== failover smoke: rank 0 (master) killed mid-map, bit-for-bit BLAST =="
+cargo test -q --test chaos_soak failover_smoke_master_kill_mid_map_bit_for_bit
+
+echo "== chaos-soak smoke: master kill + worker kill + stall + poison + disk faults in one run =="
+cargo test -q --test chaos_soak chaos_campaign_composes_every_injection_in_one_run
+
 echo "check.sh: all green"
