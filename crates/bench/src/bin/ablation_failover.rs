@@ -20,7 +20,7 @@
 //! `--seed N` to replay a campaign from the reproduction line this binary
 //! prints first.
 
-use bench::{artifact_dir, header, minutes, percent, row};
+use bench::{artifact_dir, header, minutes, percent, row, stage_json};
 use bioseq::db::{format_db, FormatDbConfig};
 use bioseq::gen::{self, WorkloadConfig};
 use bioseq::shred::query_blocks;
@@ -76,11 +76,13 @@ fn main() {
         let run = |mirror: bool, kill_master: bool| {
             let db = db.clone();
             let blocks = blocks.clone();
+            let collector = obs::Collector::new();
             let world = if kill_master {
                 World::new(ranks).with_faults(FaultPlan::new(seed).kill(0, 1e-4))
             } else {
                 World::new(ranks)
-            };
+            }
+            .with_obs(collector.clone());
             let t0 = std::time::Instant::now();
             let outcomes = world.run_faulty(move |comm| {
                 let ft = FtConfig { mirror, ..FtConfig::default() };
@@ -104,13 +106,24 @@ fn main() {
                 }
             }
             lines.sort();
-            (wall, lines)
+            let trace = collector.trace();
+            trace.validate().expect("bench trace must be well-formed");
+            (wall, lines, trace)
         };
 
-        let (t_clean, hits_clean) = run(true, false);
-        let (t_clean_nomirror, _) = run(false, false);
-        let (t_kill_mirror, hits_mirror) = run(true, true);
-        let (t_kill_nomirror, hits_nomirror) = run(false, true);
+        let (t_clean, hits_clean, trace_clean) = run(true, false);
+        let (t_clean_nomirror, _, _) = run(false, false);
+        let (t_kill_mirror, hits_mirror, trace_kill) = run(true, true);
+        let (t_kill_nomirror, hits_nomirror, _) = run(false, true);
+        assert!(
+            trace_kill.counter_total("sched.elections") >= 1,
+            "seed {seed}: a master kill must be followed by at least one election"
+        );
+        assert_eq!(
+            trace_clean.counter_total("sched.elections"),
+            0,
+            "seed {seed}: a fault-free run must not elect"
+        );
         let exact_mirror = hits_mirror == hits_clean;
         let exact_nomirror = hits_nomirror == hits_clean;
 
@@ -144,10 +157,12 @@ fn main() {
              \"kill_mirror_off_s\": {t_kill_nomirror:.3}, \
              \"failover_latency_mirror_on_s\": {:.3}, \
              \"failover_latency_mirror_off_s\": {:.3}, \
-             \"bit_for_bit\": {}}}",
+             \"bit_for_bit\": {}, \"stages_clean\": {}, \"stages_kill\": {}}}",
             t_kill_mirror - t_clean,
             t_kill_nomirror - t_clean,
             exact_mirror && exact_nomirror,
+            stage_json(&trace_clean),
+            stage_json(&trace_kill),
         ));
     }
     println!(

@@ -17,7 +17,7 @@
 //!
 //! Results also land as hand-rolled JSON in `target/figures/`.
 
-use bench::{artifact_dir, header, minutes, percent, row};
+use bench::{artifact_dir, header, minutes, percent, row, stage_json};
 use bioseq::db::{format_db, FormatDbConfig};
 use bioseq::gen::{self, WorkloadConfig};
 use bioseq::shred::query_blocks;
@@ -118,10 +118,12 @@ fn main() {
         let db = db.clone();
         let blocks = blocks.clone();
         let ft = FtConfig { speculate, ..ft.clone() };
+        let collector = obs::Collector::new();
         let world = match plan {
             Some(p) => World::new(9).with_faults(p),
             None => World::new(9),
-        };
+        }
+        .with_obs(collector.clone());
         let t0 = std::time::Instant::now();
         let outcomes = world.run_faulty(move |comm| {
             run_mrblast_ft(
@@ -140,13 +142,25 @@ fn main() {
             }
         }
         lines.sort();
-        (wall, lines)
+        let trace = collector.trace();
+        trace.validate().expect("bench trace must be well-formed");
+        (wall, lines, trace)
     };
 
-    let (t_clean, hits_clean) = run(false, None);
+    let (t_clean, hits_clean, trace_clean) = run(false, None);
     let stall_plan = || FaultPlan::new(3).stall(4, 0.002, stall_s);
-    let (t_off, hits_off) = run(false, Some(stall_plan()));
-    let (t_on, hits_on) = run(true, Some(stall_plan()));
+    let (t_off, hits_off, trace_off) = run(false, Some(stall_plan()));
+    let (t_on, hits_on, trace_on) = run(true, Some(stall_plan()));
+    assert_eq!(
+        trace_clean.counter_total("sched.speculative_dispatch"),
+        0,
+        "a fault-free run must not speculate"
+    );
+    assert_eq!(
+        trace_off.counter_total("sched.speculative_dispatch"),
+        0,
+        "speculation off must never dispatch a backup"
+    );
 
     header(
         "Real 9-rank run, one worker stalled 2.5 s mid-map",
@@ -175,15 +189,25 @@ fn main() {
         "{{\n  \"model_1024_cores\": [\n{}\n  ],\n  \"real_9_ranks\": {{\n    \
          \"stall_s\": {stall_s}, \"clean_s\": {t_clean:.3}, \"spec_off_s\": {t_off:.3}, \
          \"spec_on_s\": {t_on:.3},\n    \"spec_off_bit_for_bit\": {}, \
-         \"spec_on_bit_for_bit\": {}\n  }}\n}}\n",
+         \"spec_on_bit_for_bit\": {},\n    \"stages_clean\": {},\n    \
+         \"stages_spec_off\": {},\n    \"stages_spec_on\": {}\n  }}\n}}\n",
         json_rows.join(",\n"),
         hits_off == hits_clean,
         hits_on == hits_clean,
+        stage_json(&trace_clean),
+        stage_json(&trace_off),
+        stage_json(&trace_on),
     );
     let path = artifact_dir().join("ablation_speculation.json");
     let mut f = std::fs::File::create(&path).expect("create json artifact");
     f.write_all(json.as_bytes()).expect("write json artifact");
-    println!("\nwrote {}", path.display());
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let bench_root = root.join("BENCH_speculation.json");
+    std::fs::File::create(&bench_root)
+        .expect("create BENCH_speculation.json")
+        .write_all(json.as_bytes())
+        .expect("write BENCH_speculation.json");
+    println!("\nwrote {}\nwrote {}", path.display(), bench_root.display());
 
     std::fs::remove_dir_all(&dir).ok();
 }

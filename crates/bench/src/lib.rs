@@ -38,6 +38,29 @@ pub fn artifact_dir() -> std::path::PathBuf {
     dir
 }
 
+/// Per-stage timings and scheduler counters of one traced run, as a
+/// hand-rolled JSON object fragment for the `BENCH_*.json` artifacts.
+/// Stage seconds are `max_rank_s` — the per-rank maximum, i.e. the stage's
+/// contribution to the critical path.
+pub fn stage_json(trace: &obs::Trace) -> String {
+    let stages = trace.stage_totals();
+    let stage = |name: &str| stages.get(name).map_or(0.0, |s| s.max_rank_s);
+    format!(
+        "{{\"map_s\": {:.4}, \"aggregate_s\": {:.4}, \"convert_s\": {:.4}, \
+         \"reduce_s\": {:.4}, \"iteration_s\": {:.4}, \"commits\": {}, \
+         \"elections\": {}, \"speculative_dispatches\": {}, \"bytes_sent\": {}}}",
+        stage("mr.map"),
+        stage("mr.aggregate"),
+        stage("mr.convert"),
+        stage("mr.reduce"),
+        stage("blast.iteration"),
+        trace.counter_total("sched.commit"),
+        trace.counter_total("sched.elections"),
+        trace.counter_total("sched.speculative_dispatch"),
+        trace.counter_total("net.bytes_sent"),
+    )
+}
+
 /// Simple ASCII sparkline for a 0..1 series (used to show the Fig. 5
 /// utilization curve in the terminal).
 pub fn sparkline(values: &[f64]) -> String {

@@ -7,6 +7,7 @@
 //! mb-blast --db dbdir --name refdb --queries reads.fa --ranks 4
 //!          [--protein] [--evalue 10] [--max-hits 500] [--block-size 100]
 //!          [--out hits_dir] [--exclude-self] [--locality] [--adaptive]
+//!          [--trace trace.json]
 //! ```
 
 use bioseq::db::BlastDb;
@@ -35,7 +36,9 @@ fn usage() {
          --out <dir>       write per-rank tabular files here\n  \
          --exclude-self    drop hits of fragments against their source sequence\n  \
          --locality        locality-aware master (future-work scheduler)\n  \
-         --adaptive        dynamic block sizing from a FASTA offset index"
+         --adaptive        dynamic block sizing from a FASTA offset index\n  \
+         --trace <file>    record a per-rank trace; writes Chrome/Perfetto JSON\n  \
+                    (load at ui.perfetto.dev) and prints a per-stage summary"
     );
 }
 
@@ -59,7 +62,17 @@ fn run() -> Result<(), String> {
     let exclude_self = args.has("exclude-self");
     let locality = args.has("locality");
     let adaptive = args.has("adaptive");
+    let trace_path = args.get("trace").map(PathBuf::from);
     args.reject_unknown()?;
+
+    let collector = trace_path.as_ref().map(|_| obs::Collector::new());
+    let make_world = |ranks: usize| {
+        let mut w = World::new(ranks);
+        if let Some(c) = &collector {
+            w = w.with_obs(c.clone());
+        }
+        w
+    };
 
     let db = Arc::new(BlastDb::open(&db_dir, &name).map_err(|e| format!("open db: {e}"))?);
     let params = if translated {
@@ -98,7 +111,7 @@ fn run() -> Result<(), String> {
         let qp = PathBuf::from(&queries_path);
         let db2 = db.clone();
         let cfg2 = cfg.clone();
-        let reports = World::new(ranks).run(move |comm| {
+        let reports = make_world(ranks).run(move |comm| {
             run_mrblast_adaptive(comm, &db2, &qp, &cfg2, &AdaptiveConfig::default())
         });
         eprintln!(
@@ -123,7 +136,7 @@ fn run() -> Result<(), String> {
         let db2 = db.clone();
         let cfg2 = cfg.clone();
         let reports =
-            World::new(ranks).run(move |comm| run_mrblast(comm, &db2, &blocks, &cfg2));
+            make_world(ranks).run(move |comm| run_mrblast(comm, &db2, &blocks, &cfg2));
         for r in &reports {
             if let Some(path) = &r.output_file {
                 eprintln!("rank {} → {}", r.rank, path.display());
@@ -141,6 +154,31 @@ fn run() -> Result<(), String> {
         loads,
         busy
     );
+
+    if let (Some(path), Some(collector)) = (&trace_path, &collector) {
+        let trace = collector.trace();
+        trace.validate().map_err(|e| format!("trace validation: {e}"))?;
+        std::fs::write(path, trace.chrome_json())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("\n{}", trace.stage_summary());
+        // Coverage check: the per-iteration driver span should account for
+        // (almost) the whole simulated run — large gaps mean an
+        // uninstrumented stage.
+        let sim_wall = trace
+            .ranks
+            .iter()
+            .flat_map(|r| r.events.iter().map(obs::Event::t))
+            .fold(0.0_f64, f64::max);
+        if let Some(stat) = trace.stage_totals().get("blast.iteration") {
+            println!(
+                "stage coverage: blast.iteration {:.3}s of {:.3}s sim wall ({:.1}%)",
+                stat.max_rank_s,
+                sim_wall,
+                100.0 * stat.max_rank_s / sim_wall.max(f64::MIN_POSITIVE)
+            );
+        }
+        println!("trace written to {} — open at https://ui.perfetto.dev", path.display());
+    }
     Ok(())
 }
 

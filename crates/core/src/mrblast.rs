@@ -211,6 +211,7 @@ pub fn run_mrblast(
         let iter_end = (iter_start + per_iter).min(nblocks);
         let iter_blocks = &query_blocks[iter_start..iter_end];
         let ntasks = iter_blocks.len() * nparts;
+        let _iter_span = obs::maybe_span(comm.obs(), "blast.iteration");
 
         let mut mr = MapReduce::with_settings(comm, cfg.mr_settings.clone());
         let nblocks_iter = iter_blocks.len();
@@ -230,6 +231,9 @@ pub fn run_mrblast(
                 let part = db.load_partition(part_idx).expect("load DB partition");
                 comm.charge(t0.elapsed().as_secs_f64());
                 counters.borrow_mut().1 += 1;
+                if let Some(o) = comm.obs() {
+                    o.add("blast.db_loads", 1);
+                }
                 *db_slot = Some((part_idx, part));
             }
             let (_, part) = db_slot.as_ref().expect("cache just filled");
@@ -395,6 +399,7 @@ pub fn run_mrblast_ft(
         let iter_end = (iter_start + per_iter).min(nblocks);
         let iter_blocks = &query_blocks[iter_start..iter_end];
         let ntasks = iter_blocks.len() * nparts;
+        let _iter_span = obs::maybe_span(comm.obs(), "blast.iteration");
 
         let mut mr = MapReduce::with_settings(comm, cfg.mr_settings.clone());
         let nblocks_iter = iter_blocks.len();
@@ -411,6 +416,9 @@ pub fn run_mrblast_ft(
                 let part = db.load_partition(part_idx).expect("load DB partition");
                 comm.charge(t0.elapsed().as_secs_f64());
                 counters.borrow_mut().1 += 1;
+                if let Some(o) = comm.obs() {
+                    o.add("blast.db_loads", 1);
+                }
                 *db_slot = Some((part_idx, part));
                 // A cold DB partition load can dominate a work unit; tell the
                 // master we are alive so the deadline detector does not start

@@ -132,6 +132,7 @@ pub fn run_mrsom(
     let blocks_processed: RefCell<u64> = RefCell::new(0);
 
     for epoch in start_epoch..som.epochs {
+        let _epoch_span = obs::maybe_span(comm.obs(), "som.epoch");
         comm.bcast_f64s(0, &mut cb.weights);
         let sigma = sigma_schedule(sigma0, som.sigma_end, som.epochs, epoch);
 
@@ -245,6 +246,7 @@ pub fn run_mrsom_ft(
     let mut quarantined: Vec<u64> = Vec::new();
 
     for epoch in start_epoch..som.epochs {
+        let _epoch_span = obs::maybe_span(comm.obs(), "som.epoch");
         let sigma = sigma_schedule(sigma0, som.sigma_end, som.epochs, epoch);
 
         let acc: RefCell<BatchAccumulator> = RefCell::new(BatchAccumulator::zeros(&cb));

@@ -62,6 +62,10 @@ pub struct Comm {
     incarnation: u64,
     /// Scheduler-round counter (see [`Comm::next_round`]).
     rounds: std::cell::Cell<u64>,
+    /// This rank's tracing/metrics ring, when a collector is attached to
+    /// the world (see [`crate::World::with_obs`]). `None` costs one branch
+    /// per hook — the obs layer off is a no-op.
+    obs: Option<obs::RankObs>,
 }
 
 impl Comm {
@@ -74,6 +78,7 @@ impl Comm {
             faults: None,
             incarnation: 0,
             rounds: std::cell::Cell::new(0),
+            obs: None,
         }
     }
 
@@ -108,6 +113,37 @@ impl Comm {
             faults,
             incarnation,
             rounds: std::cell::Cell::new(0),
+            obs: None,
+        }
+    }
+
+    /// Attach this rank's tracing ring (done by the world at spawn; the
+    /// same ring is re-attached to restarted incarnations).
+    pub(crate) fn set_obs(&mut self, obs: obs::RankObs) {
+        obs.set_now(self.clock.borrow().now());
+        self.obs = Some(obs);
+    }
+
+    /// This rank's tracing/metrics handle, if a collector is attached.
+    #[inline]
+    pub fn obs(&self) -> Option<&obs::RankObs> {
+        self.obs.as_ref()
+    }
+
+    /// Mirror the virtual clock into the obs ring so span guards and
+    /// comm-less layers (spool, KV) timestamp correctly. Called after every
+    /// clock mutation.
+    #[inline]
+    fn obs_tick(&self) {
+        if let Some(o) = &self.obs {
+            o.set_now(self.clock.borrow().now());
+        }
+    }
+
+    #[inline]
+    fn obs_add(&self, name: &'static str, delta: u64) {
+        if let Some(o) = &self.obs {
+            o.add(name, delta);
         }
     }
 
@@ -205,6 +241,9 @@ impl Comm {
     /// [`crate::World::run_faulty`] converts into a
     /// [`RankOutcome::Died`](crate::RankOutcome::Died).
     fn die(&self, at: f64) -> ! {
+        if let Some(o) = &self.obs {
+            o.instant(at, "fault.death", format!("incarnation {}", self.incarnation));
+        }
         self.shared.board.mark_dead(self.rank, at);
         self.shared.mailboxes[self.rank].purge();
         for mb in &self.shared.mailboxes {
@@ -235,6 +274,9 @@ impl Comm {
         assert_ne!(rank, self.rank, "a rank cannot fence itself");
         if !self.shared.board.is_alive(rank) {
             return;
+        }
+        if let Some(o) = &self.obs {
+            o.instant(self.now(), "fault.fence", format!("fenced rank {rank}"));
         }
         self.shared.board.mark_dead(rank, self.now());
         self.shared.board.clear_suspected(rank);
@@ -326,6 +368,7 @@ impl Comm {
             None => dt,
         };
         self.clock.borrow_mut().charge(dt);
+        self.obs_tick();
         self.preflight();
     }
 
@@ -344,6 +387,8 @@ impl Comm {
         self.preflight();
         let cost = self.shared.cost.p2p(data.len());
         self.charge(cost); // may kill this rank: a message in flight at death is lost
+        self.obs_add("net.sends", 1);
+        self.obs_add("net.bytes_sent", data.len() as u64);
         let mut arrival = self.now();
         if let Some(f) = &self.faults {
             let seq = f.next_seq(dst);
@@ -386,6 +431,9 @@ impl Comm {
         self.preflight();
         let pkt = self.shared.mailboxes[self.rank].recv(src, tag)?;
         self.clock.borrow_mut().sync_to(pkt.arrival);
+        self.obs_tick();
+        self.obs_add("net.recvs", 1);
+        self.obs_add("net.bytes_recvd", pkt.data.len() as u64);
         self.preflight();
         Ok(RecvMsg {
             status: Status { source: pkt.src, tag: pkt.tag, len: pkt.data.len() },
@@ -407,6 +455,9 @@ impl Comm {
             None,
         )?;
         self.clock.borrow_mut().sync_to(pkt.arrival);
+        self.obs_tick();
+        self.obs_add("net.recvs", 1);
+        self.obs_add("net.bytes_recvd", pkt.data.len() as u64);
         self.preflight();
         Ok(RecvMsg {
             status: Status { source: pkt.src, tag: pkt.tag, len: pkt.data.len() },
@@ -435,6 +486,9 @@ impl Comm {
             Some(timeout),
         )?;
         self.clock.borrow_mut().sync_to(pkt.arrival);
+        self.obs_tick();
+        self.obs_add("net.recvs", 1);
+        self.obs_add("net.bytes_recvd", pkt.data.len() as u64);
         self.preflight();
         Ok(RecvMsg {
             status: Status { source: pkt.src, tag: pkt.tag, len: pkt.data.len() },
@@ -460,6 +514,9 @@ impl Comm {
     pub fn try_recv(&self, src: Rank, tag: Tag) -> Result<RecvMsg, MpiError> {
         let pkt = self.shared.mailboxes[self.rank].try_recv(src, tag)?;
         self.clock.borrow_mut().sync_to(pkt.arrival);
+        self.obs_tick();
+        self.obs_add("net.recvs", 1);
+        self.obs_add("net.bytes_recvd", pkt.data.len() as u64);
         Ok(RecvMsg {
             status: Status { source: pkt.src, tag: pkt.tag, len: pkt.data.len() },
             data: pkt.data,
@@ -512,9 +569,14 @@ impl Comm {
     }
 
     fn finish_collective(&self, entry_max: f64, bytes: usize) {
-        let mut clock = self.clock.borrow_mut();
-        clock.sync_to(entry_max);
-        clock.charge(self.shared.cost.collective(self.size, bytes));
+        {
+            let mut clock = self.clock.borrow_mut();
+            clock.sync_to(entry_max);
+            clock.charge(self.shared.cost.collective(self.size, bytes));
+        }
+        self.obs_tick();
+        self.obs_add("net.collectives", 1);
+        self.obs_add("net.collective_bytes", bytes as u64);
     }
 
     /// Synchronize all ranks; clocks leave at `max(entry clocks) + log2(P)·α`.
@@ -591,8 +653,20 @@ impl Comm {
         let (all, t) = self.exchange(wire::f64s_to_bytes(input));
         assert_eq!(output.len(), input.len(), "allreduce output length mismatch");
         Self::fold_contributions(&all, input.len(), output, op);
-        let present = all.iter().map(|c| !c.is_empty()).collect();
+        let present: Vec<bool> = all.iter().map(|c| !c.is_empty()).collect();
         self.finish_collective(t, input.len() * 8);
+        if let Some(o) = &self.obs {
+            // The participation-set decision is load-bearing (it closes the
+            // mid-collate membership race), so it goes on the record: which
+            // ranks this collective agreed were present.
+            let members: Vec<Rank> =
+                present.iter().enumerate().filter(|(_, p)| **p).map(|(r, _)| r).collect();
+            o.instant(
+                self.now(),
+                "collective.allreduce_present",
+                format!("present={members:?} of {}", self.size),
+            );
+        }
         present
     }
 

@@ -58,6 +58,7 @@ pub struct World {
     size: usize,
     cost: CostModel,
     faults: Option<Arc<FaultPlan>>,
+    obs: Option<obs::Collector>,
 }
 
 impl World {
@@ -67,7 +68,16 @@ impl World {
     /// Panics if `size` is zero.
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "a world needs at least one rank");
-        World { size, cost: CostModel::FREE, faults: None }
+        World { size, cost: CostModel::FREE, faults: None, obs: None }
+    }
+
+    /// Attach a tracing/metrics collector: every rank's communicator gets a
+    /// per-rank [`obs::RankObs`] ring (restarted incarnations keep their
+    /// predecessor's ring, so a rank's trace spans its whole lifetime).
+    /// Snapshot the collector with [`obs::Collector::trace`] after the run.
+    pub fn with_obs(mut self, collector: obs::Collector) -> Self {
+        self.obs = Some(collector);
+        self
     }
 
     /// Set the communication cost model used for virtual-clock accounting.
@@ -176,13 +186,14 @@ impl World {
                 let f = f.clone();
                 let size = self.size;
                 let plan = self.faults.clone();
+                let robs = self.obs.as_ref().map(|c| c.rank(rank));
                 std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
                     .stack_size(RANK_STACK_BYTES)
                     .spawn(move || {
                         let mut incarnation: u64 = 0;
                         loop {
-                            let comm = match &plan {
+                            let mut comm = match &plan {
                                 Some(plan) if incarnation > 0 => {
                                     let from = shared
                                         .board
@@ -202,6 +213,10 @@ impl World {
                                 }
                                 None => Comm::new(shared.clone(), rank, size),
                             };
+                            if let Some(o) = &robs {
+                                comm.set_obs(o.clone());
+                            }
+                            let comm = comm;
                             let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                                 || f(&comm),
                             ));
@@ -228,6 +243,16 @@ impl World {
                                                 std::time::Duration::from_secs_f64(delay_s),
                                             );
                                             if shared.board.try_revive(rank) {
+                                                if let Some(o) = &robs {
+                                                    o.instant(
+                                                        o.now(),
+                                                        "fault.restart",
+                                                        format!(
+                                                            "incarnation {}",
+                                                            incarnation + 1
+                                                        ),
+                                                    );
+                                                }
                                                 // Wake peers (notably a
                                                 // polling master) so the
                                                 // revival is noticed promptly.
@@ -459,6 +484,61 @@ mod tests {
             let (present, total) = out.as_done().expect("survivor");
             assert_eq!(*present, vec![false, true, true]);
             assert_eq!(*total, 2.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_present_mid_collate_race_is_agreed_and_traced() {
+        // The mid-collate membership race (PR 4 covered it only through the
+        // soak harness), pinned directly: survivors snapshot the victim as
+        // alive *before* the collective, the victim dies entering it, and
+        // the participation set — not the stale snapshot — is the agreed
+        // truth. With a collector attached, the decision itself lands on
+        // the trace as a `collective.allreduce_present` instant.
+        let collector = obs::Collector::new();
+        let plan = FaultPlan::new(8).kill(2, 1.0);
+        let outcomes =
+            World::new(3).with_faults(plan).with_obs(collector.clone()).run_faulty(|comm| {
+                if comm.rank() != 2 {
+                    comm.charge(2.0);
+                }
+                // First collective drags the victim's clock past its strike
+                // time; the snapshot taken here is the stale pre-collective
+                // view a naive liveness check would trust.
+                let mut out = [0.0];
+                comm.allreduce_f64(&[1.0], &mut out, ReduceOp::Sum);
+                let stale = comm.alive_ranks();
+                let mut total = [0.0];
+                let present =
+                    comm.allreduce_f64_present(&[1.0], &mut total, ReduceOp::Sum);
+                (stale, present, total[0])
+            });
+        assert!(outcomes[2].is_died(), "rank 2 dies entering the second collective");
+        for out in outcomes.iter().take(2) {
+            let (_, present, total) = out.as_done().expect("survivor");
+            assert_eq!(*present, vec![true, true, false]);
+            assert_eq!(*total, 2.0, "only live contributions are folded");
+        }
+        let trace = collector.trace();
+        trace.validate().expect("well-formed trace");
+        for r in 0..2 {
+            let decisions: Vec<&str> = trace.ranks[r]
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    obs::Event::Instant { name, detail, .. }
+                        if *name == "collective.allreduce_present" =>
+                    {
+                        Some(detail.as_str())
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                decisions,
+                vec!["present=[0, 1] of 3"],
+                "rank {r} must record the reduced participation set"
+            );
         }
     }
 

@@ -198,8 +198,47 @@ impl<'c> MapReduce<'c> {
     }
 
     /// New engine with explicit settings (page size, memory budget, tmpdir).
-    pub fn with_settings(comm: &'c Comm, settings: Settings) -> Self {
+    /// When the world carries a tracing collector and the settings don't
+    /// override it, the engine inherits the communicator's per-rank ring so
+    /// its phases and storage counters land on the same trace.
+    pub fn with_settings(comm: &'c Comm, mut settings: Settings) -> Self {
+        if settings.obs.is_none() {
+            settings.obs = comm.obs().cloned();
+        }
         MapReduce { comm, settings, kv: None, kmv: None, spills_retired: 0 }
+    }
+
+    /// Span guard for an engine phase, plus the spill count at entry (the
+    /// pair feeds [`MapReduce::obs_phase_end`]). A no-op `(None, 0)` when no
+    /// ring is attached.
+    fn obs_phase(&self, name: &'static str) -> (Option<obs::SpanGuard>, u64) {
+        match &self.settings.obs {
+            Some(_) => (obs::maybe_span(self.settings.obs.as_ref(), name), self.local_spills()),
+            None => (None, 0),
+        }
+    }
+
+    /// Phase-boundary metrics: KV pairs emitted by the phase and spool
+    /// pages spilled during it, as counters plus sampled counter tracks.
+    fn obs_phase_end(&self, spills_at_entry: u64, pairs_added: u64) {
+        if let Some(o) = &self.settings.obs {
+            if pairs_added > 0 {
+                o.add("mr.kv_pairs", pairs_added);
+            }
+            o.sample(o.now(), "mr.kv_pairs");
+            let spilled = self.local_spills().saturating_sub(spills_at_entry);
+            if spilled > 0 {
+                o.add("mr.spool_spills", spilled);
+                o.sample(o.now(), "mr.spool_spills");
+            }
+        }
+    }
+
+    /// Spill pages charged to this engine so far (live datasets + retired).
+    fn local_spills(&self) -> u64 {
+        let live = self.kv.as_ref().map_or(0, |kv| kv.spill_count() as u64)
+            + self.kmv.as_ref().map_or(0, |kmv| kmv.spill_count() as u64);
+        live + self.spills_retired
     }
 
     fn retire_kv(&mut self, kv: &KeyValue) {
@@ -239,6 +278,7 @@ impl<'c> MapReduce<'c> {
         if let Some(old) = self.kv.take() {
             self.retire_kv(&old);
         }
+        let (_span, spills0) = self.obs_phase("mr.map");
         let mut kv = KeyValue::new(&self.settings);
         assign_and_run(self.comm, ntasks, style, |task| {
             let mut em = KvEmitter::new(&mut kv);
@@ -246,6 +286,7 @@ impl<'c> MapReduce<'c> {
         });
         let local = kv.npairs();
         self.kv = Some(kv);
+        self.obs_phase_end(spills0, local);
         self.global_count(local)
     }
 
@@ -266,6 +307,7 @@ impl<'c> MapReduce<'c> {
         if let Some(old) = self.kv.take() {
             self.retire_kv(&old);
         }
+        let (_span, spills0) = self.obs_phase("mr.map");
         let mut kv = KeyValue::new(&self.settings);
         crate::sched::assign_and_run_affinity(self.comm, ntasks, affinity, |task| {
             let mut em = KvEmitter::new(&mut kv);
@@ -273,6 +315,7 @@ impl<'c> MapReduce<'c> {
         });
         let local = kv.npairs();
         self.kv = Some(kv);
+        self.obs_phase_end(spills0, local);
         self.global_count(local)
     }
 
@@ -350,6 +393,7 @@ impl<'c> MapReduce<'c> {
         if let Some(old) = self.kv.take() {
             self.retire_kv(&old);
         }
+        let (_span, spills0) = self.obs_phase("mr.map");
         let kv = std::cell::RefCell::new(KeyValue::new(&self.settings));
         let staging: std::cell::RefCell<Option<KeyValue>> = std::cell::RefCell::new(None);
         let settings = self.settings.clone();
@@ -395,6 +439,7 @@ impl<'c> MapReduce<'c> {
             }
             let n = kv.npairs();
             self.kv = Some(kv);
+            self.obs_phase_end(spills0, n);
             return Ok(FtMapReport { pairs: n, quarantined: run.quarantined });
         }
         // The final acting master — the only rank whose scheduler run
@@ -485,7 +530,9 @@ impl<'c> MapReduce<'c> {
                 .map(|(u, _)| u as u64)
                 .collect()
         };
+        let local_pairs = kv.npairs();
         self.kv = Some(kv);
+        self.obs_phase_end(spills0, local_pairs);
         Ok(FtMapReport { pairs: sums[0] as u64, quarantined })
     }
 
@@ -529,11 +576,13 @@ impl<'c> MapReduce<'c> {
     /// # Panics
     /// Panics if no KV dataset exists.
     pub fn aggregate(&mut self) -> u64 {
+        let (_span, spills0) = self.obs_phase("mr.aggregate");
         let size = self.comm.size();
         let kv = self.kv.take().expect("aggregate requires a KV dataset");
         if size == 1 {
             let n = kv.npairs();
             self.kv = Some(kv);
+            self.obs_phase_end(spills0, 0);
             return n;
         }
 
@@ -582,6 +631,7 @@ impl<'c> MapReduce<'c> {
         self.retire_kv(&kv);
         let local = incoming.npairs();
         self.kv = Some(incoming);
+        self.obs_phase_end(spills0, 0);
         self.global_count(local)
     }
 
@@ -598,11 +648,13 @@ impl<'c> MapReduce<'c> {
     /// # Panics
     /// Panics if no KV dataset exists.
     pub fn try_aggregate(&mut self) -> Result<u64, MrError> {
+        let (_span, spills0) = self.obs_phase("mr.aggregate");
         let size = self.comm.size();
         let kv = self.kv.take().expect("aggregate requires a KV dataset");
         if size == 1 {
             let n = kv.npairs();
             self.kv = Some(kv);
+            self.obs_phase_end(spills0, 0);
             return Ok(n);
         }
 
@@ -727,6 +779,7 @@ impl<'c> MapReduce<'c> {
 
         self.retire_kv(&kv);
         self.kv = Some(incoming);
+        self.obs_phase_end(spills0, 0);
         Ok(before)
     }
 
@@ -741,6 +794,7 @@ impl<'c> MapReduce<'c> {
     /// # Panics
     /// Panics if no KV dataset exists.
     pub fn convert(&mut self) -> u64 {
+        let (_span, spills0) = self.obs_phase("mr.convert");
         let kv = self.kv.take().expect("convert requires a KV dataset");
         let mut kmv = KeyMultiValue::new(&self.settings);
 
@@ -771,6 +825,7 @@ impl<'c> MapReduce<'c> {
         let local = kmv.ngroups();
         self.kv = None;
         self.kmv = Some(kmv);
+        self.obs_phase_end(spills0, 0);
         self.global_count(local)
     }
 
@@ -796,6 +851,7 @@ impl<'c> MapReduce<'c> {
     /// shuffle that groups every key's values on one rank. Returns the global
     /// number of unique keys.
     pub fn collate(&mut self) -> u64 {
+        let (_span, _) = self.obs_phase("mr.collate");
         self.aggregate();
         self.convert()
     }
@@ -809,6 +865,7 @@ impl<'c> MapReduce<'c> {
     /// # Panics
     /// Panics if no KMV dataset exists.
     pub fn reduce(&mut self, f: &mut dyn FnMut(&[u8], MultiValues<'_>, &mut KvEmitter<'_>)) -> u64 {
+        let (_span, spills0) = self.obs_phase("mr.reduce");
         let kmv = self.kmv.take().expect("reduce requires a KMV dataset");
         let mut kv = KeyValue::new(&self.settings);
         kmv.for_each_group(|key, vals| {
@@ -818,6 +875,7 @@ impl<'c> MapReduce<'c> {
         self.retire_kmv(&kmv);
         let local = kv.npairs();
         self.kv = Some(kv);
+        self.obs_phase_end(spills0, local);
         self.global_count(local)
     }
 
@@ -828,6 +886,7 @@ impl<'c> MapReduce<'c> {
         &mut self,
         f: &mut dyn FnMut(&[u8], MultiValues<'_>, &mut KvEmitter<'_>),
     ) -> u64 {
+        let (_span, spills0) = self.obs_phase("mr.compress");
         let kv = self.kv.take().expect("compress requires a KV dataset");
         let mut kmv = KeyMultiValue::new(&self.settings);
         Self::convert_in_memory(&kv, &mut kmv);
@@ -839,6 +898,7 @@ impl<'c> MapReduce<'c> {
         });
         let local = out.npairs();
         self.kv = Some(out);
+        self.obs_phase_end(spills0, local);
         self.global_count(local)
     }
 

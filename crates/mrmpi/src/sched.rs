@@ -579,6 +579,7 @@ pub fn assign_and_run_ft_report(
             }
         }
         via_failover = true;
+        let lost = master;
         let Some(next) = board.elect_coordinator(round) else {
             return if comm.incarnation() > 0 {
                 Ok(FtRun { units: mine, quarantined: Vec::new() })
@@ -589,6 +590,20 @@ pub fn assign_and_run_ft_report(
             };
         };
         master = next;
+        // This election only ever runs on failover (the round's first
+        // master is picked before the loop), so a fault-free trace carries
+        // zero `sched.elect` events.
+        if let Some(o) = comm.obs() {
+            o.add("sched.elections", 1);
+            o.instant(
+                o.now(),
+                "sched.elect",
+                format!(
+                    "master role moved {lost} -> {master} ({})",
+                    if last_died { "predecessor died" } else { "predecessor unreachable" }
+                ),
+            );
+        }
         CURRENT_MASTER.with(|m| m.set(master));
     }
 }
@@ -640,15 +655,30 @@ fn ft_run_local(
     for t in 0..ntasks {
         let mut fails = 0usize;
         loop {
+            if let Some(o) = comm.obs() {
+                o.add("sched.dispatch", 1);
+            }
             if run_unit_isolated(comm, t as u64, run) {
                 verdict(t, true);
                 units.push(t);
+                if let Some(o) = comm.obs() {
+                    o.add("sched.commit", 1);
+                    o.add("sched.worker_commit", 1);
+                }
                 break;
             }
             verdict(t, false); // drop any partial staging from the panic
             fails += 1;
             if fails >= cfg.poison_retries.max(1) {
                 quarantined.push(t as u64);
+                if let Some(o) = comm.obs() {
+                    o.add("sched.quarantine", 1);
+                    o.instant(
+                        o.now(),
+                        "sched.quarantine",
+                        format!("unit {t} quarantined (single rank)"),
+                    );
+                }
                 break;
             }
         }
@@ -661,6 +691,7 @@ fn ft_run_local(
 /// the rank down. An injected *rank death* is not a unit failure and keeps
 /// unwinding.
 fn run_unit_isolated(comm: &Comm, unit: u64, run: &mut dyn FnMut(usize)) -> bool {
+    let _span = obs::maybe_span(comm.obs(), "sched.unit");
     if comm.unit_poisoned(unit) {
         return false;
     }
@@ -774,6 +805,25 @@ impl FtMaster<'_> {
     /// log is redundancy on top of the claim gather, never load-bearing on
     /// its own.
     fn journal(&mut self, kind: u64, unit: u64, worker: usize) {
+        // Every master transition flows through here, so this is also the
+        // single choke point feeding the metrics registry.
+        if let Some(o) = self.comm.obs() {
+            match kind {
+                LOG_DISPATCH => o.add("sched.dispatch", 1),
+                LOG_COMMIT => o.add("sched.commit", 1),
+                LOG_DISCARD => o.add("sched.discard", 1),
+                LOG_QUARANTINE => {
+                    o.add("sched.quarantine", 1);
+                    o.instant(
+                        o.now(),
+                        "sched.quarantine",
+                        format!("unit {unit} quarantined (last worker {worker})"),
+                    );
+                }
+                LOG_FENCE => o.add("sched.fence", 1),
+                _ => {}
+            }
+        }
         let rec = [self.round, self.lsn_next, kind, unit, worker as u64];
         self.lsn_next += 1;
         self.log_all.push(rec);
@@ -1017,6 +1067,9 @@ impl FtMaster<'_> {
             if self.silent(worker) {
                 if !self.comm.is_suspected(worker) {
                     self.comm.mark_suspected(worker);
+                    if let Some(o) = self.comm.obs() {
+                        o.add("sched.suspect", 1);
+                    }
                 }
                 stuck.push(unit);
             } else {
@@ -1058,6 +1111,14 @@ impl FtMaster<'_> {
                 return;
             }
             self.inflight.insert(worker, unit);
+            if let Some(o) = self.comm.obs() {
+                o.add("sched.speculative_dispatch", 1);
+                o.instant(
+                    o.now(),
+                    "sched.speculate",
+                    format!("unit {unit} re-dispatched to backup worker {worker}"),
+                );
+            }
             self.journal(LOG_DISPATCH, unit, worker);
             self.reply(worker, [seq, unit, verdict]);
             self.spec_next.insert(unit, (now + backoff, backoff.saturating_mul(2)));
@@ -1409,6 +1470,9 @@ fn ft_master_loop(
                     if req.len() < REQ_HEAD
                         || req[4] == board.generation(msg.status.source)
                     {
+                        if let Some(o) = comm.obs() {
+                            o.add("sched.heartbeats", 1);
+                        }
                         m.note_heard(msg.status.source);
                     }
                     continue;
@@ -1513,6 +1577,9 @@ fn ft_request(
             Err(MpiError::RankDead { .. }) => return Err(true),
             Err(MpiError::Timeout) => {
                 resends += 1;
+                if let Some(o) = comm.obs() {
+                    o.add("sched.rpc_retries", 1);
+                }
                 if resends > cfg.max_rpc_retries {
                     return Err(false);
                 }
@@ -1567,6 +1634,9 @@ fn ft_worker_phase(
         if *completed != NO_UNIT && *flag == FLAG_OK {
             let commit = verd == V_COMMIT;
             verdict(*completed as usize, commit);
+            if let Some(o) = comm.obs() {
+                o.add(if commit { "sched.worker_commit" } else { "sched.worker_discard" }, 1);
+            }
             if commit {
                 mine.push(*completed as usize);
             }

@@ -45,6 +45,13 @@ pub struct Settings {
     /// legacy typed `MasterDied`/`MasterUnreachable` errors — kept for the
     /// DES failover ablation and for callers that prefer fail-fast.
     pub master_failover: bool,
+    /// Tracing/metrics ring for the rank running this engine. `None` (the
+    /// default) turns every obs hook into a branch on a `None` — zero
+    /// counters are touched. [`crate::MapReduce::with_settings`] fills this
+    /// from the communicator automatically when the world carries a
+    /// collector (see `mpisim::World::with_obs`), so callers only set it to
+    /// override that inheritance.
+    pub obs: Option<obs::RankObs>,
 }
 
 impl Default for Settings {
@@ -56,6 +63,7 @@ impl Default for Settings {
             disk_faults: None,
             poison_log: None,
             master_failover: true,
+            obs: None,
         }
     }
 }
@@ -71,6 +79,7 @@ impl Settings {
             disk_faults: None,
             poison_log: None,
             master_failover: true,
+            obs: None,
         }
     }
 

@@ -1,0 +1,25 @@
+//! Schema-validate a Chrome/Perfetto `trace.json` produced by
+//! [`obs::Trace::chrome_json`] (e.g. `mb-blast --trace`). Exits non-zero
+//! with a diagnostic if the file is structurally broken — used by
+//! `scripts/check.sh` as the obs smoke's second half.
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: trace-lint <trace.json>");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("trace-lint: read {path}: {e}");
+        std::process::exit(2);
+    });
+    match obs::lint_chrome_json(&text) {
+        Ok(rep) => println!(
+            "trace-lint: {path}: OK — {} events, {} ranks, {} spans (balanced)",
+            rep.events, rep.tids, rep.spans
+        ),
+        Err(e) => {
+            eprintln!("trace-lint: {path}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -35,4 +35,37 @@ cargo test -q --test chaos_soak failover_smoke_master_kill_mid_map_bit_for_bit
 echo "== chaos-soak smoke: master kill + worker kill + stall + poison + disk faults in one run =="
 cargo test -q --test chaos_soak chaos_campaign_composes_every_injection_in_one_run
 
+echo "== golden-trace: same-seed runs share digest, fault-free trace is quiet (serial) =="
+cargo test -q --test golden_trace -- --test-threads=1
+
+echo "== obs off is a no-op: run without a collector records nothing process-wide =="
+cargo test -q --test obs_noop
+
+echo "== obs smoke: 9-rank traced BLAST via mb-blast, trace schema-validated =="
+cargo build --release -p mrbio -p obs --bins
+OBS_SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_SMOKE_DIR"' EXIT
+# Deterministic pseudo-random DNA; the LCG multiplier is small enough that
+# every intermediate stays exactly representable in awk's doubles.
+awk 'BEGIN {
+  s = 12345; bases = "ACGT";
+  for (r = 0; r < 6; r++) {
+    printf(">ref%d\n", r);
+    for (i = 0; i < 1200; i++) {
+      s = (s * 69069 + 1) % 2147483648;
+      printf("%s", substr(bases, int(s / 1024) % 4 + 1, 1));
+      if (i % 60 == 59) printf("\n");
+    }
+  }
+}' > "$OBS_SMOKE_DIR/refs.fa"
+# Queries = the first 120 bases of each reference, so hits are guaranteed.
+awk '/^>/ { n++; printf(">q%d\n", n); getline l1; getline l2; print l1; print l2 }' \
+  "$OBS_SMOKE_DIR/refs.fa" > "$OBS_SMOKE_DIR/reads.fa"
+target/release/mb-formatdb --in "$OBS_SMOKE_DIR/refs.fa" --out "$OBS_SMOKE_DIR/db" \
+  --name refdb --partition-bytes 1024
+target/release/mb-blast --db "$OBS_SMOKE_DIR/db" --name refdb \
+  --queries "$OBS_SMOKE_DIR/reads.fa" --ranks 9 --block-size 2 \
+  --out "$OBS_SMOKE_DIR/hits" --trace "$OBS_SMOKE_DIR/trace.json"
+target/release/trace-lint "$OBS_SMOKE_DIR/trace.json"
+
 echo "check.sh: all green"
